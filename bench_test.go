@@ -1,0 +1,283 @@
+// Package repro_bench holds the testing.B benchmarks that regenerate
+// the paper's evaluation (one benchmark family per figure of
+// Section 6) plus ablation and kernel benchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers are machine-local; the relations the paper reports
+// (who wins, roughly by how much) are summarized in EXPERIMENTS.md
+// from the cmd/sacbench sweeps.
+package repro_bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/linalg"
+	"repro/internal/ml"
+	"repro/internal/mllib"
+	"repro/internal/tiled"
+)
+
+const (
+	benchTile  = 100
+	benchParts = 8
+)
+
+func benchCtx() *dataflow.Context {
+	return dataflow.NewContext(dataflow.Config{DefaultPartitions: benchParts})
+}
+
+func tiledPair(ctx *dataflow.Context, n int64) (*tiled.Matrix, *tiled.Matrix) {
+	a := tiled.RandMatrix(ctx, n, n, benchTile, benchParts, 0, 10, 1).Persist()
+	b := tiled.RandMatrix(ctx, n, n, benchTile, benchParts, 0, 10, 2).Persist()
+	dataflow.Count(a.Tiles)
+	dataflow.Count(b.Tiles)
+	return a, b
+}
+
+func mllibPair(ctx *dataflow.Context, n int64) (*mllib.BlockMatrix, *mllib.BlockMatrix) {
+	a := mllib.RandBlockMatrix(ctx, n, n, benchTile, benchParts, 0, 10, 1)
+	b := mllib.RandBlockMatrix(ctx, n, n, benchTile, benchParts, 0, 10, 2)
+	a.Blocks.Persist()
+	b.Blocks.Persist()
+	dataflow.Count(a.Blocks)
+	dataflow.Count(b.Blocks)
+	return a, b
+}
+
+// --- Figure 4.A: matrix addition ---
+
+func BenchmarkFig4A_Addition_SAC(b *testing.B) {
+	for _, n := range []int64{400, 800, 1200} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ctx := benchCtx()
+			x, y := tiledPair(ctx, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dataflow.Count(x.Add(y).Tiles)
+			}
+		})
+	}
+}
+
+func BenchmarkFig4A_Addition_MLlib(b *testing.B) {
+	for _, n := range []int64{400, 800, 1200} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ctx := benchCtx()
+			x, y := mllibPair(ctx, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dataflow.Count(x.Add(y).Blocks)
+			}
+		})
+	}
+}
+
+// --- Figure 4.B: matrix multiplication ---
+
+func BenchmarkFig4B_Multiply_SACGBJ(b *testing.B) {
+	for _, n := range []int64{200, 400, 600} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ctx := benchCtx()
+			x, y := tiledPair(ctx, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dataflow.Count(x.MultiplyGBJ(y).Tiles)
+			}
+		})
+	}
+}
+
+func BenchmarkFig4B_Multiply_SACJoinGroupBy(b *testing.B) {
+	for _, n := range []int64{200, 400, 600} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ctx := benchCtx()
+			x, y := tiledPair(ctx, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dataflow.Count(x.MultiplyGroupByKey(y).Tiles)
+			}
+		})
+	}
+}
+
+func BenchmarkFig4B_Multiply_MLlib(b *testing.B) {
+	for _, n := range []int64{200, 400, 600} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ctx := benchCtx()
+			x, y := mllibPair(ctx, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dataflow.Count(x.Multiply(y).Blocks)
+			}
+		})
+	}
+}
+
+// --- Figure 4.C: matrix factorization (one GD iteration) ---
+
+func BenchmarkFig4C_Factorization_SACGBJ(b *testing.B) {
+	for _, n := range []int64{200, 400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ctx := benchCtx()
+			k := int64(100)
+			r := tiled.FromDense(ctx, linalg.RandSparseCOO(int(n), int(n), 0.1, 5, 7).ToDense(), benchTile, benchParts).Persist()
+			p := tiled.RandMatrix(ctx, n, k, benchTile, benchParts, 0, 1, 8).Persist()
+			q := tiled.RandMatrix(ctx, n, k, benchTile, benchParts, 0, 1, 9).Persist()
+			dataflow.Count(r.Tiles)
+			dataflow.Count(p.Tiles)
+			dataflow.Count(q.Tiles)
+			cfg := ml.PaperConfig()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				np, nq := ml.StepTiled(r, p, q, cfg)
+				dataflow.Count(np.Tiles)
+				dataflow.Count(nq.Tiles)
+			}
+		})
+	}
+}
+
+func BenchmarkFig4C_Factorization_MLlib(b *testing.B) {
+	for _, n := range []int64{200, 400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ctx := benchCtx()
+			k := int64(100)
+			r := mllib.FromDense(ctx, linalg.RandSparseCOO(int(n), int(n), 0.1, 5, 7).ToDense(), benchTile, benchParts)
+			p := mllib.RandBlockMatrix(ctx, n, k, benchTile, benchParts, 0, 1, 8)
+			q := mllib.RandBlockMatrix(ctx, n, k, benchTile, benchParts, 0, 1, 9)
+			for _, d := range []*mllib.BlockMatrix{r, p, q} {
+				d.Blocks.Persist()
+				dataflow.Count(d.Blocks)
+			}
+			cfg := ml.PaperConfig()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				np, nq := ml.StepMLlib(r, p, q, cfg)
+				dataflow.Count(np.Blocks)
+				dataflow.Count(nq.Blocks)
+			}
+		})
+	}
+}
+
+// --- Ablations ---
+
+// Rule 13: reduceByKey vs groupByKey in the multiplication reduce.
+func BenchmarkAblation_Rule13_ReduceByKey(b *testing.B) {
+	ctx := benchCtx()
+	x, y := tiledPair(ctx, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dataflow.Count(x.Multiply(y).Tiles)
+	}
+}
+
+func BenchmarkAblation_Rule13_GroupByKey(b *testing.B) {
+	ctx := benchCtx()
+	x, y := tiledPair(ctx, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dataflow.Count(x.MultiplyGroupByKey(y).Tiles)
+	}
+}
+
+// Figure 1 example: row sums on the block path.
+func BenchmarkFig1_RowSums(b *testing.B) {
+	ctx := benchCtx()
+	x, _ := tiledPair(ctx, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dataflow.Count(x.RowSums().Blocks)
+	}
+}
+
+// --- Local kernels (the per-tile code SAC generates) ---
+
+func BenchmarkKernel_Gemm_ikj(b *testing.B) {
+	x := linalg.RandDense(benchTile, benchTile, 0, 1, 1)
+	y := linalg.RandDense(benchTile, benchTile, 0, 1, 2)
+	c := linalg.NewDense(benchTile, benchTile)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		linalg.Gemm(c, x, y)
+	}
+}
+
+func BenchmarkKernel_Gemm_naive(b *testing.B) {
+	x := linalg.RandDense(benchTile, benchTile, 0, 1, 1)
+	y := linalg.RandDense(benchTile, benchTile, 0, 1, 2)
+	c := linalg.NewDense(benchTile, benchTile)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		linalg.GemmNaive(c, x, y)
+	}
+}
+
+func BenchmarkKernel_Gemm_parallel(b *testing.B) {
+	x := linalg.RandDense(benchTile, benchTile, 0, 1, 1)
+	y := linalg.RandDense(benchTile, benchTile, 0, 1, 2)
+	c := linalg.NewDense(benchTile, benchTile)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		linalg.ParGemm(c, x, y)
+	}
+}
+
+func BenchmarkKernel_TileAdd(b *testing.B) {
+	x := linalg.RandDense(benchTile, benchTile, 0, 1, 1)
+	y := linalg.RandDense(benchTile, benchTile, 0, 1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.AddInPlace(x, y)
+	}
+}
+
+// --- Extension benchmarks: matrix-vector and sparse tiles ---
+
+func BenchmarkExt_MatVec(b *testing.B) {
+	ctx := benchCtx()
+	m := tiled.RandMatrix(ctx, 2000, 2000, benchTile, benchParts, 0, 1, 1).Persist()
+	x := tiled.VectorFromDense(ctx, linalg.RandVector(2000, 0, 1, 2), benchTile, benchParts)
+	x.Blocks.Persist()
+	dataflow.Count(m.Tiles)
+	dataflow.Count(x.Blocks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dataflow.Count(m.MatVec(x).Blocks)
+	}
+}
+
+func BenchmarkExt_SparseMatVec(b *testing.B) {
+	ctx := benchCtx()
+	coo := linalg.RandSparseCOO(2000, 2000, 0.01, 5, 3)
+	m := tiled.SparseFromCOO(ctx, coo, benchTile, benchParts)
+	m.Tiles.Persist()
+	x := tiled.VectorFromDense(ctx, linalg.RandVector(2000, 0, 1, 4), benchTile, benchParts)
+	x.Blocks.Persist()
+	dataflow.Count(m.Tiles)
+	dataflow.Count(x.Blocks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dataflow.Count(m.MatVec(x).Blocks)
+	}
+}
+
+func BenchmarkExt_SparseTimesDense(b *testing.B) {
+	ctx := benchCtx()
+	coo := linalg.RandSparseCOO(800, 800, 0.05, 5, 5)
+	s := tiled.SparseFromCOO(ctx, coo, benchTile, benchParts)
+	s.Tiles.Persist()
+	d := tiled.RandMatrix(ctx, 800, 200, benchTile, benchParts, 0, 1, 6).Persist()
+	dataflow.Count(s.Tiles)
+	dataflow.Count(d.Tiles)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dataflow.Count(s.MultiplyDense(d).Tiles)
+	}
+}

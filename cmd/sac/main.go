@@ -1,0 +1,144 @@
+// Command sac is an interactive front end to the SAC reproduction: it
+// registers randomly generated block matrices and runs or explains
+// queries written in the comprehension DSL.
+//
+//	sac -explain 'tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, let v = a*b, group by (i,j) ]'
+//	sac -n 500 -query 'tiledvec(n)[ (i, +/a) | ((i,j),a) <- A, group by i ]'
+//	echo 'rdd[ ((i,j), a) | ((i,j),a) <- A, i == j ]' | sac -n 8 -run-stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/comp"
+	"repro/internal/core"
+	"repro/internal/diablo"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/tiled"
+)
+
+func main() {
+	n := flag.Int64("n", 200, "side length of the generated square matrices A and B")
+	tile := flag.Int("tile", 100, "tile size N")
+	explain := flag.String("explain", "", "explain the plan for this query and exit")
+	query := flag.String("query", "", "run this query")
+	runStdin := flag.Bool("run-stdin", false, "read one query per line from stdin")
+	loop := flag.Bool("loop", false, "read a DIABLO loop program from stdin, translate and run it")
+	noGBJ := flag.Bool("no-gbj", false, "disable the Section 5.4 group-by-join")
+	noRBK := flag.Bool("no-reducebykey", false, "disable Rule 13 (use groupByKey)")
+	seed := flag.Int64("seed", 1, "random seed for the generated matrices")
+	flag.Parse()
+
+	s := core.NewSession(core.Config{
+		TileSize: *tile,
+		Optimizations: opt.Options{
+			DisableGBJ:         *noGBJ,
+			DisableReduceByKey: *noRBK,
+		},
+	})
+	s.RegisterRandMatrix("A", *n, *n, 0, 10, *seed)
+	s.RegisterRandMatrix("B", *n, *n, 0, 10, *seed+1)
+	s.RegisterScalar("n", *n)
+
+	exit := 0
+	runOne := func(src string) {
+		src = strings.TrimSpace(src)
+		if src == "" {
+			return
+		}
+		ex, err := s.Explain(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+			exit = 1
+			return
+		}
+		fmt.Printf("plan: %s\n", ex)
+		res, err := s.Query(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+			exit = 1
+			return
+		}
+		switch res.Kind() {
+		case "matrix":
+			d := res.Matrix.ToDense()
+			fmt.Printf("result: %dx%d tiled matrix (sum=%.4g)\n", res.Matrix.Rows, res.Matrix.Cols, d.Sum())
+			if d.Rows <= 8 && d.Cols <= 8 {
+				fmt.Println(d)
+			}
+		case "vector":
+			v := res.Vector.ToDense()
+			fmt.Printf("result: block vector of %d (sum=%.4g)\n", res.Vector.Size, v.Sum())
+			if v.Len() <= 16 {
+				fmt.Println(v.Data)
+			}
+		case "list":
+			fmt.Printf("result: list of %d rows\n", len(res.List))
+			for i, row := range res.List {
+				if i == 10 {
+					fmt.Println("  ...")
+					break
+				}
+				fmt.Printf("  %s\n", comp.Render(row))
+			}
+		default:
+			fmt.Printf("result: %s\n", comp.Render(res.Scalar))
+		}
+		m := s.Metrics()
+		fmt.Printf("metrics: %s\n", m)
+		s.ResetMetrics()
+	}
+
+	switch {
+	case *loop:
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+			os.Exit(1)
+		}
+		prog, err := diablo.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+			os.Exit(1)
+		}
+		cat := plan.NewCatalog(s.Engine())
+		cat.BindMatrix("A", tiled.RandMatrix(s.Engine(), *n, *n, *tile, 0, 0, 10, *seed))
+		cat.BindMatrix("B", tiled.RandMatrix(s.Engine(), *n, *n, *tile, 0, 0, 10, *seed+1))
+		cat.BindScalar("n", *n)
+		plans, err := diablo.RunDistributed(prog, cat, opt.Options{
+			DisableGBJ: *noGBJ, DisableReduceByKey: *noRBK,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range plans {
+			fmt.Println(p)
+		}
+	case *explain != "":
+		ex, err := s.Explain(*explain)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(ex)
+	case *query != "":
+		runOne(*query)
+	case *runStdin:
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			runOne(sc.Text())
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	os.Exit(exit)
+}

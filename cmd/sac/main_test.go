@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+// buildBinary compiles the sac command once per test run.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "sacbin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "sac")
+		cmd := exec.Command("go", "build", "-o", binPath, ".")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = err
+			t.Logf("build output: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building sac: %v", buildErr)
+	}
+	return binPath
+}
+
+func runSac(t *testing.T, stdin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(buildBinary(t), args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err
+}
+
+func TestCLIExplain(t *testing.T) {
+	out, err := runSac(t, "", "-n", "8", "-tile", "4",
+		"-explain", "tiledvec(n)[ (i, +/a) | ((i,j),a) <- A, group by i ]")
+	if err != nil {
+		t.Fatalf("explain failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Rule 13") {
+		t.Fatalf("explain output: %s", out)
+	}
+}
+
+func TestCLIQuery(t *testing.T) {
+	out, err := runSac(t, "", "-n", "8", "-tile", "4",
+		"-query", "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, let v = a*b, group by (i,j) ]")
+	if err != nil {
+		t.Fatalf("query failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"SUMMA", "result:", "metrics:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIStdin(t *testing.T) {
+	queries := "rdd[ ((i,j), a) | ((i,j),a) <- A, i == j ]\n+/[ a | ((i,j),a) <- A ]\n"
+	out, err := runSac(t, queries, "-n", "6", "-tile", "3", "-run-stdin")
+	if err != nil {
+		t.Fatalf("stdin run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "list of 6 rows") {
+		t.Fatalf("diagonal rows missing:\n%s", out)
+	}
+}
+
+func TestCLILoop(t *testing.T) {
+	prog := `
+var V: vector[n];
+for i = 0, n-1 do
+    for j = 0, n-1 do
+        V[i] += A[i, j];
+`
+	out, err := runSac(t, prog, "-n", "8", "-tile", "4", "-loop")
+	if err != nil {
+		t.Fatalf("loop run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "V <-") || !strings.Contains(out, "aggregation") {
+		t.Fatalf("loop plans missing:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if out, err := runSac(t, "", "-query", "tiled(2,2)[ broken"); err == nil {
+		t.Fatalf("expected parse failure, got:\n%s", out)
+	}
+	if out, err := runSac(t, "not a program", "-loop"); err == nil {
+		t.Fatalf("expected loop parse failure, got:\n%s", out)
+	}
+}
+
+func TestCLIAblationFlags(t *testing.T) {
+	out, err := runSac(t, "", "-n", "8", "-tile", "4", "-no-gbj",
+		"-explain", "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, let v = a*b, group by (i,j) ]")
+	if err != nil {
+		t.Fatalf("explain failed: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "SUMMA") {
+		t.Fatalf("-no-gbj ignored:\n%s", out)
+	}
+}

@@ -1,0 +1,103 @@
+// Command sacbench regenerates the paper's evaluation tables
+// (Figure 4.A/B/C) and the ablation studies on the simulated cluster.
+//
+//	sacbench -fig 4a              # matrix addition series
+//	sacbench -fig 4b -tile 100    # multiplication series
+//	sacbench -fig 4c -k 200       # factorization series
+//	sacbench -fig ablation        # Rule 13 / storage / tile-size ablations
+//	sacbench -fig all -quick      # everything, small sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 4a, 4b, 4c, ablation, all")
+	tile := flag.Int("tile", 100, "tile size N (the paper used 1000)")
+	parts := flag.Int("parts", 8, "dataset partitions (the paper had 8 executors)")
+	k := flag.Int64("k", 100, "factorization rank k (the paper used 1000)")
+	quick := flag.Bool("quick", false, "use small sizes for a fast smoke run")
+	netns := flag.Float64("netns", 0, "simulated serialization/network cost in ns per shuffled byte (0 = off)")
+	sizesFlag := flag.String("sizes", "", "comma-separated matrix side lengths, overriding defaults")
+	flag.Parse()
+
+	cfg := bench.Config{TileSize: *tile, Partitions: *parts, ShuffleCostNsPerByte: *netns}
+
+	addSizes := []int64{400, 800, 1200, 1600, 2000}
+	mulSizes := []int64{200, 400, 600, 800}
+	facSizes := []int64{200, 400, 600}
+	if *quick {
+		addSizes = []int64{200, 400}
+		mulSizes = []int64{200, 300}
+		facSizes = []int64{150}
+	}
+	if *sizesFlag != "" {
+		var sizes []int64
+		for _, s := range strings.Split(*sizesFlag, ",") {
+			var v int64
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil {
+				fmt.Fprintf(os.Stderr, "sacbench: bad size %q\n", s)
+				os.Exit(2)
+			}
+			sizes = append(sizes, v)
+		}
+		addSizes, mulSizes, facSizes = sizes, sizes, sizes
+	}
+
+	run4a := func() {
+		s := bench.Fig4A(cfg, addSizes)
+		fmt.Println(s.Format())
+		fmt.Printf("paper shape: SAC slightly faster than MLlib — measured max SAC speedup over MLlib: %.2fx\n\n",
+			s.Ratios("SAC", "MLlib"))
+	}
+	run4b := func() {
+		s := bench.Fig4B(cfg, mulSizes)
+		fmt.Println(s.Format())
+		fmt.Printf("paper shape: SAC GBJ up to 6x faster than MLlib; SAC (join+group-by) up to 3x slower than MLlib\n")
+		fmt.Printf("measured: GBJ speedup over MLlib %.2fx; MLlib speedup over SAC %.2fx\n\n",
+			s.Ratios("SAC GBJ", "MLlib"), s.Ratios("MLlib", "SAC"))
+	}
+	run4c := func() {
+		s := bench.Fig4C(cfg, facSizes, *k)
+		fmt.Println(s.Format())
+		fmt.Printf("paper shape: SAC GBJ up to 3x faster than MLlib — measured: %.2fx\n\n",
+			s.Ratios("SAC GBJ", "MLlib"))
+	}
+	runAblation := func() {
+		fmt.Println(bench.AblationReduceByKey(cfg, mulSizes[:min(2, len(mulSizes))]).Format())
+		fmt.Println(bench.AblationCoordinate(cfg, []int64{100, 150}).Format())
+		fmt.Println(bench.AblationTileSize(cfg, mulSizes[0], []int{25, 50, 100, 200}).Format())
+	}
+
+	switch *fig {
+	case "4a":
+		run4a()
+	case "4b":
+		run4b()
+	case "4c":
+		run4c()
+	case "ablation":
+		runAblation()
+	case "all":
+		run4a()
+		run4b()
+		run4c()
+		runAblation()
+	default:
+		fmt.Fprintf(os.Stderr, "sacbench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

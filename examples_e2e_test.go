@@ -1,0 +1,45 @@
+package repro_bench
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// Every example must run to completion (each self-verifies its own
+// output and exits nonzero on failure). This keeps the examples from
+// rotting as the library evolves.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all example binaries")
+	}
+	examples := []struct {
+		dir  string
+		want string // a fragment the output must contain
+	}{
+		{"quickstart", "plan:"},
+		{"matmul", "identical results"},
+		{"factorization", "loss"},
+		{"smoothing", "rotation verified"},
+		{"pagerank", "converged"},
+		{"diablo", "SUMMA"},
+		{"regression", "recovered the model"},
+		{"kmeans", "recovered"},
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex.dir, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+ex.dir)
+			var buf bytes.Buffer
+			cmd.Stdout = &buf
+			cmd.Stderr = &buf
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("example %s failed: %v\n%s", ex.dir, err, buf.String())
+			}
+			if !strings.Contains(buf.String(), ex.want) {
+				t.Fatalf("example %s output missing %q:\n%s", ex.dir, ex.want, buf.String())
+			}
+		})
+	}
+}

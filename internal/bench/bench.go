@@ -1,0 +1,341 @@
+// Package bench regenerates the paper's evaluation (Section 6,
+// Figure 4) on the simulated cluster: matrix addition (4.A), matrix
+// multiplication (4.B), and one gradient-descent factorization
+// iteration (4.C), plus ablations of the individual optimizations.
+// Each data point reports wall-clock seconds and shuffled bytes per
+// system so both the paper's time series and the underlying cost
+// driver are visible.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/dataflow"
+	"repro/internal/linalg"
+	"repro/internal/ml"
+	"repro/internal/mllib"
+	"repro/internal/tiled"
+)
+
+// Config sizes a benchmark run. The paper used 1000x1000 tiles on a
+// 4-node cluster; the defaults here are scaled for one process.
+type Config struct {
+	TileSize   int
+	Partitions int
+	Parallel   int
+	// ShuffleCostNsPerByte simulates serialization/network cost per
+	// shuffled byte (0 = in-process pointer passing). See
+	// dataflow.Config.ShuffleCostNsPerByte.
+	ShuffleCostNsPerByte float64
+}
+
+// DefaultConfig returns laptop-scale settings.
+func DefaultConfig() Config {
+	return Config{TileSize: 100, Partitions: 8}
+}
+
+// Point is one measurement: a problem size and per-system metrics.
+type Point struct {
+	Elements int64 // total matrix elements, the paper's x-axis
+	Seconds  map[string]float64
+	Shuffled map[string]int64
+}
+
+// Series is one figure's data.
+type Series struct {
+	Name    string
+	Systems []string
+	Points  []Point
+}
+
+// Format renders the series as an aligned text table mirroring the
+// figure's data.
+func (s Series) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Name)
+	fmt.Fprintf(&b, "%-14s", "elements")
+	for _, sys := range s.Systems {
+		fmt.Fprintf(&b, "%16s", sys+"(s)")
+	}
+	for _, sys := range s.Systems {
+		fmt.Fprintf(&b, "%18s", sys+"(shufMB)")
+	}
+	b.WriteByte('\n')
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%-14d", p.Elements)
+		for _, sys := range s.Systems {
+			fmt.Fprintf(&b, "%16.3f", p.Seconds[sys])
+		}
+		for _, sys := range s.Systems {
+			fmt.Fprintf(&b, "%18.1f", float64(p.Shuffled[sys])/(1<<20))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Ratios summarizes max speedup of one system over another across the
+// series (the paper's "up to k times faster" statements).
+func (s Series) Ratios(fast, slow string) (maxRatio float64) {
+	for _, p := range s.Points {
+		f, sl := p.Seconds[fast], p.Seconds[slow]
+		if f > 0 && sl/f > maxRatio {
+			maxRatio = sl / f
+		}
+	}
+	return maxRatio
+}
+
+func newCtx(cfg Config) *dataflow.Context {
+	return dataflow.NewContext(dataflow.Config{
+		Parallelism:          cfg.Parallel,
+		DefaultPartitions:    cfg.Partitions,
+		ShuffleCostNsPerByte: cfg.ShuffleCostNsPerByte,
+	})
+}
+
+// measure times fn and returns (seconds, bytes shuffled).
+func measure(ctx *dataflow.Context, fn func()) (float64, int64) {
+	ctx.ResetMetrics()
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds(), ctx.Metrics().ShuffledBytes
+}
+
+// Fig4A reproduces matrix addition: MLlib (cogroup + serial kernel)
+// vs SAC (tiling-preserving join + parallel kernel). sizes are matrix
+// side lengths.
+func Fig4A(cfg Config, sizes []int64) Series {
+	s := Series{Name: "Figure 4.A — Matrix Addition (total time vs elements)",
+		Systems: []string{"MLlib", "SAC"}}
+	for _, n := range sizes {
+		p := Point{Elements: n * n,
+			Seconds: map[string]float64{}, Shuffled: map[string]int64{}}
+
+		{
+			ctx := newCtx(cfg)
+			a := mllib.RandBlockMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 1)
+			b := mllib.RandBlockMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 2)
+			force(ctx, a.Blocks)
+			force(ctx, b.Blocks)
+			sec, bytes := measure(ctx, func() { forceBlocks(a.Add(b).Blocks) })
+			p.Seconds["MLlib"], p.Shuffled["MLlib"] = sec, bytes
+		}
+		{
+			ctx := newCtx(cfg)
+			a := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 1)
+			b := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 2)
+			force(ctx, a.Tiles)
+			force(ctx, b.Tiles)
+			sec, bytes := measure(ctx, func() { forceBlocks(a.Add(b).Tiles) })
+			p.Seconds["SAC"], p.Shuffled["SAC"] = sec, bytes
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s
+}
+
+// Fig4B reproduces matrix multiplication: MLlib BlockMatrix.multiply,
+// SAC translated as a join followed by a group-by, and SAC GBJ
+// (SUMMA group-by-join).
+func Fig4B(cfg Config, sizes []int64) Series {
+	s := Series{Name: "Figure 4.B — Matrix Multiplication (total time vs elements)",
+		Systems: []string{"MLlib", "SAC", "SAC GBJ"}}
+	for _, n := range sizes {
+		p := Point{Elements: n * n,
+			Seconds: map[string]float64{}, Shuffled: map[string]int64{}}
+
+		{
+			ctx := newCtx(cfg)
+			a := mllib.RandBlockMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 1)
+			b := mllib.RandBlockMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 2)
+			force(ctx, a.Blocks)
+			force(ctx, b.Blocks)
+			sec, bytes := measure(ctx, func() { forceBlocks(a.Multiply(b).Blocks) })
+			p.Seconds["MLlib"], p.Shuffled["MLlib"] = sec, bytes
+		}
+		{
+			ctx := newCtx(cfg)
+			a := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 1)
+			b := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 2)
+			force(ctx, a.Tiles)
+			force(ctx, b.Tiles)
+			sec, bytes := measure(ctx, func() { forceBlocks(a.MultiplyGroupByKey(b).Tiles) })
+			p.Seconds["SAC"], p.Shuffled["SAC"] = sec, bytes
+		}
+		{
+			ctx := newCtx(cfg)
+			a := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 1)
+			b := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 2)
+			force(ctx, a.Tiles)
+			force(ctx, b.Tiles)
+			sec, bytes := measure(ctx, func() { forceBlocks(a.MultiplyGBJ(b).Tiles) })
+			p.Seconds["SAC GBJ"], p.Shuffled["SAC GBJ"] = sec, bytes
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s
+}
+
+// Fig4C reproduces one iteration of gradient-descent matrix
+// factorization: MLlib operators vs SAC GBJ. R is n x n with 10%
+// density, P and Q are n x k.
+func Fig4C(cfg Config, sizes []int64, k int64) Series {
+	s := Series{Name: "Figure 4.C — Matrix Factorization, one GD iteration (total time vs elements)",
+		Systems: []string{"MLlib", "SAC GBJ"}}
+	gd := ml.PaperConfig()
+	for _, n := range sizes {
+		p := Point{Elements: n * n,
+			Seconds: map[string]float64{}, Shuffled: map[string]int64{}}
+		r := linalg.RandSparseCOO(int(n), int(n), 0.1, 5, 7).ToDense()
+
+		{
+			ctx := newCtx(cfg)
+			br := mllib.FromDense(ctx, r, cfg.TileSize, cfg.Partitions)
+			bp := mllib.RandBlockMatrix(ctx, n, k, cfg.TileSize, cfg.Partitions, 0, 1, 8)
+			bq := mllib.RandBlockMatrix(ctx, n, k, cfg.TileSize, cfg.Partitions, 0, 1, 9)
+			force(ctx, br.Blocks)
+			force(ctx, bp.Blocks)
+			force(ctx, bq.Blocks)
+			sec, bytes := measure(ctx, func() {
+				np, nq := ml.StepMLlib(br, bp, bq, gd)
+				forceBlocks(np.Blocks)
+				forceBlocks(nq.Blocks)
+			})
+			p.Seconds["MLlib"], p.Shuffled["MLlib"] = sec, bytes
+		}
+		{
+			ctx := newCtx(cfg)
+			tr := tiled.FromDense(ctx, r, cfg.TileSize, cfg.Partitions)
+			tp := tiled.RandMatrix(ctx, n, k, cfg.TileSize, cfg.Partitions, 0, 1, 8)
+			tq := tiled.RandMatrix(ctx, n, k, cfg.TileSize, cfg.Partitions, 0, 1, 9)
+			force(ctx, tr.Tiles)
+			force(ctx, tp.Tiles)
+			force(ctx, tq.Tiles)
+			sec, bytes := measure(ctx, func() {
+				np, nq := ml.StepTiled(tr, tp, tq, gd)
+				forceBlocks(np.Tiles)
+				forceBlocks(nq.Tiles)
+			})
+			p.Seconds["SAC GBJ"], p.Shuffled["SAC GBJ"] = sec, bytes
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s
+}
+
+// AblationTileSize measures GBJ multiplication across tile sizes for
+// a fixed matrix, exposing the tiling/parallelism trade-off the paper
+// fixes at 1000.
+func AblationTileSize(cfg Config, n int64, tileSizes []int) Series {
+	s := Series{Name: fmt.Sprintf("Ablation — tile size for %dx%d GBJ multiply", n, n)}
+	for _, ts := range tileSizes {
+		s.Systems = append(s.Systems, fmt.Sprintf("N=%d", ts))
+	}
+	p := Point{Elements: n * n, Seconds: map[string]float64{}, Shuffled: map[string]int64{}}
+	for _, ts := range tileSizes {
+		ctx := newCtx(cfg)
+		a := tiled.RandMatrix(ctx, n, n, ts, cfg.Partitions, 0, 10, 1)
+		b := tiled.RandMatrix(ctx, n, n, ts, cfg.Partitions, 0, 10, 2)
+		force(ctx, a.Tiles)
+		force(ctx, b.Tiles)
+		name := fmt.Sprintf("N=%d", ts)
+		sec, bytes := measure(ctx, func() { forceBlocks(a.MultiplyGBJ(b).Tiles) })
+		p.Seconds[name], p.Shuffled[name] = sec, bytes
+	}
+	s.Points = []Point{p}
+	return s
+}
+
+// AblationReduceByKey compares reduceByKey vs groupByKey translations
+// of the same multiplication (Rule 13).
+func AblationReduceByKey(cfg Config, sizes []int64) Series {
+	s := Series{Name: "Ablation — Rule 13: reduceByKey vs groupByKey multiply",
+		Systems: []string{"reduceByKey", "groupByKey"}}
+	for _, n := range sizes {
+		p := Point{Elements: n * n, Seconds: map[string]float64{}, Shuffled: map[string]int64{}}
+		for _, variant := range s.Systems {
+			ctx := newCtx(cfg)
+			a := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 1)
+			b := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 2)
+			force(ctx, a.Tiles)
+			force(ctx, b.Tiles)
+			var fn func()
+			if variant == "reduceByKey" {
+				fn = func() { forceBlocks(a.Multiply(b).Tiles) }
+			} else {
+				fn = func() { forceBlocks(a.MultiplyGroupByKey(b).Tiles) }
+			}
+			sec, bytes := measure(ctx, fn)
+			p.Seconds[variant], p.Shuffled[variant] = sec, bytes
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s
+}
+
+// AblationCoordinate compares tiled against coordinate-format
+// storage for multiplication (the Section 4 vs Section 5 storage
+// decision).
+func AblationCoordinate(cfg Config, sizes []int64) Series {
+	s := Series{Name: "Ablation — storage: tiled GBJ vs coordinate format multiply",
+		Systems: []string{"tiled", "coordinate"}}
+	for _, n := range sizes {
+		p := Point{Elements: n * n, Seconds: map[string]float64{}, Shuffled: map[string]int64{}}
+		da := linalg.RandDense(int(n), int(n), 0, 10, 1)
+		db := linalg.RandDense(int(n), int(n), 0, 10, 2)
+		{
+			ctx := newCtx(cfg)
+			a := tiled.FromDense(ctx, da, cfg.TileSize, cfg.Partitions)
+			b := tiled.FromDense(ctx, db, cfg.TileSize, cfg.Partitions)
+			force(ctx, a.Tiles)
+			force(ctx, b.Tiles)
+			sec, bytes := measure(ctx, func() { forceBlocks(a.MultiplyGBJ(b).Tiles) })
+			p.Seconds["tiled"], p.Shuffled["tiled"] = sec, bytes
+		}
+		{
+			ctx := newCtx(cfg)
+			a := coord.FromDense(ctx, da, cfg.Partitions)
+			b := coord.FromDense(ctx, db, cfg.Partitions)
+			sec, bytes := measure(ctx, func() { dataflow.Count(a.Multiply(b).Entries) })
+			p.Seconds["coordinate"], p.Shuffled["coordinate"] = sec, bytes
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s
+}
+
+// force materializes a dataset and caches it so setup work is
+// excluded from measurements.
+func force[T any](ctx *dataflow.Context, d *dataflow.Dataset[T]) {
+	d.Persist()
+	dataflow.Count(d)
+	ctx.ResetMetrics()
+}
+
+// forceBlocks materializes a result dataset.
+func forceBlocks[T any](d *dataflow.Dataset[T]) {
+	dataflow.Count(d)
+}
+
+// SortedSystems returns the systems of a point ordered by time.
+func (p Point) SortedSystems() []string {
+	type kv struct {
+		k string
+		v float64
+	}
+	var xs []kv
+	for k, v := range p.Seconds {
+		xs = append(xs, kv{k, v})
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i].v < xs[j].v })
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = x.k
+	}
+	return out
+}

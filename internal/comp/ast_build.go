@@ -1,0 +1,54 @@
+package comp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BuildExpr applies a named array builder to the association list
+// produced by a comprehension (or any list expression): the paper's
+// matrix(n,m)[...], vector(n)[...], tiled(n,m)[...], and rdd[...].
+// Builders convert the abstract coordinate representation back into a
+// concrete storage structure.
+type BuildExpr struct {
+	Builder string
+	Args    []Expr
+	Body    Expr
+}
+
+func (BuildExpr) exprNode() {}
+
+func (e BuildExpr) String() string {
+	if len(e.Args) == 0 {
+		return fmt.Sprintf("%s%s", e.Builder, e.Body)
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)%s", e.Builder, strings.Join(args, ", "), e.Body)
+}
+
+// Range is a half-open integer interval [Lo, Hi) produced by the
+// `until` and `to` operators; generators iterate it without
+// materializing a list.
+type Range struct{ Lo, Hi int64 }
+
+// Len returns the number of elements.
+func (r Range) Len() int64 {
+	if r.Hi <= r.Lo {
+		return 0
+	}
+	return r.Hi - r.Lo
+}
+
+// ToList materializes the range.
+func (r Range) ToList() List {
+	out := make(List, 0, r.Len())
+	for i := r.Lo; i < r.Hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func (r Range) String() string { return fmt.Sprintf("%d until %d", r.Lo, r.Hi) }

@@ -1,0 +1,570 @@
+package comp
+
+import (
+	"fmt"
+)
+
+// This file implements the paper's source-to-source rules:
+//
+//   - array-index desugaring (Section 2): V[e1,...,en] inside a
+//     comprehension becomes a generator ((k1,...,kn),k0) <- V plus the
+//     guards k1 == e1, ..., kn == en, with V[e1,...,en] replaced by k0;
+//   - Rule (3): flattening of nested comprehensions;
+//   - group by p : e  ==  let p = e, group by p;
+//   - fusion of equal range generators (index-bound merging).
+
+// freshCounter generates fresh variable names for desugaring.
+type freshCounter struct{ n int }
+
+func (f *freshCounter) fresh(prefix string) string {
+	f.n++
+	// The `_c` namespace keeps desugaring-generated names disjoint
+	// from user variables and from the DIABLO front end's `_d` names.
+	return fmt.Sprintf("_c%s%d", prefix, f.n)
+}
+
+// Desugar applies all source-to-source rewrites to an expression,
+// producing a normalized comprehension ready for planning.
+func Desugar(e Expr) Expr {
+	f := &freshCounter{}
+	e = desugarGroupByOf(e)
+	e = desugarIndexing(e, f)
+	e = flattenNested(e, f)
+	return e
+}
+
+// mapExpr applies fn bottom-up over the expression tree.
+func mapExpr(e Expr, fn func(Expr) Expr) Expr {
+	switch x := e.(type) {
+	case Var, Lit:
+		return fn(e)
+	case TupleExpr:
+		elems := make([]Expr, len(x.Elems))
+		for i, s := range x.Elems {
+			elems[i] = mapExpr(s, fn)
+		}
+		return fn(TupleExpr{Elems: elems})
+	case BinOp:
+		return fn(BinOp{Op: x.Op, L: mapExpr(x.L, fn), R: mapExpr(x.R, fn)})
+	case UnaryOp:
+		return fn(UnaryOp{Op: x.Op, E: mapExpr(x.E, fn)})
+	case Call:
+		args := make([]Expr, len(x.Args))
+		for i, s := range x.Args {
+			args[i] = mapExpr(s, fn)
+		}
+		return fn(Call{Fn: x.Fn, Args: args})
+	case Index:
+		idxs := make([]Expr, len(x.Idxs))
+		for i, s := range x.Idxs {
+			idxs[i] = mapExpr(s, fn)
+		}
+		return fn(Index{Arr: mapExpr(x.Arr, fn), Idxs: idxs})
+	case Reduce:
+		return fn(Reduce{Monoid: x.Monoid, E: mapExpr(x.E, fn)})
+	case IfExpr:
+		return fn(IfExpr{Cond: mapExpr(x.Cond, fn), Then: mapExpr(x.Then, fn), Else: mapExpr(x.Else, fn)})
+	case Comprehension:
+		quals := make([]Qualifier, len(x.Quals))
+		for i, q := range x.Quals {
+			quals[i] = mapQual(q, fn)
+		}
+		return fn(Comprehension{Head: mapExpr(x.Head, fn), Quals: quals})
+	case BuildExpr:
+		args := make([]Expr, len(x.Args))
+		for i, s := range x.Args {
+			args[i] = mapExpr(s, fn)
+		}
+		return fn(BuildExpr{Builder: x.Builder, Args: args, Body: mapExpr(x.Body, fn)})
+	default:
+		panic(fmt.Sprintf("comp: mapExpr: unknown %T", e))
+	}
+}
+
+func mapQual(q Qualifier, fn func(Expr) Expr) Qualifier {
+	switch qq := q.(type) {
+	case Generator:
+		return Generator{Pat: qq.Pat, Src: mapExpr(qq.Src, fn)}
+	case LetQual:
+		return LetQual{Pat: qq.Pat, E: mapExpr(qq.E, fn)}
+	case Guard:
+		return Guard{E: mapExpr(qq.E, fn)}
+	case GroupBy:
+		if qq.Of != nil {
+			return GroupBy{Pat: qq.Pat, Of: mapExpr(qq.Of, fn)}
+		}
+		return qq
+	default:
+		panic(fmt.Sprintf("comp: mapQual: unknown %T", q))
+	}
+}
+
+// desugarGroupByOf rewrites group by p : e into let p = e, group by p
+// everywhere.
+func desugarGroupByOf(e Expr) Expr {
+	return mapExpr(e, func(x Expr) Expr {
+		c, ok := x.(Comprehension)
+		if !ok {
+			return x
+		}
+		var quals []Qualifier
+		changed := false
+		for _, q := range c.Quals {
+			if g, ok := q.(GroupBy); ok && g.Of != nil {
+				quals = append(quals, LetQual{Pat: g.Pat, E: g.Of}, GroupBy{Pat: g.Pat})
+				changed = true
+				continue
+			}
+			quals = append(quals, q)
+		}
+		if !changed {
+			return x
+		}
+		return Comprehension{Head: c.Head, Quals: quals}
+	})
+}
+
+// desugarIndexing removes Index expressions from comprehension heads,
+// guards, and lets by introducing generators over the indexed array
+// plus equality guards (Section 2). Index expressions outside a
+// comprehension are left for the evaluator's direct access path.
+func desugarIndexing(e Expr, f *freshCounter) Expr {
+	return mapExpr(e, func(x Expr) Expr {
+		c, ok := x.(Comprehension)
+		if !ok {
+			return x
+		}
+		return desugarComprehensionIndexing(c, f)
+	})
+}
+
+func desugarComprehensionIndexing(c Comprehension, f *freshCounter) Expr {
+	var newGens []Qualifier
+	// rewrite replaces V[e...] with a fresh variable and queues the
+	// generator + guards. Only variable-rooted arrays are rewritten.
+	rewrite := func(e Expr) Expr {
+		return mapExpr(e, func(x Expr) Expr {
+			idx, ok := x.(Index)
+			if !ok {
+				return x
+			}
+			if _, isVar := idx.Arr.(Var); !isVar {
+				return x
+			}
+			val := f.fresh("v")
+			keyPats := make([]Pattern, len(idx.Idxs))
+			for i := range idx.Idxs {
+				keyPats[i] = PV(f.fresh("k"))
+			}
+			var keyPat Pattern
+			if len(keyPats) == 1 {
+				keyPat = keyPats[0]
+			} else {
+				keyPat = PT(keyPats...)
+			}
+			newGens = append(newGens, Generator{Pat: PT(keyPat, PV(val)), Src: idx.Arr})
+			for i, ke := range idx.Idxs {
+				newGens = append(newGens, Guard{E: BinOp{Op: "==", L: Var{Name: keyPats[i].(PVar).Name}, R: ke}})
+			}
+			return Var{Name: val}
+		})
+	}
+
+	var quals []Qualifier
+	for _, q := range c.Quals {
+		switch qq := q.(type) {
+		case Generator:
+			quals = append(quals, Generator{Pat: qq.Pat, Src: rewrite(qq.Src)})
+		case LetQual:
+			quals = append(quals, LetQual{Pat: qq.Pat, E: rewrite(qq.E)})
+		case Guard:
+			quals = append(quals, Guard{E: rewrite(qq.E)})
+		case GroupBy:
+			quals = append(quals, qq)
+		}
+		if len(newGens) > 0 {
+			// Insert queued generators right after the qualifier whose
+			// expression referenced the array, so bindings are in scope.
+			quals = append(quals[:len(quals)-1], append(newGens, quals[len(quals)-1])...)
+			newGens = nil
+		}
+	}
+	head := rewrite(c.Head)
+	quals = append(quals, newGens...)
+	return Comprehension{Head: head, Quals: quals}
+}
+
+// flattenNested applies Rule (3):
+//
+//	[ e1 | q1, p <- [ e2 | q3 ], q2 ] = [ e1 | q1, q3, let p = e2, q2 ]
+//
+// provided the inner comprehension has no group-by (the rule's side
+// condition). Inner variables are renamed to avoid capture.
+func flattenNested(e Expr, f *freshCounter) Expr {
+	return mapExpr(e, func(x Expr) Expr {
+		c, ok := x.(Comprehension)
+		if !ok {
+			return x
+		}
+		for {
+			changed := false
+			var quals []Qualifier
+			for _, q := range c.Quals {
+				g, ok := q.(Generator)
+				if !ok {
+					quals = append(quals, q)
+					continue
+				}
+				inner, ok := g.Src.(Comprehension)
+				if !ok || hasGroupBy(inner) {
+					quals = append(quals, q)
+					continue
+				}
+				renamed := renameComprehension(inner, f)
+				quals = append(quals, renamed.Quals...)
+				quals = append(quals, LetQual{Pat: g.Pat, E: renamed.Head})
+				changed = true
+			}
+			c = Comprehension{Head: c.Head, Quals: quals}
+			if !changed {
+				return c
+			}
+		}
+	})
+}
+
+func hasGroupBy(c Comprehension) bool {
+	for _, q := range c.Quals {
+		if _, ok := q.(GroupBy); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// renameComprehension alpha-renames every variable bound inside c to a
+// fresh name, to prevent capture when its qualifiers are spliced into
+// an outer comprehension.
+func renameComprehension(c Comprehension, f *freshCounter) Comprehension {
+	sub := map[string]string{}
+	renamePat := func(p Pattern) Pattern { return renamePattern(p, sub, f) }
+	renameExpr := func(e Expr) Expr { return substituteVars(e, sub) }
+
+	var quals []Qualifier
+	for _, q := range c.Quals {
+		switch qq := q.(type) {
+		case Generator:
+			src := renameExpr(qq.Src)
+			quals = append(quals, Generator{Pat: renamePat(qq.Pat), Src: src})
+		case LetQual:
+			e := renameExpr(qq.E)
+			quals = append(quals, LetQual{Pat: renamePat(qq.Pat), E: e})
+		case Guard:
+			quals = append(quals, Guard{E: renameExpr(qq.E)})
+		case GroupBy:
+			// Group-by keys refer to already-bound (renamed) vars.
+			quals = append(quals, GroupBy{Pat: renameBoundPattern(qq.Pat, sub)})
+		}
+	}
+	return Comprehension{Head: renameExpr(c.Head), Quals: quals}
+}
+
+func renamePattern(p Pattern, sub map[string]string, f *freshCounter) Pattern {
+	switch pp := p.(type) {
+	case PVar:
+		if pp.Name == "_" {
+			return pp
+		}
+		nn := f.fresh(pp.Name)
+		sub[pp.Name] = nn
+		return PV(nn)
+	case PTuple:
+		elems := make([]Pattern, len(pp.Elems))
+		for i, s := range pp.Elems {
+			elems[i] = renamePattern(s, sub, f)
+		}
+		return PT(elems...)
+	default:
+		panic(fmt.Sprintf("comp: renamePattern: unknown %T", p))
+	}
+}
+
+func renameBoundPattern(p Pattern, sub map[string]string) Pattern {
+	switch pp := p.(type) {
+	case PVar:
+		if nn, ok := sub[pp.Name]; ok {
+			return PV(nn)
+		}
+		return pp
+	case PTuple:
+		elems := make([]Pattern, len(pp.Elems))
+		for i, s := range pp.Elems {
+			elems[i] = renameBoundPattern(s, sub)
+		}
+		return PT(elems...)
+	default:
+		panic(fmt.Sprintf("comp: renameBoundPattern: unknown %T", p))
+	}
+}
+
+// substituteVars replaces free variable occurrences per sub. Inner
+// comprehensions that rebind a name shadow the substitution.
+func substituteVars(e Expr, sub map[string]string) Expr {
+	if len(sub) == 0 {
+		return e
+	}
+	switch x := e.(type) {
+	case Var:
+		if nn, ok := sub[x.Name]; ok {
+			return Var{Name: nn}
+		}
+		return x
+	case Lit:
+		return x
+	case TupleExpr:
+		elems := make([]Expr, len(x.Elems))
+		for i, s := range x.Elems {
+			elems[i] = substituteVars(s, sub)
+		}
+		return TupleExpr{Elems: elems}
+	case BinOp:
+		return BinOp{Op: x.Op, L: substituteVars(x.L, sub), R: substituteVars(x.R, sub)}
+	case UnaryOp:
+		return UnaryOp{Op: x.Op, E: substituteVars(x.E, sub)}
+	case Call:
+		args := make([]Expr, len(x.Args))
+		for i, s := range x.Args {
+			args[i] = substituteVars(s, sub)
+		}
+		return Call{Fn: x.Fn, Args: args}
+	case Index:
+		idxs := make([]Expr, len(x.Idxs))
+		for i, s := range x.Idxs {
+			idxs[i] = substituteVars(s, sub)
+		}
+		return Index{Arr: substituteVars(x.Arr, sub), Idxs: idxs}
+	case Reduce:
+		return Reduce{Monoid: x.Monoid, E: substituteVars(x.E, sub)}
+	case IfExpr:
+		return IfExpr{Cond: substituteVars(x.Cond, sub), Then: substituteVars(x.Then, sub), Else: substituteVars(x.Else, sub)}
+	case BuildExpr:
+		args := make([]Expr, len(x.Args))
+		for i, s := range x.Args {
+			args[i] = substituteVars(s, sub)
+		}
+		return BuildExpr{Builder: x.Builder, Args: args, Body: substituteVars(x.Body, sub)}
+	case Comprehension:
+		// Respect shadowing: remove substitutions for rebound names.
+		inner := map[string]string{}
+		for k, v := range sub {
+			inner[k] = v
+		}
+		var quals []Qualifier
+		for _, q := range x.Quals {
+			switch qq := q.(type) {
+			case Generator:
+				src := substituteVars(qq.Src, inner)
+				for _, n := range PatternVars(qq.Pat) {
+					delete(inner, n)
+				}
+				quals = append(quals, Generator{Pat: qq.Pat, Src: src})
+			case LetQual:
+				e2 := substituteVars(qq.E, inner)
+				for _, n := range PatternVars(qq.Pat) {
+					delete(inner, n)
+				}
+				quals = append(quals, LetQual{Pat: qq.Pat, E: e2})
+			case Guard:
+				quals = append(quals, Guard{E: substituteVars(qq.E, inner)})
+			case GroupBy:
+				var of Expr
+				if qq.Of != nil {
+					of = substituteVars(qq.Of, inner)
+				}
+				pat := renameBoundPattern(qq.Pat, inner)
+				for _, n := range PatternVars(qq.Pat) {
+					delete(inner, n)
+				}
+				quals = append(quals, GroupBy{Pat: pat, Of: of})
+			}
+		}
+		return Comprehension{Head: substituteVars(x.Head, inner), Quals: quals}
+	default:
+		panic(fmt.Sprintf("comp: substituteVars: unknown %T", e))
+	}
+}
+
+// SubstExpr replaces free variables by expressions. It is used by the
+// planner to inline let bindings into kernel expressions; the input
+// must not contain comprehensions or builders (the planner's kernel
+// expressions never do).
+func SubstExpr(e Expr, sub map[string]Expr) Expr {
+	if len(sub) == 0 {
+		return e
+	}
+	switch x := e.(type) {
+	case Var:
+		if r, ok := sub[x.Name]; ok {
+			return r
+		}
+		return x
+	case Lit:
+		return x
+	case TupleExpr:
+		elems := make([]Expr, len(x.Elems))
+		for i, s := range x.Elems {
+			elems[i] = SubstExpr(s, sub)
+		}
+		return TupleExpr{Elems: elems}
+	case BinOp:
+		return BinOp{Op: x.Op, L: SubstExpr(x.L, sub), R: SubstExpr(x.R, sub)}
+	case UnaryOp:
+		return UnaryOp{Op: x.Op, E: SubstExpr(x.E, sub)}
+	case Call:
+		args := make([]Expr, len(x.Args))
+		for i, s := range x.Args {
+			args[i] = SubstExpr(s, sub)
+		}
+		return Call{Fn: x.Fn, Args: args}
+	case Index:
+		idxs := make([]Expr, len(x.Idxs))
+		for i, s := range x.Idxs {
+			idxs[i] = SubstExpr(s, sub)
+		}
+		return Index{Arr: SubstExpr(x.Arr, sub), Idxs: idxs}
+	case Reduce:
+		return Reduce{Monoid: x.Monoid, E: SubstExpr(x.E, sub)}
+	case IfExpr:
+		return IfExpr{Cond: SubstExpr(x.Cond, sub), Then: SubstExpr(x.Then, sub), Else: SubstExpr(x.Else, sub)}
+	default:
+		panic(fmt.Sprintf("comp: SubstExpr: unsupported %T", e))
+	}
+}
+
+// SubstConsts replaces free occurrences of the given names by literal
+// values throughout an expression, respecting shadowing by patterns.
+// The planner uses it to fold catalog scalars (dimensions, tile
+// counts) into queries so the affine-key analysis of Rule 19 can see
+// them.
+func SubstConsts(e Expr, consts map[string]Value) Expr {
+	if len(consts) == 0 {
+		return e
+	}
+	return substConsts(e, consts)
+}
+
+func substConsts(e Expr, consts map[string]Value) Expr {
+	switch x := e.(type) {
+	case Var:
+		if v, ok := consts[x.Name]; ok {
+			return Lit{Val: v}
+		}
+		return x
+	case Lit:
+		return x
+	case TupleExpr:
+		elems := make([]Expr, len(x.Elems))
+		for i, s := range x.Elems {
+			elems[i] = substConsts(s, consts)
+		}
+		return TupleExpr{Elems: elems}
+	case BinOp:
+		return BinOp{Op: x.Op, L: substConsts(x.L, consts), R: substConsts(x.R, consts)}
+	case UnaryOp:
+		return UnaryOp{Op: x.Op, E: substConsts(x.E, consts)}
+	case Call:
+		args := make([]Expr, len(x.Args))
+		for i, s := range x.Args {
+			args[i] = substConsts(s, consts)
+		}
+		return Call{Fn: x.Fn, Args: args}
+	case Index:
+		idxs := make([]Expr, len(x.Idxs))
+		for i, s := range x.Idxs {
+			idxs[i] = substConsts(s, consts)
+		}
+		return Index{Arr: substConsts(x.Arr, consts), Idxs: idxs}
+	case Reduce:
+		return Reduce{Monoid: x.Monoid, E: substConsts(x.E, consts)}
+	case IfExpr:
+		return IfExpr{
+			Cond: substConsts(x.Cond, consts),
+			Then: substConsts(x.Then, consts),
+			Else: substConsts(x.Else, consts),
+		}
+	case BuildExpr:
+		args := make([]Expr, len(x.Args))
+		for i, s := range x.Args {
+			args[i] = substConsts(s, consts)
+		}
+		return BuildExpr{Builder: x.Builder, Args: args, Body: substConsts(x.Body, consts)}
+	case Comprehension:
+		inner := consts
+		var quals []Qualifier
+		shadow := func(p Pattern) {
+			for _, name := range PatternVars(p) {
+				if _, ok := inner[name]; ok {
+					if len(inner) > 0 {
+						copied := make(map[string]Value, len(inner))
+						for k, v := range inner {
+							copied[k] = v
+						}
+						inner = copied
+					}
+					delete(inner, name)
+				}
+			}
+		}
+		for _, q := range x.Quals {
+			switch qq := q.(type) {
+			case Generator:
+				src := substConsts(qq.Src, inner)
+				shadow(qq.Pat)
+				quals = append(quals, Generator{Pat: qq.Pat, Src: src})
+			case LetQual:
+				e2 := substConsts(qq.E, inner)
+				shadow(qq.Pat)
+				quals = append(quals, LetQual{Pat: qq.Pat, E: e2})
+			case Guard:
+				quals = append(quals, Guard{E: substConsts(qq.E, inner)})
+			case GroupBy:
+				var of Expr
+				if qq.Of != nil {
+					of = substConsts(qq.Of, inner)
+				}
+				shadow(qq.Pat)
+				quals = append(quals, GroupBy{Pat: qq.Pat, Of: of})
+			}
+		}
+		return Comprehension{Head: substConsts(x.Head, inner), Quals: quals}
+	default:
+		panic(fmt.Sprintf("comp: SubstConsts: unsupported %T", e))
+	}
+}
+
+// FoldConstants simplifies literal-only arithmetic subexpressions,
+// so (i+1) % n with n folded to a literal becomes (i+1) % 6 in the
+// exact shape the affine-key analysis expects.
+func FoldConstants(e Expr) Expr {
+	return mapExpr(e, func(x Expr) Expr {
+		b, ok := x.(BinOp)
+		if !ok {
+			return x
+		}
+		l, lok := b.L.(Lit)
+		r, rok := b.R.(Lit)
+		if !lok || !rok {
+			return x
+		}
+		if b.Op == "until" || b.Op == "to" {
+			return x // ranges stay symbolic for generators
+		}
+		v, err := Eval(b, nil)
+		if err != nil {
+			return x
+		}
+		_ = l
+		_ = r
+		return Lit{Val: v}
+	})
+}

@@ -1,0 +1,194 @@
+package comp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestDesugarGroupByOf(t *testing.T) {
+	c := Comprehension{
+		Head: Var{"k"},
+		Quals: []Qualifier{
+			Generator{Pat: PT(PV("i"), PV("v")), Src: Var{"V"}},
+			GroupBy{Pat: PV("k"), Of: BinOp{"%", Var{"i"}, Lit{int64(2)}}},
+		},
+	}
+	d := Desugar(c).(Comprehension)
+	if len(d.Quals) != 3 {
+		t.Fatalf("quals %v", d)
+	}
+	if _, ok := d.Quals[1].(LetQual); !ok {
+		t.Fatalf("expected let, got %T", d.Quals[1])
+	}
+	g, ok := d.Quals[2].(GroupBy)
+	if !ok || g.Of != nil {
+		t.Fatalf("expected bare group-by, got %v", d.Quals[2])
+	}
+}
+
+func TestDesugarIndexingIntroducesGeneratorAndGuard(t *testing.T) {
+	// matrix(2,2)[ ((i,j), a + N[i,j]) | ((i,j),a) <- M ]
+	c := BuildExpr{
+		Builder: "matrix", Args: []Expr{Lit{int64(2)}, Lit{int64(2)}},
+		Body: Comprehension{
+			Head: TupleExpr{[]Expr{
+				TupleExpr{[]Expr{Var{"i"}, Var{"j"}}},
+				BinOp{"+", Var{"a"}, Index{Arr: Var{"N"}, Idxs: []Expr{Var{"i"}, Var{"j"}}}},
+			}},
+			Quals: []Qualifier{
+				Generator{Pat: PT(PT(PV("i"), PV("j")), PV("a")), Src: Var{"M"}},
+			},
+		},
+	}
+	d := Desugar(c).(BuildExpr)
+	inner := d.Body.(Comprehension)
+	// Expect generator over M, generator over N, two equality guards.
+	gens, guards := 0, 0
+	for _, q := range inner.Quals {
+		switch q.(type) {
+		case Generator:
+			gens++
+		case Guard:
+			guards++
+		}
+	}
+	if gens != 2 || guards != 2 {
+		t.Fatalf("desugared to %d gens, %d guards: %v", gens, guards, inner)
+	}
+	if strings.Contains(inner.Head.String(), "[") {
+		t.Fatalf("head still contains indexing: %s", inner.Head)
+	}
+	// Semantics preserved.
+	a := linalg.RandDense(2, 2, 0, 5, 61)
+	b := linalg.RandDense(2, 2, 0, 5, 62)
+	env := env0(map[string]Value{"M": MatrixStorage{M: a}, "N": MatrixStorage{M: b}})
+	got := MustEval(d, env).(MatrixStorage)
+	if !got.M.EqualApprox(linalg.AddDense(a, b), 1e-12) {
+		t.Fatal("desugared indexing changed semantics")
+	}
+}
+
+func TestFlattenNestedComprehension(t *testing.T) {
+	// [ x | p <- [ i*2 | i <- 0 until 3 ], let x = p + 1 ]
+	inner := Comprehension{
+		Head:  BinOp{"*", Var{"i"}, Lit{int64(2)}},
+		Quals: []Qualifier{Generator{Pat: PV("i"), Src: BinOp{"until", Lit{int64(0)}, Lit{int64(3)}}}},
+	}
+	outer := Comprehension{
+		Head: Var{"x"},
+		Quals: []Qualifier{
+			Generator{Pat: PV("p"), Src: inner},
+			LetQual{Pat: PV("x"), E: BinOp{"+", Var{"p"}, Lit{int64(1)}}},
+		},
+	}
+	d := Desugar(outer).(Comprehension)
+	for _, q := range d.Quals {
+		if g, ok := q.(Generator); ok {
+			if _, nested := g.Src.(Comprehension); nested {
+				t.Fatalf("nested comprehension survived: %s", d)
+			}
+		}
+	}
+	got := MustEval(d, nil).(List)
+	if !Equal(got, L(int64(1), int64(3), int64(5))) {
+		t.Fatalf("flattening changed semantics: %v", Render(got))
+	}
+}
+
+func TestFlattenAvoidsCapture(t *testing.T) {
+	// Outer binds i; inner also binds i. After flattening the inner i
+	// must be renamed.
+	inner := Comprehension{
+		Head:  Var{"i"},
+		Quals: []Qualifier{Generator{Pat: PV("i"), Src: BinOp{"until", Lit{int64(0)}, Lit{int64(2)}}}},
+	}
+	outer := Comprehension{
+		Head: TupleExpr{[]Expr{Var{"i"}, Var{"p"}}},
+		Quals: []Qualifier{
+			Generator{Pat: PV("i"), Src: BinOp{"until", Lit{int64(10)}, Lit{int64(11)}}},
+			Generator{Pat: PV("p"), Src: inner},
+		},
+	}
+	d := Desugar(outer)
+	got := MustEval(d, nil).(List)
+	want := L(T(int64(10), int64(0)), T(int64(10), int64(1)))
+	if !Equal(got, want) {
+		t.Fatalf("capture: %v", Render(got))
+	}
+}
+
+func TestFlattenDoesNotTouchGroupByInner(t *testing.T) {
+	inner := Comprehension{
+		Head: TupleExpr{[]Expr{Var{"k"}, Reduce{Monoid: "+", E: Var{"v"}}}},
+		Quals: []Qualifier{
+			Generator{Pat: PT(PV("k"), PV("v")), Src: Var{"X"}},
+			GroupBy{Pat: PV("k")},
+		},
+	}
+	outer := Comprehension{
+		Head:  Var{"p"},
+		Quals: []Qualifier{Generator{Pat: PV("p"), Src: inner}},
+	}
+	d := Desugar(outer).(Comprehension)
+	g := d.Quals[0].(Generator)
+	if _, ok := g.Src.(Comprehension); !ok {
+		t.Fatal("group-by comprehension should not be flattened")
+	}
+}
+
+func TestDesugarPreservesMatMulSemantics(t *testing.T) {
+	a := linalg.RandDense(3, 4, 0, 2, 71)
+	b := linalg.RandDense(4, 2, 0, 2, 72)
+	q := matMulQuery(3, 2)
+	env := env0(map[string]Value{"M": MatrixStorage{M: a}, "N": MatrixStorage{M: b}})
+	want := MustEval(q, env).(MatrixStorage)
+	got := MustEval(Desugar(q), env).(MatrixStorage)
+	if !got.M.EqualApprox(want.M, 1e-9) {
+		t.Fatal("desugar changed matmul semantics")
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	// [ a + b | (a, _) <- xs, a > c ] : free are xs and c (and b).
+	c := Comprehension{
+		Head: BinOp{"+", Var{"a"}, Var{"b"}},
+		Quals: []Qualifier{
+			Generator{Pat: PT(PV("a"), PV("_")), Src: Var{"xs"}},
+			Guard{E: BinOp{">", Var{"a"}, Var{"c"}}},
+		},
+	}
+	fv := FreeVars(c)
+	for _, want := range []string{"xs", "c", "b"} {
+		if !fv[want] {
+			t.Fatalf("missing free var %s in %v", want, fv)
+		}
+	}
+	if fv["a"] {
+		t.Fatal("bound var a reported free")
+	}
+}
+
+func TestPatternVars(t *testing.T) {
+	p := PT(PT(PV("i"), PV("j")), PV("_"), PV("v"))
+	got := PatternVars(p)
+	if len(got) != 3 || got[0] != "i" || got[1] != "j" || got[2] != "v" {
+		t.Fatalf("pattern vars %v", got)
+	}
+}
+
+func TestKeyStringCanonical(t *testing.T) {
+	if KeyString(int64(3)) != KeyString(3.0) {
+		t.Fatal("int and float keys should agree")
+	}
+	if KeyString(T(int64(1), int64(2))) == KeyString(T(int64(2), int64(1))) {
+		t.Fatal("tuple order must matter")
+	}
+	if KeyString("1") == KeyString(int64(1)) {
+		t.Fatal("string and int keys must differ")
+	}
+	if KeyString(L(int64(1))) == KeyString(T(int64(1))) {
+		t.Fatal("list and tuple keys must differ")
+	}
+}

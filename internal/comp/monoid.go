@@ -1,0 +1,188 @@
+package comp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Monoid is an associative binary operation with identity, the ⊕ of the
+// paper's reductions ⊕/e and the combiner handed to reduceByKey
+// (Rule 13). Product monoids (footnote 1 in the paper) combine several
+// aggregations into one pass.
+type Monoid struct {
+	Name string
+	// Zero returns the identity 1⊕.
+	Zero func() Value
+	// Op combines two values.
+	Op func(a, b Value) Value
+	// Commutative reports whether the monoid commutes; only
+	// commutative monoids may be used with reduceByKey.
+	Commutative bool
+}
+
+// LookupMonoid resolves the monoid named in a reduction. Supported:
+// +, *, min, max, &&, ||, ++ (list concat), count, avg.
+func LookupMonoid(name string) (Monoid, error) {
+	m, ok := monoids[name]
+	if !ok {
+		return Monoid{}, fmt.Errorf("comp: unknown monoid %q", name)
+	}
+	return m, nil
+}
+
+var monoids = map[string]Monoid{
+	"+": {
+		Name: "+", Commutative: true,
+		Zero: func() Value { return float64(0) },
+		Op: func(a, b Value) Value {
+			if ai, ok := a.(int64); ok {
+				if bi, ok := b.(int64); ok {
+					return ai + bi
+				}
+			}
+			return MustFloat(a) + MustFloat(b)
+		},
+	},
+	"*": {
+		Name: "*", Commutative: true,
+		Zero: func() Value { return float64(1) },
+		Op: func(a, b Value) Value {
+			if ai, ok := a.(int64); ok {
+				if bi, ok := b.(int64); ok {
+					return ai * bi
+				}
+			}
+			return MustFloat(a) * MustFloat(b)
+		},
+	},
+	"min": {
+		Name: "min", Commutative: true,
+		Zero: func() Value { return math.Inf(1) },
+		Op: func(a, b Value) Value {
+			if MustFloat(a) <= MustFloat(b) {
+				return a
+			}
+			return b
+		},
+	},
+	"max": {
+		Name: "max", Commutative: true,
+		Zero: func() Value { return math.Inf(-1) },
+		Op: func(a, b Value) Value {
+			if MustFloat(a) >= MustFloat(b) {
+				return a
+			}
+			return b
+		},
+	},
+	"&&": {
+		Name: "&&", Commutative: true,
+		Zero: func() Value { return true },
+		Op:   func(a, b Value) Value { return MustBool(a) && MustBool(b) },
+	},
+	"||": {
+		Name: "||", Commutative: true,
+		Zero: func() Value { return false },
+		Op:   func(a, b Value) Value { return MustBool(a) || MustBool(b) },
+	},
+	"++": {
+		Name: "++", Commutative: false,
+		Zero: func() Value { return List(nil) },
+		Op: func(a, b Value) Value {
+			la, lb := MustList(a), MustList(b)
+			out := make(List, 0, len(la)+len(lb))
+			out = append(out, la...)
+			out = append(out, lb...)
+			return out
+		},
+	},
+	"count": {
+		Name: "count", Commutative: true,
+		Zero: func() Value { return int64(0) },
+		Op:   func(a, b Value) Value { return MustInt(a) + MustInt(b) },
+	},
+	"avg": {
+		Name: "avg", Commutative: true,
+		// avg accumulates (sum, count) tuples; Finalize divides.
+		Zero: func() Value { return T(float64(0), int64(0)) },
+		Op: func(a, b Value) Value {
+			ta, tb := MustTuple(a), MustTuple(b)
+			return T(MustFloat(ta[0])+MustFloat(tb[0]), MustInt(ta[1])+MustInt(tb[1]))
+		},
+	},
+}
+
+// MonoidLift maps one element into the accumulator domain of the named
+// monoid: count maps anything to 1, avg maps x to (x, 1), others are
+// the identity.
+func MonoidLift(name string, v Value) Value {
+	switch name {
+	case "count":
+		return int64(1)
+	case "avg":
+		return T(MustFloat(v), int64(1))
+	case "++":
+		if _, ok := v.(List); ok {
+			return v
+		}
+		return L(v)
+	default:
+		return v
+	}
+}
+
+// MonoidFinalize maps the accumulator of the named monoid to its result
+// value: avg divides sum by count, others are the identity.
+func MonoidFinalize(name string, v Value) Value {
+	if name == "avg" {
+		t := MustTuple(v)
+		n := MustInt(t[1])
+		if n == 0 {
+			return float64(0)
+		}
+		return MustFloat(t[0]) / float64(n)
+	}
+	return v
+}
+
+// ReduceList folds a list with the named monoid, applying lift and
+// finalize; ⊕/e over a materialized list.
+func ReduceList(name string, l List) (Value, error) {
+	m, err := LookupMonoid(name)
+	if err != nil {
+		return nil, err
+	}
+	acc := m.Zero()
+	for _, v := range l {
+		acc = m.Op(acc, MonoidLift(name, v))
+	}
+	return MonoidFinalize(name, acc), nil
+}
+
+// ProductMonoid builds the component-wise product ⊕1 x ... x ⊕n over
+// tuple accumulators (the ⊗ of Rule 12).
+func ProductMonoid(ms []Monoid) Monoid {
+	comm := true
+	for _, m := range ms {
+		comm = comm && m.Commutative
+	}
+	return Monoid{
+		Name:        "product",
+		Commutative: comm,
+		Zero: func() Value {
+			t := make(Tuple, len(ms))
+			for i, m := range ms {
+				t[i] = m.Zero()
+			}
+			return t
+		},
+		Op: func(a, b Value) Value {
+			ta, tb := MustTuple(a), MustTuple(b)
+			t := make(Tuple, len(ms))
+			for i, m := range ms {
+				t[i] = m.Op(ta[i], tb[i])
+			}
+			return t
+		},
+	}
+}

@@ -1,0 +1,137 @@
+package comp
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Storage is a concrete array storage structure. Its Sparsify method is
+// the paper's sparsifier: it presents the storage as an association
+// list mapping indices to values. Generators over a Storage iterate
+// the sparsified view without materializing it.
+type Storage interface {
+	// SparsifyIter streams the association-list entries
+	// Tuple{index, value}; returning false stops the iteration.
+	SparsifyIter(yield func(entry Value) bool)
+	// SparsifyLen returns the number of entries that SparsifyIter
+	// yields (for pre-sizing).
+	SparsifyLen() int
+}
+
+// MatrixStorage stores a matrix in row-major order in a flat vector —
+// the (n, m, V) triple of Section 2. Its sparsified view is
+// List[((i,j), V(i*m+j))].
+type MatrixStorage struct{ M *linalg.Dense }
+
+// SparsifyIter implements the matrix sparsifier of Section 2:
+// [ ((i,j), A(i*n+j)) | let (n,m,A) = S, i <- 0 until n, j <- 0 until m ].
+func (s MatrixStorage) SparsifyIter(yield func(Value) bool) {
+	for i := 0; i < s.M.Rows; i++ {
+		for j := 0; j < s.M.Cols; j++ {
+			if !yield(T(T(int64(i), int64(j)), s.M.At(i, j))) {
+				return
+			}
+		}
+	}
+}
+
+// SparsifyLen returns rows*cols.
+func (s MatrixStorage) SparsifyLen() int { return s.M.Rows * s.M.Cols }
+
+// At provides O(1) access for desugared array indexing.
+func (s MatrixStorage) At(i, j int64) Value { return s.M.At(int(i), int(j)) }
+
+func (s MatrixStorage) String() string { return fmt.Sprintf("matrix(%dx%d)", s.M.Rows, s.M.Cols) }
+
+// VectorStorage stores a vector densely. Its sparsified view is
+// List[(i, V(i))].
+type VectorStorage struct{ V *linalg.Vector }
+
+// SparsifyIter implements the vector sparsifier of Section 2.
+func (s VectorStorage) SparsifyIter(yield func(Value) bool) {
+	for i, v := range s.V.Data {
+		if !yield(T(int64(i), v)) {
+			return
+		}
+	}
+}
+
+// SparsifyLen returns the vector length.
+func (s VectorStorage) SparsifyLen() int { return s.V.Len() }
+
+func (s VectorStorage) String() string { return fmt.Sprintf("vector(%d)", s.V.Len()) }
+
+// COOStorage stores a sparse matrix in coordinate format; its
+// sparsified view contains only the stored entries.
+type COOStorage struct{ C *linalg.COO }
+
+// SparsifyIter yields the stored triplets.
+func (s COOStorage) SparsifyIter(yield func(Value) bool) {
+	for _, e := range s.C.Entries {
+		if !yield(T(T(int64(e.I), int64(e.J)), e.V)) {
+			return
+		}
+	}
+}
+
+// SparsifyLen returns the number of stored entries.
+func (s COOStorage) SparsifyLen() int { return s.C.NNZ() }
+
+func (s COOStorage) String() string {
+	return fmt.Sprintf("coo(%dx%d,nnz=%d)", s.C.Rows, s.C.Cols, s.C.NNZ())
+}
+
+// BuildMatrix is the matrix(n,m) builder of Section 2: it fills a
+// row-major dense matrix from an association list, ignoring
+// out-of-bounds indices (the inequality guards of the paper's builder).
+func BuildMatrix(n, m int64, entries List) MatrixStorage {
+	d := linalg.NewDense(int(n), int(m))
+	for _, e := range entries {
+		t := MustTuple(e)
+		idx := MustTuple(t[0])
+		i, j := MustInt(idx[0]), MustInt(idx[1])
+		if i >= 0 && i < n && j >= 0 && j < m {
+			d.Set(int(i), int(j), MustFloat(t[1]))
+		}
+	}
+	return MatrixStorage{M: d}
+}
+
+// BuildVector is the vector(n) builder.
+func BuildVector(n int64, entries List) VectorStorage {
+	v := linalg.NewVector(int(n))
+	for _, e := range entries {
+		t := MustTuple(e)
+		i := MustInt(t[0])
+		if i >= 0 && i < n {
+			v.Set(int(i), MustFloat(t[1]))
+		}
+	}
+	return VectorStorage{V: v}
+}
+
+// BuildCOO builds a coordinate-format sparse matrix from an
+// association list.
+func BuildCOO(n, m int64, entries List) COOStorage {
+	c := linalg.NewCOO(int(n), int(m))
+	for _, e := range entries {
+		t := MustTuple(e)
+		idx := MustTuple(t[0])
+		i, j := MustInt(idx[0]), MustInt(idx[1])
+		if i >= 0 && i < n && j >= 0 && j < m {
+			c.Append(int(i), int(j), MustFloat(t[1]))
+		}
+	}
+	return COOStorage{C: c}
+}
+
+// SparsifyAll materializes the full association list of a storage.
+func SparsifyAll(s Storage) List {
+	out := make(List, 0, s.SparsifyLen())
+	s.SparsifyIter(func(e Value) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,112 @@
+// Package coord implements distributed arrays in coordinate format
+// (Section 4 of the paper): an RDD of ((i,j), v) entries. This is the
+// storage DIABLO generates for and the baseline the paper's block
+// arrays improve on — it is correct but shuffles every element
+// individually, so it exists here both as a baseline for ablation
+// benchmarks and as the executable semantics of the Section 4
+// translation rules (join derivation, reduceByKey derivation).
+package coord
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/linalg"
+)
+
+// Key is a 2-D element coordinate.
+type Key = dataflow.Coord
+
+// Entry is one matrix element in coordinate format.
+type Entry = dataflow.Pair[Key, float64]
+
+// Matrix is a distributed coordinate-format matrix. Missing entries
+// are implicit zeros.
+type Matrix struct {
+	Rows, Cols int64
+	Entries    *dataflow.Dataset[Entry]
+}
+
+// FromDense distributes all elements of a dense matrix (including
+// zeros, matching the paper's dense coordinate representation).
+func FromDense(ctx *dataflow.Context, d *linalg.Dense, numPartitions int) *Matrix {
+	entries := make([]Entry, 0, d.Rows*d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			entries = append(entries, dataflow.KV(Key{I: int64(i), J: int64(j)}, d.At(i, j)))
+		}
+	}
+	return &Matrix{Rows: int64(d.Rows), Cols: int64(d.Cols),
+		Entries: dataflow.Parallelize(ctx, entries, numPartitions)}
+}
+
+// FromCOO distributes only the stored entries of a sparse matrix.
+func FromCOO(ctx *dataflow.Context, c *linalg.COO, numPartitions int) *Matrix {
+	entries := make([]Entry, 0, c.NNZ())
+	for _, e := range c.Entries {
+		entries = append(entries, dataflow.KV(Key{I: int64(e.I), J: int64(e.J)}, e.V))
+	}
+	return &Matrix{Rows: int64(c.Rows), Cols: int64(c.Cols),
+		Entries: dataflow.Parallelize(ctx, entries, numPartitions)}
+}
+
+// ToDense collects the entries into a dense matrix, summing
+// duplicates.
+func (m *Matrix) ToDense() *linalg.Dense {
+	out := linalg.NewDense(int(m.Rows), int(m.Cols))
+	for _, e := range dataflow.Collect(m.Entries) {
+		out.Add(int(e.Key.I), int(e.Key.J), e.Value)
+	}
+	return out
+}
+
+// Add implements Query (8) on coordinate arrays: a join on the element
+// coordinate followed by addition.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	j := dataflow.Join(m.Entries, o.Entries, m.Entries.NumPartitions())
+	entries := dataflow.Map(j, func(p dataflow.Pair[Key, dataflow.JoinedPair[float64, float64]]) Entry {
+		return dataflow.KV(p.Key, p.Value.Left+p.Value.Right)
+	})
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Entries: entries}
+}
+
+// Multiply implements the Section 4 translation of Query (9):
+//
+//	A.map{ ((i,k),a) => (k, ((i,k),a)) }
+//	 .join(B.map{ ((kk,j),b) => (kk, ((kk,j),b)) })
+//	 .map{ (_, (((i,k),a), ((kk,j),b))) => ((i,j), a*b) }
+//	 .reduceByKey(_+_)
+//
+// This shuffles both matrices element-wise and then shuffles every
+// product — the cost Section 4 points out motivates block arrays.
+func (m *Matrix) Multiply(o *Matrix) *Matrix {
+	parts := m.Entries.NumPartitions()
+	left := dataflow.Map(m.Entries, func(e Entry) dataflow.Pair[int64, Entry] {
+		return dataflow.KV(e.Key.J, e)
+	})
+	right := dataflow.Map(o.Entries, func(e Entry) dataflow.Pair[int64, Entry] {
+		return dataflow.KV(e.Key.I, e)
+	})
+	joined := dataflow.Join(left, right, parts)
+	products := dataflow.Map(joined, func(p dataflow.Pair[int64, dataflow.JoinedPair[Entry, Entry]]) Entry {
+		return dataflow.KV(Key{I: p.Value.Left.Key.I, J: p.Value.Right.Key.J},
+			p.Value.Left.Value*p.Value.Right.Value)
+	})
+	summed := dataflow.ReduceByKey(products, func(a, b float64) float64 { return a + b }, parts)
+	return &Matrix{Rows: m.Rows, Cols: o.Cols, Entries: summed}
+}
+
+// RowSums computes Query (1) on coordinate arrays: group the entries
+// by row index with reduceByKey.
+func (m *Matrix) RowSums() *dataflow.Dataset[dataflow.Pair[int64, float64]] {
+	keyed := dataflow.Map(m.Entries, func(e Entry) dataflow.Pair[int64, float64] {
+		return dataflow.KV(e.Key.I, e.Value)
+	})
+	return dataflow.ReduceByKey(keyed, func(a, b float64) float64 { return a + b }, m.Entries.NumPartitions())
+}
+
+// Transpose swaps coordinates with a narrow map.
+func (m *Matrix) Transpose() *Matrix {
+	entries := dataflow.Map(m.Entries, func(e Entry) Entry {
+		return dataflow.KV(Key{I: e.Key.J, J: e.Key.I}, e.Value)
+	})
+	return &Matrix{Rows: m.Cols, Cols: m.Rows, Entries: entries}
+}

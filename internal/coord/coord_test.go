@@ -1,0 +1,99 @@
+package coord
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/linalg"
+)
+
+func TestCoordRoundTrip(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	d := linalg.RandDense(5, 4, -2, 2, 1)
+	m := FromDense(ctx, d, 3)
+	if !m.ToDense().Equal(d) {
+		t.Fatal("round trip")
+	}
+}
+
+func TestCoordSparseFromCOO(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	c := linalg.RandSparseCOO(6, 6, 0.3, 5, 2)
+	m := FromCOO(ctx, c, 2)
+	if !m.ToDense().Equal(c.ToDense()) {
+		t.Fatal("sparse round trip")
+	}
+}
+
+func TestCoordAdd(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	da := linalg.RandDense(4, 5, 0, 10, 3)
+	db := linalg.RandDense(4, 5, 0, 10, 4)
+	got := FromDense(ctx, da, 3).Add(FromDense(ctx, db, 3)).ToDense()
+	if !got.EqualApprox(linalg.AddDense(da, db), 1e-12) {
+		t.Fatal("coord add mismatch")
+	}
+}
+
+func TestCoordMultiply(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	da := linalg.RandDense(4, 3, 0, 2, 5)
+	db := linalg.RandDense(3, 5, 0, 2, 6)
+	got := FromDense(ctx, da, 3).Multiply(FromDense(ctx, db, 3)).ToDense()
+	if !got.EqualApprox(linalg.Mul(da, db), 1e-9) {
+		t.Fatal("coord multiply mismatch")
+	}
+}
+
+func TestCoordSparseMultiply(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	ca := linalg.RandSparseCOO(5, 6, 0.4, 3, 7)
+	cb := linalg.RandSparseCOO(6, 4, 0.4, 3, 8)
+	got := FromCOO(ctx, ca, 2).Multiply(FromCOO(ctx, cb, 2)).ToDense()
+	want := linalg.Mul(ca.ToDense(), cb.ToDense())
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatal("sparse coord multiply mismatch")
+	}
+}
+
+func TestCoordRowSums(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	d := linalg.RandDense(4, 6, -1, 1, 9)
+	sums := dataflow.CollectAsMap(FromDense(ctx, d, 3).RowSums())
+	want := d.RowSums()
+	for i := 0; i < 4; i++ {
+		if diff := sums[int64(i)] - want.At(i); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("row %d: %v vs %v", i, sums[int64(i)], want.At(i))
+		}
+	}
+}
+
+func TestCoordTranspose(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	d := linalg.RandDense(3, 7, -1, 1, 10)
+	if !FromDense(ctx, d, 2).Transpose().ToDense().Equal(d.Transpose()) {
+		t.Fatal("coord transpose mismatch")
+	}
+}
+
+// The motivating measurement for Section 5: coordinate-format multiply
+// shuffles far more records than the tiled translation on the same
+// data, because every element and every scalar product crosses the
+// network individually.
+func TestCoordShufflesMoreThanTiled(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	da := linalg.RandDense(12, 12, 0, 1, 11)
+	db := linalg.RandDense(12, 12, 0, 1, 12)
+
+	ctx.ResetMetrics()
+	FromDense(ctx, da, 4).Multiply(FromDense(ctx, db, 4)).ToDense()
+	coordRecords := ctx.Metrics().ShuffledRecords
+
+	// Tiled multiply on the same data (4x4 tiles -> 3x3 grid).
+	// Import cycle avoidance: compare against the known tile count
+	// rather than calling the tiled package here; the cross-package
+	// comparison lives in the bench harness.
+	if coordRecords < int64(2*12*12) {
+		t.Fatalf("coordinate multiply should shuffle at least every element of both inputs, got %d", coordRecords)
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comp"
+	"repro/internal/linalg"
+	"repro/internal/opt"
+	"repro/internal/tiled"
+)
+
+func TestSessionQuickstart(t *testing.T) {
+	s := NewSession(Config{TileSize: 4})
+	d := linalg.RandDense(10, 10, 0, 10, 1)
+	s.RegisterDense("M", d)
+	v, err := s.QueryVector("tiledvec(10)[ (i, +/m) | ((i,j),m) <- M, group by i ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.ToDense().EqualApprox(d.RowSums(), 1e-9) {
+		t.Fatal("row sums mismatch")
+	}
+}
+
+func TestSessionMatMulAndExplain(t *testing.T) {
+	s := NewSession(Config{TileSize: 3})
+	da := linalg.RandDense(6, 6, 0, 2, 2)
+	db := linalg.RandDense(6, 6, 0, 2, 3)
+	s.RegisterDense("A", da)
+	s.RegisterDense("B", db)
+	src := `tiled(6,6)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B,
+	          kk == k, let v = a*b, group by (i,j) ]`
+	ex, err := s.Explain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex, "SUMMA") {
+		t.Fatalf("expected SUMMA plan: %s", ex)
+	}
+	m, err := s.QueryMatrix(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.ToDense().EqualApprox(linalg.Mul(da, db), 1e-9) {
+		t.Fatal("matmul mismatch")
+	}
+}
+
+func TestSessionAblationOptions(t *testing.T) {
+	s := NewSession(Config{TileSize: 3, Optimizations: opt.Options{DisableGBJ: true}})
+	s.RegisterRandMatrix("A", 6, 6, 0, 1, 4)
+	s.RegisterRandMatrix("B", 6, 6, 0, 1, 5)
+	ex, err := s.Explain(`tiled(6,6)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B,
+	          kk == k, let v = a*b, group by (i,j) ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(ex, "SUMMA") {
+		t.Fatalf("GBJ should be disabled: %s", ex)
+	}
+}
+
+func TestSessionScalarQuery(t *testing.T) {
+	s := NewSession(Config{TileSize: 4})
+	d := linalg.RandDense(8, 8, 0, 1, 6)
+	s.RegisterDense("M", d)
+	got, err := s.QueryScalar("+/[ m | ((i,j),m) <- M ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := comp.MustFloat(got) - d.Sum(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum %v vs %v", got, d.Sum())
+	}
+}
+
+func TestSessionScalarBindings(t *testing.T) {
+	s := NewSession(Config{TileSize: 4})
+	d := linalg.RandDense(8, 6, 0, 1, 7)
+	s.RegisterDense("M", d)
+	s.RegisterScalar("n", int64(8))
+	s.RegisterScalar("m", int64(6))
+	mt, err := s.QueryMatrix("tiled(m, n)[ ((j,i), v) | ((i,j),v) <- M ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mt.ToDense().Equal(d.Transpose()) {
+		t.Fatal("transpose with scalar dims mismatch")
+	}
+}
+
+func TestSessionWrongKind(t *testing.T) {
+	s := NewSession(Config{TileSize: 4})
+	s.RegisterRandMatrix("M", 8, 8, 0, 1, 8)
+	if _, err := s.QueryVector("tiled(8,8)[ ((i,j), m) | ((i,j),m) <- M ]"); err == nil {
+		t.Fatal("expected kind mismatch error")
+	}
+	if _, err := s.QueryMatrix("tiledvec(8)[ (i, +/m) | ((i,j),m) <- M, group by i ]"); err == nil {
+		t.Fatal("expected kind mismatch error")
+	}
+}
+
+func TestSessionParseError(t *testing.T) {
+	s := NewSession(Config{})
+	if _, err := s.Query("tiled(2,2)[ broken"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestSessionRegisterSparse(t *testing.T) {
+	s := NewSession(Config{TileSize: 4})
+	c := linalg.RandSparseCOO(9, 9, 0.2, 5, 9)
+	m := s.RegisterSparse("R", c)
+	if !m.ToDense().Equal(c.ToDense()) {
+		t.Fatal("sparse registration mismatch")
+	}
+}
+
+func TestSessionMetrics(t *testing.T) {
+	s := NewSession(Config{TileSize: 4})
+	s.RegisterRandMatrix("A", 8, 8, 0, 1, 10)
+	s.RegisterRandMatrix("B", 8, 8, 0, 1, 11)
+	s.ResetMetrics()
+	m, err := s.QueryMatrix("tiled(8,8)[ ((i,j), a+b) | ((i,j),a) <- A, ((ii,jj),b) <- B, ii == i, jj == j ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ToDense() // results are lazy; force the computation
+	if s.Metrics().Shuffles == 0 {
+		t.Fatal("no shuffle recorded for the addition join")
+	}
+}
+
+func TestEvalLocal(t *testing.T) {
+	d := linalg.NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	got, err := EvalLocal("vector(2)[ (i, +/m) | ((i,j),m) <- M, group by i ]",
+		map[string]comp.Value{"M": comp.MatrixStorage{M: d}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := got.(comp.VectorStorage)
+	if !vs.V.Equal(linalg.NewVectorFrom([]float64{3, 7})) {
+		t.Fatalf("local row sums %v", vs.V.Data)
+	}
+}
+
+func TestSessionFailureInjection(t *testing.T) {
+	s := NewSession(Config{TileSize: 2, Partitions: 9, FailureRate: 0.4, FailureSeed: 12})
+	d := linalg.RandDense(6, 6, 0, 1, 13)
+	s.RegisterDense("M", d)
+	v, err := s.QueryVector("tiledvec(6)[ (i, +/m) | ((i,j),m) <- M, group by i ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.ToDense().EqualApprox(d.RowSums(), 1e-9) {
+		t.Fatal("row sums under failure injection mismatch")
+	}
+	if s.Metrics().TaskFailures == 0 {
+		t.Fatal("no failures injected")
+	}
+}
+
+func TestSessionRegisterTiledDirect(t *testing.T) {
+	s := NewSession(Config{TileSize: 3})
+	m := tiled.RandMatrix(s.Engine(), 6, 6, 3, 0, 0, 1, 14)
+	s.RegisterMatrix("X", m)
+	v := tiled.VectorFromDense(s.Engine(), linalg.RandVector(6, 0, 1, 15), 3, 0)
+	s.RegisterVector("V", v)
+	got, err := s.QueryVector("tiledvec(6)[ (i, x*2.0) | (i,x) <- V ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ToDense().EqualApprox(v.ToDense().ScaleInPlace(2), 1e-12) {
+		t.Fatal("vector scale mismatch")
+	}
+}
+
+// RunLoops: the DIABLO entry point on the session, end to end.
+func TestSessionRunLoops(t *testing.T) {
+	s := NewSession(Config{TileSize: 3})
+	d := linalg.RandDense(6, 6, 0, 5, 21)
+	s.RegisterDense("M", d)
+	s.RegisterScalar("n", int64(6))
+	plans, err := s.RunLoops(`
+var V: vector[n];
+for i = 0, n-1 do
+    for j = 0, n-1 do
+        V[i] += M[i, j];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 || !strings.Contains(plans[0], "V <-") {
+		t.Fatalf("plans %v", plans)
+	}
+	// The loop result is bound in the catalog for follow-up queries.
+	got, err := s.QueryScalar("+/[ v | (i,v) <- V ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := comp.MustFloat(got) - d.Sum(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("total %v vs %v", got, d.Sum())
+	}
+}
+
+// Explain for coordinate plans reports the derived pipeline.
+func TestSessionExplainCoordinateDetail(t *testing.T) {
+	s := NewSession(Config{TileSize: 3})
+	s.RegisterRandMatrix("A", 6, 6, 0, 5, 22)
+	s.RegisterScalar("n", int64(6))
+	ex, err := s.Explain(`tiledvec(n)[ (i, avg/a) | ((i,j),a) <- A, group by i ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex, "generator") || !strings.Contains(ex, "reduceByKey") {
+		t.Fatalf("coordinate detail missing: %s", ex)
+	}
+}

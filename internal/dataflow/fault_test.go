@@ -1,0 +1,197 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+)
+
+// With failure injection on, tasks are retried from lineage and the
+// results are identical to a failure-free run.
+func TestFaultToleranceRecomputes(t *testing.T) {
+	clean := NewLocalContext()
+	faulty := NewContext(Config{FailureRate: 0.3, FailureSeed: 42, MaxTaskRetries: 50})
+
+	build := func(ctx *Context) map[int]int {
+		var data []Pair[int, int]
+		for i := 0; i < 200; i++ {
+			data = append(data, KV(i%13, i))
+		}
+		d := Parallelize(ctx, data, 8)
+		return CollectAsMap(ReduceByKey(d, func(a, b int) int { return a + b }, 4))
+	}
+
+	want := build(clean)
+	got := build(faulty)
+	if len(got) != len(want) {
+		t.Fatalf("key counts differ: %d vs %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: %d vs %d", k, got[k], v)
+		}
+	}
+	if faulty.Metrics().TaskFailures == 0 {
+		t.Fatal("expected injected failures to occur")
+	}
+}
+
+func TestFaultExhaustionPanics(t *testing.T) {
+	ctx := NewContext(Config{FailureRate: 1.0, FailureSeed: 1, MaxTaskRetries: 3})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic after retry exhaustion")
+		}
+		err, ok := r.(error)
+		if !ok || !strings.Contains(err.Error(), "failed after 3 attempts") {
+			t.Fatalf("unexpected panic %v", r)
+		}
+	}()
+	Collect(Parallelize(ctx, []int{1, 2, 3}, 2))
+}
+
+func TestMetricsCounting(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, pairsOf(40), 4)
+	Collect(ReduceByKey(d, func(a, b int) int { return a + b }, 2))
+	m := ctx.Metrics()
+	if m.Shuffles != 1 {
+		t.Fatalf("shuffles %d", m.Shuffles)
+	}
+	if m.ShuffledRecords == 0 || m.ShuffledBytes == 0 {
+		t.Fatalf("no shuffle accounting: %+v", m)
+	}
+	if m.Tasks == 0 || m.Stages == 0 {
+		t.Fatalf("no task/stage accounting: %+v", m)
+	}
+	ctx.ResetMetrics()
+	if ctx.Metrics().Tasks != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMetricsSub(t *testing.T) {
+	a := MetricsSnapshot{Tasks: 10, ShuffledBytes: 100}
+	b := MetricsSnapshot{Tasks: 4, ShuffledBytes: 60}
+	d := a.Sub(b)
+	if d.Tasks != 6 || d.ShuffledBytes != 40 {
+		t.Fatalf("sub %+v", d)
+	}
+}
+
+func TestEstimateSize(t *testing.T) {
+	cases := []struct {
+		v    any
+		want int64
+	}{
+		{nil, 0},
+		{true, 1},
+		{int32(1), 4},
+		{int64(1), 8},
+		{3.14, 8},
+		{"hello", 5},
+		{[]float64{1, 2, 3}, 24},
+		{[]byte{1, 2}, 2},
+		{struct{}{}, 16},
+	}
+	for _, c := range cases {
+		if got := estimateSize(c.v); got != c.want {
+			t.Fatalf("estimateSize(%v) = %d want %d", c.v, got, c.want)
+		}
+	}
+	if KV(Coord{1, 2}, []float64{1, 2}).NumBytes() != 16+16 {
+		t.Fatalf("pair bytes %d", KV(Coord{1, 2}, []float64{1, 2}).NumBytes())
+	}
+}
+
+func TestCoordHashSpreads(t *testing.T) {
+	seen := map[int]int{}
+	for i := int64(0); i < 16; i++ {
+		for j := int64(0); j < 16; j++ {
+			seen[partitionOf(Coord{i, j}, 8)]++
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("coords hash to only %d of 8 partitions", len(seen))
+	}
+	for p, n := range seen {
+		if n < 8 {
+			t.Fatalf("partition %d badly underloaded: %d of 256", p, n)
+		}
+	}
+}
+
+func TestGridPartition(t *testing.T) {
+	// 4x4 grid of blocks, 2x2 blocks per partition cell -> 2x2 = 4 partitions.
+	seen := map[int]bool{}
+	for i := int64(0); i < 4; i++ {
+		for j := int64(0); j < 4; j++ {
+			p := GridPartition(Coord{i, j}, 4, 4, 2, 2)
+			if p < 0 || p >= 4 {
+				t.Fatalf("partition %d out of range", p)
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("grid partitioner used %d of 4 cells", len(seen))
+	}
+	if GridPartition(Coord{0, 0}, 4, 4, 2, 2) != GridPartition(Coord{1, 1}, 4, 4, 2, 2) {
+		t.Fatal("blocks in the same grid cell should share a partition")
+	}
+}
+
+func TestHashAnyCoversTypes(t *testing.T) {
+	// Distinct values of each supported type should hash differently
+	// (not a strict requirement, but catches degenerate implementations).
+	if hashAny(1) == hashAny(2) {
+		t.Fatal("int hash degenerate")
+	}
+	if hashAny("a") == hashAny("b") {
+		t.Fatal("string hash degenerate")
+	}
+	if hashAny(int32(7)) != hashAny(7) {
+		t.Fatal("int32 and int of same value should agree")
+	}
+	if hashAny(true) == hashAny(false) {
+		t.Fatal("bool hash degenerate")
+	}
+	if hashAny(1.5) == hashAny(2.5) {
+		t.Fatal("float hash degenerate")
+	}
+	type odd struct{ A, B int }
+	if hashAny(odd{1, 2}) == hashAny(odd{2, 1}) {
+		t.Fatal("fallback hash degenerate")
+	}
+}
+
+// Regression test: with parallelism 1, nested stages (a shuffle whose
+// child partitions are computed by tasks) must not deadlock the worker
+// pool. Stage preparation must run shuffles from the driver.
+func TestNoDeadlockWithSingleWorker(t *testing.T) {
+	ctx := NewContext(Config{Parallelism: 1, DefaultPartitions: 8})
+	var data []Pair[int, int]
+	for i := 0; i < 64; i++ {
+		data = append(data, KV(i%5, i))
+	}
+	d := Parallelize(ctx, data, 8)
+	r := ReduceByKey(d, func(a, b int) int { return a + b }, 8)
+	j := Join(r, r, 8)
+	g := GroupByKey(j, 4)
+	if got := Count(g); got != 5 {
+		t.Fatalf("count %d", got)
+	}
+}
+
+// Chained shuffles (three deep) also complete with a tiny pool.
+func TestChainedShufflesSingleWorker(t *testing.T) {
+	ctx := NewContext(Config{Parallelism: 1})
+	d := Parallelize(ctx, pairsOf(100), 10)
+	s1 := ReduceByKey(d, func(a, b int) int { return a + b }, 7)
+	s2 := GroupByKey(Map(s1, func(p Pair[int, int]) Pair[int, int] { return KV(p.Key%2, p.Value) }), 3)
+	s3 := ReduceByKey(MapValues(s2, func(vs []int) int { return len(vs) }), func(a, b int) int { return a + b }, 2)
+	got := CollectAsMap(s3)
+	if got[0]+got[1] != 5 {
+		t.Fatalf("expected 5 keys total, got %v", got)
+	}
+}

@@ -1,0 +1,106 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Metrics accumulates engine counters. All fields are updated atomically
+// by tasks running concurrently.
+type Metrics struct {
+	tasks            atomic.Int64
+	taskFailures     atomic.Int64
+	stages           atomic.Int64
+	shuffles         atomic.Int64
+	shuffledRecords  atomic.Int64
+	shuffledBytes    atomic.Int64
+	collectedRecords atomic.Int64
+}
+
+// MetricsSnapshot is an immutable copy of the counters.
+type MetricsSnapshot struct {
+	Tasks            int64 // tasks completed successfully
+	TaskFailures     int64 // injected/retried task failures
+	Stages           int64 // shuffle stages executed
+	Shuffles         int64 // wide operations performed
+	ShuffledRecords  int64 // records that crossed a shuffle boundary
+	ShuffledBytes    int64 // estimated payload bytes shuffled
+	CollectedRecords int64 // records returned to the driver
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Tasks:            m.tasks.Load(),
+		TaskFailures:     m.taskFailures.Load(),
+		Stages:           m.stages.Load(),
+		Shuffles:         m.shuffles.Load(),
+		ShuffledRecords:  m.shuffledRecords.Load(),
+		ShuffledBytes:    m.shuffledBytes.Load(),
+		CollectedRecords: m.collectedRecords.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (m *Metrics) Reset() {
+	m.tasks.Store(0)
+	m.taskFailures.Store(0)
+	m.stages.Store(0)
+	m.shuffles.Store(0)
+	m.shuffledRecords.Store(0)
+	m.shuffledBytes.Store(0)
+	m.collectedRecords.Store(0)
+}
+
+// String formats the snapshot as a single diagnostics line.
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf("tasks=%d failures=%d stages=%d shuffles=%d shuffledRecords=%d shuffledBytes=%d",
+		s.Tasks, s.TaskFailures, s.Stages, s.Shuffles, s.ShuffledRecords, s.ShuffledBytes)
+}
+
+// Sub returns the difference s - t, useful to meter one query when the
+// context is reused.
+func (s MetricsSnapshot) Sub(t MetricsSnapshot) MetricsSnapshot {
+	return MetricsSnapshot{
+		Tasks:            s.Tasks - t.Tasks,
+		TaskFailures:     s.TaskFailures - t.TaskFailures,
+		Stages:           s.Stages - t.Stages,
+		Shuffles:         s.Shuffles - t.Shuffles,
+		ShuffledRecords:  s.ShuffledRecords - t.ShuffledRecords,
+		ShuffledBytes:    s.ShuffledBytes - t.ShuffledBytes,
+		CollectedRecords: s.CollectedRecords - t.CollectedRecords,
+	}
+}
+
+// Sizer lets shuffled values report their payload size for shuffle-byte
+// accounting. Values that do not implement Sizer are estimated by
+// defaultSize.
+type Sizer interface{ NumBytes() int64 }
+
+// estimateSize approximates the serialized size of a value.
+func estimateSize(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case Sizer:
+		return x.NumBytes()
+	case bool, int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	case int, int64, uint, uint64, float64:
+		return 8
+	case string:
+		return int64(len(x))
+	case []float64:
+		return int64(len(x)) * 8
+	case []int:
+		return int64(len(x)) * 8
+	case []byte:
+		return int64(len(x))
+	default:
+		return 16 // opaque boxed value
+	}
+}

@@ -1,0 +1,347 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Dataset is an immutable, lazily evaluated, partitioned collection —
+// the engine's RDD. A Dataset records how to compute each partition
+// from its lineage; nothing runs until an action (Collect, Count,
+// Reduce, ...) or a downstream shuffle materializes it.
+//
+// Because Go methods cannot introduce type parameters, transformations
+// that change the element type are package-level functions (Map,
+// FlatMap, ...) taking the Dataset as the first argument.
+type Dataset[T any] struct {
+	ctx     *Context
+	parts   int
+	compute func(part int) []T
+	// prepare runs shuffle dependencies stage-by-stage from the
+	// driver goroutine before this dataset's tasks are scheduled, so
+	// task bodies never start nested stages (which would deadlock the
+	// bounded worker pool). It may be nil for source datasets.
+	prepare func()
+	cacheMu sync.Mutex
+	cached  [][]T
+	persist bool
+	name    string
+	// keyParts, when nonzero, records that the elements are Pairs
+	// hash-partitioned by key into exactly this many partitions
+	// (partition p holds the keys with partitionOf(k, keyParts) == p).
+	// Joins and cogroups use it to skip the exchange for
+	// co-partitioned sides, like Spark's partitioner-aware joins.
+	keyParts int
+}
+
+// newDataset wraps a compute function as a Dataset.
+func newDataset[T any](ctx *Context, parts int, name string, compute func(part int) []T) *Dataset[T] {
+	if parts <= 0 {
+		panic(fmt.Sprintf("dataflow: dataset %q with %d partitions", name, parts))
+	}
+	return &Dataset[T]{ctx: ctx, parts: parts, compute: compute, name: name}
+}
+
+// withPrepare attaches a stage-preparation hook and returns d.
+func (d *Dataset[T]) withPrepare(prep func()) *Dataset[T] {
+	d.prepare = prep
+	return d
+}
+
+// withKeyParts records the hash-partitioning of a keyed dataset.
+func (d *Dataset[T]) withKeyParts(parts int) *Dataset[T] {
+	d.keyParts = parts
+	return d
+}
+
+// KeyPartitioned reports the recorded hash-partitioning (0 = none).
+func (d *Dataset[T]) KeyPartitioned() int { return d.keyParts }
+
+// prepareAll runs this dataset's shuffle dependencies (transitively).
+func (d *Dataset[T]) prepareAll() {
+	if d.prepare != nil {
+		d.prepare()
+	}
+}
+
+// prepHook returns the preparation hook for children of d.
+func (d *Dataset[T]) prepHook() func() { return d.prepareAll }
+
+// Context returns the owning context.
+func (d *Dataset[T]) Context() *Context { return d.ctx }
+
+// NumPartitions returns the partition count.
+func (d *Dataset[T]) NumPartitions() int { return d.parts }
+
+// Name returns the operator name (for diagnostics).
+func (d *Dataset[T]) Name() string { return d.name }
+
+// Persist marks the dataset to cache partition contents on first
+// computation, like RDD.cache.
+func (d *Dataset[T]) Persist() *Dataset[T] {
+	d.cacheMu.Lock()
+	defer d.cacheMu.Unlock()
+	d.persist = true
+	return d
+}
+
+// partition computes (or fetches from cache) one partition.
+func (d *Dataset[T]) partition(p int) []T {
+	d.cacheMu.Lock()
+	if d.cached != nil && d.cached[p] != nil {
+		rows := d.cached[p]
+		d.cacheMu.Unlock()
+		return rows
+	}
+	persist := d.persist
+	d.cacheMu.Unlock()
+
+	rows := d.compute(p)
+	if persist {
+		d.cacheMu.Lock()
+		if d.cached == nil {
+			d.cached = make([][]T, d.parts)
+		}
+		if d.cached[p] == nil {
+			d.cached[p] = rows
+		} else {
+			rows = d.cached[p]
+		}
+		d.cacheMu.Unlock()
+	}
+	return rows
+}
+
+// materialize computes every partition in parallel on the worker pool
+// and returns them in partition order. It counts as one stage.
+func (d *Dataset[T]) materialize() [][]T {
+	d.prepareAll()
+	out := make([][]T, d.parts)
+	d.ctx.metrics.stages.Add(1)
+	d.ctx.runTasks(d.parts, func(p int) {
+		out[p] = d.partition(p)
+	})
+	return out
+}
+
+// Parallelize distributes a slice over numPartitions partitions
+// (contiguous ranges, like Spark's parallelize). numPartitions <= 0
+// uses the context default.
+func Parallelize[T any](ctx *Context, data []T, numPartitions int) *Dataset[T] {
+	if numPartitions <= 0 {
+		numPartitions = ctx.DefaultPartitions()
+	}
+	n := len(data)
+	if numPartitions > n && n > 0 {
+		numPartitions = n
+	}
+	if n == 0 {
+		numPartitions = 1
+	}
+	return newDataset(ctx, numPartitions, "parallelize", func(p int) []T {
+		lo := p * n / numPartitions
+		hi := (p + 1) * n / numPartitions
+		return data[lo:hi]
+	})
+}
+
+// Generate creates a dataset whose partition contents are produced by
+// gen(partition); used to build large inputs without a driver-side
+// slice.
+func Generate[T any](ctx *Context, numPartitions int, gen func(part int) []T) *Dataset[T] {
+	if numPartitions <= 0 {
+		numPartitions = ctx.DefaultPartitions()
+	}
+	return newDataset(ctx, numPartitions, "generate", gen)
+}
+
+// Map applies f to each element.
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	return newDataset(d.ctx, d.parts, "map", func(p int) []U {
+		in := d.partition(p)
+		out := make([]U, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return out
+	}).withPrepare(d.prepHook())
+}
+
+// Filter keeps elements satisfying pred.
+func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] {
+	return newDataset(d.ctx, d.parts, "filter", func(p int) []T {
+		in := d.partition(p)
+		var out []T
+		for _, v := range in {
+			if pred(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}).withPrepare(d.prepHook())
+}
+
+// FlatMap applies f and concatenates the results.
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
+	return newDataset(d.ctx, d.parts, "flatMap", func(p int) []U {
+		in := d.partition(p)
+		var out []U
+		for _, v := range in {
+			out = append(out, f(v)...)
+		}
+		return out
+	}).withPrepare(d.prepHook())
+}
+
+// MapPartitions transforms each whole partition at once.
+func MapPartitions[T, U any](d *Dataset[T], f func(part int, rows []T) []U) *Dataset[U] {
+	return newDataset(d.ctx, d.parts, "mapPartitions", func(p int) []U {
+		return f(p, d.partition(p))
+	}).withPrepare(d.prepHook())
+}
+
+// Union concatenates two datasets (no shuffle; partitions are appended).
+func Union[T any](a, b *Dataset[T]) *Dataset[T] {
+	if a.ctx != b.ctx {
+		panic("dataflow: union across contexts")
+	}
+	return newDataset(a.ctx, a.parts+b.parts, "union", func(p int) []T {
+		if p < a.parts {
+			return a.partition(p)
+		}
+		return b.partition(p - a.parts)
+	}).withPrepare(func() {
+		a.prepareAll()
+		b.prepareAll()
+	})
+}
+
+// Collect materializes the dataset and returns all elements in
+// partition order.
+func Collect[T any](d *Dataset[T]) []T {
+	parts := d.materialize()
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	d.ctx.metrics.collectedRecords.Add(int64(n))
+	return out
+}
+
+// Count returns the number of elements.
+func Count[T any](d *Dataset[T]) int64 {
+	parts := d.materialize()
+	var n int64
+	for _, p := range parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// Reduce folds all elements with the associative function f. It panics
+// on an empty dataset.
+func Reduce[T any](d *Dataset[T], f func(T, T) T) T {
+	parts := d.materialize()
+	var acc T
+	seen := false
+	for _, p := range parts {
+		for _, v := range p {
+			if !seen {
+				acc, seen = v, true
+			} else {
+				acc = f(acc, v)
+			}
+		}
+	}
+	if !seen {
+		panic("dataflow: Reduce of empty dataset")
+	}
+	return acc
+}
+
+// Aggregate folds all elements starting from zero; zero is used once
+// per partition and partials merged with merge.
+func Aggregate[T, A any](d *Dataset[T], zero A, seq func(A, T) A, merge func(A, A) A) A {
+	parts := d.materialize()
+	acc := zero
+	first := true
+	for _, p := range parts {
+		partial := zero
+		for _, v := range p {
+			partial = seq(partial, v)
+		}
+		if first {
+			acc, first = partial, false
+		} else {
+			acc = merge(acc, partial)
+		}
+	}
+	return acc
+}
+
+// SortedCollect collects and sorts with less; handy for deterministic
+// test assertions.
+func SortedCollect[T any](d *Dataset[T], less func(a, b T) bool) []T {
+	out := Collect(d)
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// Repartition redistributes elements round-robin into numPartitions
+// partitions through a shuffle.
+func Repartition[T any](d *Dataset[T], numPartitions int) *Dataset[T] {
+	if numPartitions <= 0 {
+		numPartitions = d.ctx.DefaultPartitions()
+	}
+	lb := &lazyBuckets[T]{ctx: d.ctx, parts: numPartitions}
+	lb.produce = func() [][]bucketed[T] {
+		d.prepareAll()
+		parents := d.parts
+		outputs := make([][]bucketed[T], parents)
+		d.ctx.metrics.stages.Add(1)
+		d.ctx.runTasks(parents, func(p int) {
+			in := d.partition(p)
+			buckets := make([]bucketed[T], numPartitions)
+			for i, v := range in {
+				b := (p + i) % numPartitions
+				buckets[b].rows = append(buckets[b].rows, v)
+				buckets[b].bytes += estimateSize(v)
+			}
+			outputs[p] = buckets
+		})
+		return outputs
+	}
+	return newDataset(d.ctx, numPartitions, "repartition", func(p int) []T {
+		return lb.get(p)
+	}).withPrepare(lb.ensure)
+}
+
+// Distinct removes duplicate elements (by the canonical key of keyOf)
+// through a shuffle.
+func Distinct[T any, K comparable](d *Dataset[T], keyOf func(T) K, numPartitions int) *Dataset[T] {
+	keyed := Map(d, func(v T) Pair[K, T] { return KV(keyOf(v), v) })
+	reduced := ReduceByKey(keyed, func(a, _ T) T { return a }, numPartitions)
+	return Values(reduced)
+}
+
+// Take returns up to n elements, materializing partitions in order
+// until enough are gathered.
+func Take[T any](d *Dataset[T], n int) []T {
+	d.prepareAll()
+	var out []T
+	for p := 0; p < d.parts && len(out) < n; p++ {
+		rows := d.partition(p)
+		for _, v := range rows {
+			out = append(out, v)
+			if len(out) == n {
+				return out
+			}
+		}
+	}
+	return out
+}

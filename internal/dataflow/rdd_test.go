@@ -1,0 +1,232 @@
+package dataflow
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intRange(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+func TestParallelizeCollectRoundTrip(t *testing.T) {
+	ctx := NewLocalContext()
+	data := intRange(100)
+	d := Parallelize(ctx, data, 7)
+	if d.NumPartitions() != 7 {
+		t.Fatalf("partitions %d", d.NumPartitions())
+	}
+	got := Collect(d)
+	if len(got) != 100 {
+		t.Fatalf("len %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order not preserved at %d: %d", i, v)
+		}
+	}
+}
+
+func TestParallelizeEmptyAndSmall(t *testing.T) {
+	ctx := NewLocalContext()
+	if got := Collect(Parallelize(ctx, []int{}, 5)); len(got) != 0 {
+		t.Fatalf("empty collect %v", got)
+	}
+	if got := Collect(Parallelize(ctx, []int{42}, 16)); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("single collect %v", got)
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, intRange(10), 3)
+	doubled := Map(d, func(x int) int { return 2 * x })
+	evens := Filter(doubled, func(x int) bool { return x%4 == 0 })
+	expanded := FlatMap(evens, func(x int) []int { return []int{x, x + 1} })
+	got := Collect(expanded)
+	want := []int{0, 1, 4, 5, 8, 9, 12, 13, 16, 17}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestMapPartitionsSeesWholePartition(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, intRange(20), 4)
+	sums := MapPartitions(d, func(_ int, rows []int) []int {
+		s := 0
+		for _, v := range rows {
+			s += v
+		}
+		return []int{s}
+	})
+	got := Collect(sums)
+	if len(got) != 4 {
+		t.Fatalf("partials %v", got)
+	}
+	total := 0
+	for _, v := range got {
+		total += v
+	}
+	if total != 190 {
+		t.Fatalf("total %d", total)
+	}
+}
+
+func TestCountReduceAggregate(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, intRange(11), 3)
+	if Count(d) != 11 {
+		t.Fatal("count")
+	}
+	if Reduce(d, func(a, b int) int { return a + b }) != 55 {
+		t.Fatal("reduce")
+	}
+	if got := Aggregate(d, 0, func(a, x int) int { return a + x }, func(a, b int) int { return a + b }); got != 55 {
+		t.Fatalf("aggregate %d", got)
+	}
+}
+
+func TestReduceEmptyPanics(t *testing.T) {
+	ctx := NewLocalContext()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Reduce(Parallelize(ctx, []int{}, 1), func(a, b int) int { return a + b })
+}
+
+func TestUnion(t *testing.T) {
+	ctx := NewLocalContext()
+	a := Parallelize(ctx, []int{1, 2}, 2)
+	b := Parallelize(ctx, []int{3}, 1)
+	got := Collect(Union(a, b))
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("union %v", got)
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Generate(ctx, 4, func(p int) []int { return []int{p * 10} })
+	got := Collect(d)
+	if len(got) != 4 || got[3] != 30 {
+		t.Fatalf("generate %v", got)
+	}
+}
+
+func TestPersistComputesOnce(t *testing.T) {
+	ctx := NewLocalContext()
+	calls := make([]int, 4)
+	d := Generate(ctx, 4, func(p int) []int {
+		calls[p]++
+		return []int{p}
+	}).Persist()
+	Collect(d)
+	Collect(d)
+	for p, c := range calls {
+		if c != 1 {
+			t.Fatalf("partition %d computed %d times", p, c)
+		}
+	}
+}
+
+func TestRepartitionPreservesElements(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, intRange(50), 3)
+	r := Repartition(d, 8)
+	if r.NumPartitions() != 8 {
+		t.Fatalf("parts %d", r.NumPartitions())
+	}
+	got := Collect(r)
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("element set changed: %v", got)
+		}
+	}
+}
+
+func TestSortedCollect(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, []int{3, 1, 2}, 2)
+	got := SortedCollect(d, func(a, b int) bool { return a < b })
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("sorted %v", got)
+	}
+}
+
+// Property: results of map+reduce are independent of partition count.
+func TestQuickPartitionIndependence(t *testing.T) {
+	ctx := NewLocalContext()
+	f := func(raw []int16, parts uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		data := make([]int, len(raw))
+		for i, v := range raw {
+			data[i] = int(v)
+		}
+		p := int(parts%10) + 1
+		d := Map(Parallelize(ctx, data, p), func(x int) int { return x * 3 })
+		got := Reduce(d, func(a, b int) int { return a + b })
+		want := 0
+		for _, v := range data {
+			want += v * 3
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLazinessNoComputeBeforeAction(t *testing.T) {
+	ctx := NewLocalContext()
+	computed := false
+	d := Generate(ctx, 2, func(p int) []int {
+		computed = true
+		return []int{p}
+	})
+	m := Map(d, func(x int) int { return x + 1 })
+	if computed {
+		t.Fatal("transformation should be lazy")
+	}
+	Collect(m)
+	if !computed {
+		t.Fatal("action should trigger compute")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, []int{3, 1, 3, 2, 1, 3}, 3)
+	got := SortedCollect(Distinct(d, func(x int) int { return x }, 2),
+		func(a, b int) bool { return a < b })
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("distinct %v", got)
+	}
+}
+
+func TestTake(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, intRange(100), 5)
+	got := Take(d, 7)
+	if len(got) != 7 || got[0] != 0 || got[6] != 6 {
+		t.Fatalf("take %v", got)
+	}
+	if got := Take(d, 1000); len(got) != 100 {
+		t.Fatalf("take beyond size: %d", len(got))
+	}
+}

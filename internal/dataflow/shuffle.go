@@ -1,0 +1,373 @@
+package dataflow
+
+import (
+	"sync"
+)
+
+// bucketed is the map-side output of one task for one reduce bucket.
+type bucketed[T any] struct {
+	rows  []T
+	bytes int64
+}
+
+// lazyBuckets is materialized shuffle output: for each reduce partition
+// the rows routed to it. Materialization runs once, on first access,
+// and records shuffle metrics.
+type lazyBuckets[T any] struct {
+	ctx     *Context
+	parts   int
+	once    sync.Once
+	buckets [][]T
+	produce func() [][]bucketed[T]
+	// post, when set, transforms each bucket exactly once during
+	// materialization. ReduceByKey folds here because combine
+	// functions may mutate their first argument (the Spark contract);
+	// folding lazily per downstream computation would re-mutate the
+	// cached bucket rows.
+	post func([]T) []T
+	// narrow marks a co-partitioned read that moves no data; it is
+	// excluded from the shuffle metrics.
+	narrow bool
+}
+
+// ensure materializes the shuffle output; it must be called from the
+// driver goroutine (via Dataset.prepare), never from inside a task.
+func (s *lazyBuckets[T]) ensure() {
+	s.once.Do(func() {
+		outputs := s.produce()
+		s.buckets = make([][]T, s.parts)
+		var recs, bytes int64
+		for _, parent := range outputs {
+			for b := range parent {
+				s.buckets[b] = append(s.buckets[b], parent[b].rows...)
+				recs += int64(len(parent[b].rows))
+				bytes += parent[b].bytes
+			}
+		}
+		if !s.narrow {
+			s.ctx.metrics.shuffles.Add(1)
+			s.ctx.metrics.shuffledRecords.Add(recs)
+			s.ctx.metrics.shuffledBytes.Add(bytes)
+			s.ctx.chargeShuffleCost(bytes)
+		}
+		if s.post != nil {
+			for b := range s.buckets {
+				s.buckets[b] = s.post(s.buckets[b])
+			}
+		}
+	})
+}
+
+func (s *lazyBuckets[T]) get(p int) []T {
+	s.ensure()
+	return s.buckets[p]
+}
+
+// exchange routes every element of d into numPartitions buckets.
+// keyed marks the route as hash-by-key: when d is already
+// hash-partitioned by key into numPartitions partitions, the exchange
+// is skipped and partitions are read in place (a narrow dependency,
+// like Spark's partitioner-aware joins).
+func exchange[T any](d *Dataset[T], numPartitions int, route func(T) int, keyed bool) *lazyBuckets[T] {
+	lb := &lazyBuckets[T]{ctx: d.ctx, parts: numPartitions}
+	if keyed && d.keyParts == numPartitions {
+		lb.narrow = true
+		lb.produce = func() [][]bucketed[T] {
+			d.prepareAll()
+			outputs := make([][]bucketed[T], d.parts)
+			d.ctx.metrics.stages.Add(1)
+			d.ctx.runTasks(d.parts, func(p int) {
+				buckets := make([]bucketed[T], numPartitions)
+				buckets[p].rows = d.partition(p)
+				outputs[p] = buckets
+			})
+			return outputs
+		}
+		return lb
+	}
+	lb.produce = func() [][]bucketed[T] {
+		d.prepareAll()
+		outputs := make([][]bucketed[T], d.parts)
+		d.ctx.metrics.stages.Add(1)
+		d.ctx.runTasks(d.parts, func(p int) {
+			in := d.partition(p)
+			buckets := make([]bucketed[T], numPartitions)
+			for _, v := range in {
+				b := route(v)
+				buckets[b].rows = append(buckets[b].rows, v)
+				buckets[b].bytes += estimateSize(v)
+			}
+			outputs[p] = buckets
+		})
+		return outputs
+	}
+	return lb
+}
+
+// Pair is a key-value record, the element type of all keyed operations.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// KV constructs a Pair.
+func KV[K comparable, V any](k K, v V) Pair[K, V] { return Pair[K, V]{Key: k, Value: v} }
+
+// NumBytes lets pairs participate in shuffle accounting.
+func (p Pair[K, V]) NumBytes() int64 {
+	return estimateSize(p.Key) + estimateSize(p.Value)
+}
+
+// pairRoute returns the hash route function for pairs.
+func pairRoute[K comparable, V any](numPartitions int) func(Pair[K, V]) int {
+	return func(p Pair[K, V]) int { return partitionOf(p.Key, numPartitions) }
+}
+
+// ReduceByKey merges values sharing a key with the associative,
+// commutative function combine. Values are partially combined on the
+// map side before the shuffle (Spark's reduceByKey), so shuffle volume
+// is one record per (input partition, distinct key).
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(V, V) V, numPartitions int) *Dataset[Pair[K, V]] {
+	if numPartitions <= 0 {
+		numPartitions = d.ctx.DefaultPartitions()
+	}
+	lb := &lazyBuckets[Pair[K, V]]{ctx: d.ctx, parts: numPartitions}
+	lb.produce = func() [][]bucketed[Pair[K, V]] {
+		d.prepareAll()
+		outputs := make([][]bucketed[Pair[K, V]], d.parts)
+		d.ctx.metrics.stages.Add(1)
+		d.ctx.runTasks(d.parts, func(p int) {
+			in := d.partition(p)
+			// Map-side combine.
+			acc := make(map[K]V)
+			order := make([]K, 0)
+			for _, kv := range in {
+				if old, ok := acc[kv.Key]; ok {
+					acc[kv.Key] = combine(old, kv.Value)
+				} else {
+					acc[kv.Key] = kv.Value
+					order = append(order, kv.Key)
+				}
+			}
+			buckets := make([]bucketed[Pair[K, V]], numPartitions)
+			for _, k := range order {
+				kv := KV(k, acc[k])
+				b := partitionOf(k, numPartitions)
+				buckets[b].rows = append(buckets[b].rows, kv)
+				buckets[b].bytes += kv.NumBytes()
+			}
+			outputs[p] = buckets
+		})
+		return outputs
+	}
+	// Reduce side: fold the shuffled partials per key, exactly once
+	// (combine may mutate its first argument).
+	lb.post = func(rows []Pair[K, V]) []Pair[K, V] {
+		return foldPairs(rows, combine)
+	}
+	return newDataset(d.ctx, numPartitions, "reduceByKey", func(p int) []Pair[K, V] {
+		return lb.get(p)
+	}).withPrepare(lb.ensure).withKeyParts(numPartitions)
+}
+
+// foldPairs merges a slice of pairs by key preserving first-seen key
+// order, folding values with combine.
+func foldPairs[K comparable, V any](rows []Pair[K, V], combine func(V, V) V) []Pair[K, V] {
+	acc := make(map[K]V, len(rows))
+	order := make([]K, 0, len(rows))
+	for _, kv := range rows {
+		if old, ok := acc[kv.Key]; ok {
+			acc[kv.Key] = combine(old, kv.Value)
+		} else {
+			acc[kv.Key] = kv.Value
+			order = append(order, kv.Key)
+		}
+	}
+	out := make([]Pair[K, V], len(order))
+	for i, k := range order {
+		out[i] = KV(k, acc[k])
+	}
+	return out
+}
+
+// GroupByKey collects all values per key into a slice. Unlike
+// ReduceByKey there is no map-side combining: every record crosses the
+// shuffle, which is exactly the cost difference the paper's Rule (13)
+// exploits.
+func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], numPartitions int) *Dataset[Pair[K, []V]] {
+	if numPartitions <= 0 {
+		numPartitions = d.ctx.DefaultPartitions()
+	}
+	lb := exchange(d, numPartitions, pairRoute[K, V](numPartitions), true)
+	ds := newDataset(d.ctx, numPartitions, "groupByKey", func(p int) []Pair[K, []V] {
+		rows := lb.get(p)
+		acc := make(map[K][]V)
+		order := make([]K, 0)
+		for _, kv := range rows {
+			if _, ok := acc[kv.Key]; !ok {
+				order = append(order, kv.Key)
+			}
+			acc[kv.Key] = append(acc[kv.Key], kv.Value)
+		}
+		out := make([]Pair[K, []V], len(order))
+		for i, k := range order {
+			out[i] = KV(k, acc[k])
+		}
+		return out
+	})
+	return ds.withPrepare(lb.ensure).withKeyParts(numPartitions)
+}
+
+// AggregateByKey folds values per key into an accumulator of a
+// different type, with map-side partial aggregation.
+func AggregateByKey[K comparable, V, A any](d *Dataset[Pair[K, V]], zero func() A, seq func(A, V) A, merge func(A, A) A, numPartitions int) *Dataset[Pair[K, A]] {
+	partials := MapPartitions(d, func(_ int, rows []Pair[K, V]) []Pair[K, A] {
+		acc := make(map[K]A, len(rows))
+		order := make([]K, 0)
+		for _, kv := range rows {
+			a, ok := acc[kv.Key]
+			if !ok {
+				a = zero()
+				order = append(order, kv.Key)
+			}
+			acc[kv.Key] = seq(a, kv.Value)
+		}
+		out := make([]Pair[K, A], len(order))
+		for i, k := range order {
+			out[i] = KV(k, acc[k])
+		}
+		return out
+	})
+	return ReduceByKey(partials, merge, numPartitions)
+}
+
+// MapValues transforms the value of each pair, keeping the key; the
+// partitioning survives (keys are untouched), so downstream joins on
+// the result stay narrow.
+func MapValues[K comparable, V, W any](d *Dataset[Pair[K, V]], f func(V) W) *Dataset[Pair[K, W]] {
+	out := Map(d, func(p Pair[K, V]) Pair[K, W] { return KV(p.Key, f(p.Value)) })
+	return out.withKeyParts(d.keyParts)
+}
+
+// Keys projects the keys of a pair dataset.
+func Keys[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[K] {
+	return Map(d, func(p Pair[K, V]) K { return p.Key })
+}
+
+// Values projects the values of a pair dataset.
+func Values[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[V] {
+	return Map(d, func(p Pair[K, V]) V { return p.Value })
+}
+
+// JoinedPair is one match of an inner join.
+type JoinedPair[A, B any] struct {
+	Left  A
+	Right B
+}
+
+// Join computes the inner equi-join of two pair datasets. Both sides
+// are hash-shuffled into co-partitioned buckets and joined with an
+// in-memory hash join per bucket.
+func Join[K comparable, A, B any](left *Dataset[Pair[K, A]], right *Dataset[Pair[K, B]], numPartitions int) *Dataset[Pair[K, JoinedPair[A, B]]] {
+	if numPartitions <= 0 {
+		numPartitions = left.ctx.DefaultPartitions()
+	}
+	lb := exchange(left, numPartitions, pairRoute[K, A](numPartitions), true)
+	rb := exchange(right, numPartitions, pairRoute[K, B](numPartitions), true)
+	ds := newDataset(left.ctx, numPartitions, "join", func(p int) []Pair[K, JoinedPair[A, B]] {
+		ls := lb.get(p)
+		rs := rb.get(p)
+		table := make(map[K][]A, len(ls))
+		for _, kv := range ls {
+			table[kv.Key] = append(table[kv.Key], kv.Value)
+		}
+		var out []Pair[K, JoinedPair[A, B]]
+		for _, kv := range rs {
+			for _, a := range table[kv.Key] {
+				out = append(out, KV(kv.Key, JoinedPair[A, B]{Left: a, Right: kv.Value}))
+			}
+		}
+		return out
+	})
+	return ds.withPrepare(func() {
+		lb.ensure()
+		rb.ensure()
+	})
+}
+
+// CoGrouped holds, for one key, all left and right values.
+type CoGrouped[A, B any] struct {
+	Left  []A
+	Right []B
+}
+
+// CoGroup groups both datasets by key simultaneously, like Spark's
+// cogroup; keys present on either side appear in the output.
+func CoGroup[K comparable, A, B any](left *Dataset[Pair[K, A]], right *Dataset[Pair[K, B]], numPartitions int) *Dataset[Pair[K, CoGrouped[A, B]]] {
+	if numPartitions <= 0 {
+		numPartitions = left.ctx.DefaultPartitions()
+	}
+	lb := exchange(left, numPartitions, pairRoute[K, A](numPartitions), true)
+	rb := exchange(right, numPartitions, pairRoute[K, B](numPartitions), true)
+	ds := newDataset(left.ctx, numPartitions, "cogroup", func(p int) []Pair[K, CoGrouped[A, B]] {
+		ls := lb.get(p)
+		rs := rb.get(p)
+		acc := make(map[K]*CoGrouped[A, B])
+		order := make([]K, 0)
+		get := func(k K) *CoGrouped[A, B] {
+			g, ok := acc[k]
+			if !ok {
+				g = &CoGrouped[A, B]{}
+				acc[k] = g
+				order = append(order, k)
+			}
+			return g
+		}
+		for _, kv := range ls {
+			g := get(kv.Key)
+			g.Left = append(g.Left, kv.Value)
+		}
+		for _, kv := range rs {
+			g := get(kv.Key)
+			g.Right = append(g.Right, kv.Value)
+		}
+		out := make([]Pair[K, CoGrouped[A, B]], len(order))
+		for i, k := range order {
+			out[i] = KV(k, *acc[k])
+		}
+		return out
+	})
+	return ds.withPrepare(func() {
+		lb.ensure()
+		rb.ensure()
+	})
+}
+
+// PartitionByKey hash-shuffles a pair dataset so that all records of a
+// key land in the same partition (Spark's partitionBy).
+func PartitionByKey[K comparable, V any](d *Dataset[Pair[K, V]], numPartitions int) *Dataset[Pair[K, V]] {
+	if numPartitions <= 0 {
+		numPartitions = d.ctx.DefaultPartitions()
+	}
+	lb := exchange(d, numPartitions, pairRoute[K, V](numPartitions), true)
+	return newDataset(d.ctx, numPartitions, "partitionBy", func(p int) []Pair[K, V] {
+		return lb.get(p)
+	}).withPrepare(lb.ensure).withKeyParts(numPartitions)
+}
+
+// CollectAsMap collects a pair dataset into a map; later duplicates of
+// a key overwrite earlier ones.
+func CollectAsMap[K comparable, V any](d *Dataset[Pair[K, V]]) map[K]V {
+	rows := Collect(d)
+	m := make(map[K]V, len(rows))
+	for _, kv := range rows {
+		m[kv.Key] = kv.Value
+	}
+	return m
+}
+
+// CountByKey returns the number of records per key.
+func CountByKey[K comparable, V any](d *Dataset[Pair[K, V]]) map[K]int64 {
+	counts := ReduceByKey(MapValues(d, func(V) int64 { return 1 }), func(a, b int64) int64 { return a + b }, 0)
+	return CollectAsMap(counts)
+}

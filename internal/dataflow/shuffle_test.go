@@ -1,0 +1,354 @@
+package dataflow
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func pairsOf(n int) []Pair[int, int] {
+	ps := make([]Pair[int, int], n)
+	for i := range ps {
+		ps[i] = KV(i%5, i)
+	}
+	return ps
+}
+
+func TestReduceByKeySums(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, pairsOf(20), 4)
+	r := ReduceByKey(d, func(a, b int) int { return a + b }, 3)
+	got := CollectAsMap(r)
+	// keys 0..4, values i for i%5==k: k, k+5, k+10, k+15 -> 4k+30
+	for k := 0; k < 5; k++ {
+		if got[k] != 4*k+30 {
+			t.Fatalf("key %d: got %d want %d", k, got[k], 4*k+30)
+		}
+	}
+}
+
+func TestGroupByKeyCollectsAll(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, pairsOf(20), 4)
+	g := GroupByKey(d, 3)
+	got := CollectAsMap(g)
+	if len(got) != 5 {
+		t.Fatalf("keys %d", len(got))
+	}
+	for k, vs := range got {
+		if len(vs) != 4 {
+			t.Fatalf("key %d has %d values", k, len(vs))
+		}
+		sort.Ints(vs)
+		for i, v := range vs {
+			if v != k+5*i {
+				t.Fatalf("key %d values %v", k, vs)
+			}
+		}
+	}
+}
+
+func TestReduceByKeyEquivalentToGroupByKeyFold(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, pairsOf(100), 7)
+	viaReduce := CollectAsMap(ReduceByKey(d, func(a, b int) int { return a + b }, 4))
+	viaGroup := CollectAsMap(MapValues(GroupByKey(d, 4), func(vs []int) int {
+		s := 0
+		for _, v := range vs {
+			s += v
+		}
+		return s
+	}))
+	if len(viaReduce) != len(viaGroup) {
+		t.Fatal("key sets differ")
+	}
+	for k, v := range viaReduce {
+		if viaGroup[k] != v {
+			t.Fatalf("key %d: %d vs %d", k, v, viaGroup[k])
+		}
+	}
+}
+
+func TestReduceByKeyShufflesLessThanGroupByKey(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, pairsOf(1000), 8)
+	before := ctx.Metrics()
+	Collect(ReduceByKey(d, func(a, b int) int { return a + b }, 4))
+	mid := ctx.Metrics()
+	Collect(GroupByKey(d, 4))
+	after := ctx.Metrics()
+	reduceShuffled := mid.Sub(before).ShuffledRecords
+	groupShuffled := after.Sub(mid).ShuffledRecords
+	if reduceShuffled >= groupShuffled {
+		t.Fatalf("reduceByKey shuffled %d >= groupByKey %d", reduceShuffled, groupShuffled)
+	}
+	// Map-side combine bounds shuffle at keys x partitions.
+	if reduceShuffled > 5*8 {
+		t.Fatalf("reduceByKey shuffled %d > 40", reduceShuffled)
+	}
+	if groupShuffled != 1000 {
+		t.Fatalf("groupByKey should shuffle every record, got %d", groupShuffled)
+	}
+}
+
+func TestAggregateByKey(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, pairsOf(20), 4)
+	counts := AggregateByKey(d,
+		func() int { return 0 },
+		func(a int, _ int) int { return a + 1 },
+		func(a, b int) int { return a + b }, 0)
+	got := CollectAsMap(counts)
+	for k := 0; k < 5; k++ {
+		if got[k] != 4 {
+			t.Fatalf("key %d count %d", k, got[k])
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	ctx := NewLocalContext()
+	left := Parallelize(ctx, []Pair[string, int]{KV("a", 1), KV("b", 2), KV("a", 3)}, 2)
+	right := Parallelize(ctx, []Pair[string, string]{KV("a", "x"), KV("c", "y"), KV("a", "z")}, 2)
+	j := Join(left, right, 3)
+	got := Collect(j)
+	if len(got) != 4 { // (1,x),(1,z),(3,x),(3,z)
+		t.Fatalf("join size %d: %v", len(got), got)
+	}
+	for _, kv := range got {
+		if kv.Key != "a" {
+			t.Fatalf("unexpected key %q", kv.Key)
+		}
+	}
+}
+
+func TestJoinNoMatches(t *testing.T) {
+	ctx := NewLocalContext()
+	left := Parallelize(ctx, []Pair[int, int]{KV(1, 1)}, 1)
+	right := Parallelize(ctx, []Pair[int, int]{KV(2, 2)}, 1)
+	if got := Collect(Join(left, right, 2)); len(got) != 0 {
+		t.Fatalf("expected empty join, got %v", got)
+	}
+}
+
+func TestCoGroup(t *testing.T) {
+	ctx := NewLocalContext()
+	left := Parallelize(ctx, []Pair[int, int]{KV(1, 10), KV(2, 20), KV(1, 11)}, 2)
+	right := Parallelize(ctx, []Pair[int, string]{KV(1, "a"), KV(3, "c")}, 2)
+	got := CollectAsMap(CoGroup(left, right, 2))
+	if len(got) != 3 {
+		t.Fatalf("cogroup keys %d", len(got))
+	}
+	g1 := got[1]
+	if len(g1.Left) != 2 || len(g1.Right) != 1 {
+		t.Fatalf("key 1 groups %+v", g1)
+	}
+	if len(got[2].Left) != 1 || len(got[2].Right) != 0 {
+		t.Fatalf("key 2 groups %+v", got[2])
+	}
+	if len(got[3].Left) != 0 || len(got[3].Right) != 1 {
+		t.Fatalf("key 3 groups %+v", got[3])
+	}
+}
+
+func TestPartitionByKeyColocation(t *testing.T) {
+	ctx := NewLocalContext()
+	var data []Pair[int, int]
+	for i := 0; i < 60; i++ {
+		data = append(data, KV(i%6, i))
+	}
+	d := PartitionByKey(Parallelize(ctx, data, 5), 4)
+	parts := d.materialize()
+	seen := map[int]int{}
+	for p, rows := range parts {
+		for _, kv := range rows {
+			if prev, ok := seen[kv.Key]; ok && prev != p {
+				t.Fatalf("key %d in partitions %d and %d", kv.Key, prev, p)
+			}
+			seen[kv.Key] = p
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("lost keys: %v", seen)
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, pairsOf(25), 3)
+	got := CountByKey(d)
+	if got[0] != 5 || got[4] != 5 {
+		t.Fatalf("counts %v", got)
+	}
+}
+
+func TestKeysValues(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, []Pair[int, string]{KV(1, "a"), KV(2, "b")}, 1)
+	ks := Collect(Keys(d))
+	vs := Collect(Values(d))
+	if ks[0] != 1 || ks[1] != 2 || vs[0] != "a" || vs[1] != "b" {
+		t.Fatalf("keys %v values %v", ks, vs)
+	}
+}
+
+// Property: ReduceByKey result is independent of partition counts.
+func TestQuickReduceByKeyPartitionIndependence(t *testing.T) {
+	ctx := NewLocalContext()
+	f := func(raw []uint8, p1, p2 uint8) bool {
+		data := make([]Pair[int, int], len(raw))
+		for i, v := range raw {
+			data[i] = KV(int(v%7), int(v))
+		}
+		if len(data) == 0 {
+			return true
+		}
+		a := CollectAsMap(ReduceByKey(Parallelize(ctx, data, int(p1%8)+1), func(a, b int) int { return a + b }, int(p2%8)+1))
+		b := CollectAsMap(ReduceByKey(Parallelize(ctx, data, int(p2%8)+1), func(a, b int) int { return a + b }, int(p1%8)+1))
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Join matches a nested-loop reference implementation.
+func TestQuickJoinMatchesNestedLoop(t *testing.T) {
+	ctx := NewLocalContext()
+	f := func(ls, rs []uint8) bool {
+		left := make([]Pair[int, int], len(ls))
+		for i, v := range ls {
+			left[i] = KV(int(v%5), i)
+		}
+		right := make([]Pair[int, int], len(rs))
+		for i, v := range rs {
+			right[i] = KV(int(v%5), 100+i)
+		}
+		got := Collect(Join(Parallelize(ctx, left, 3), Parallelize(ctx, right, 2), 4))
+		want := 0
+		for _, l := range left {
+			for _, r := range right {
+				if l.Key == r.Key {
+					want++
+				}
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: combine functions may mutate their first argument (the
+// Spark reduceByKey contract). Re-materializing a reduceByKey result
+// must not re-fold the cached shuffle buckets and double-accumulate.
+func TestReduceByKeyRematerializeWithMutatingCombine(t *testing.T) {
+	ctx := NewLocalContext()
+	type box struct{ v float64 }
+	var data []Pair[int, *box]
+	for i := 0; i < 12; i++ {
+		data = append(data, KV(i%3, &box{v: 1}))
+	}
+	d := Parallelize(ctx, data, 4)
+	r := ReduceByKey(d, func(a, b *box) *box {
+		a.v += b.v // mutates the first argument
+		return a
+	}, 2)
+	first := map[int]float64{}
+	for _, kv := range Collect(r) {
+		first[kv.Key] = kv.Value.v
+	}
+	second := map[int]float64{}
+	for _, kv := range Collect(r) { // second materialization
+		second[kv.Key] = kv.Value.v
+	}
+	for k := 0; k < 3; k++ {
+		if first[k] != 4 || second[k] != 4 {
+			t.Fatalf("key %d: first %v second %v, want 4", k, first[k], second[k])
+		}
+	}
+}
+
+// Partitioner-aware joins: joining two reduceByKey outputs with the
+// same partition count must not re-shuffle either side.
+func TestCoPartitionedJoinSkipsExchange(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, pairsOf(100), 5)
+	a := ReduceByKey(d, func(x, y int) int { return x + y }, 4)
+	b := ReduceByKey(MapValues(d, func(v int) int { return v * 2 }), func(x, y int) int { return x + y }, 4)
+	Collect(a)
+	Collect(b)
+	ctx.ResetMetrics()
+
+	j := Join(a, b, 4)
+	got := CollectAsMap(j)
+	if ctx.Metrics().ShuffledRecords != 0 {
+		t.Fatalf("co-partitioned join shuffled %d records", ctx.Metrics().ShuffledRecords)
+	}
+	if len(got) != 5 {
+		t.Fatalf("join keys %d", len(got))
+	}
+	for k, v := range got {
+		if v.Right != 2*v.Left {
+			t.Fatalf("key %d: %+v", k, v)
+		}
+	}
+}
+
+// A partition-count mismatch falls back to the full exchange.
+func TestMismatchedPartitioningStillExchanges(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, pairsOf(50), 5)
+	a := ReduceByKey(d, func(x, y int) int { return x + y }, 4)
+	b := ReduceByKey(d, func(x, y int) int { return x + y }, 3)
+	Collect(a)
+	Collect(b)
+	ctx.ResetMetrics()
+	got := CollectAsMap(Join(a, b, 4))
+	if len(got) != 5 {
+		t.Fatalf("join keys %d", len(got))
+	}
+	if ctx.Metrics().ShuffledRecords == 0 {
+		t.Fatal("mismatched partitioning must exchange")
+	}
+	for _, v := range got {
+		if v.Left != v.Right {
+			t.Fatalf("values differ: %+v", v)
+		}
+	}
+}
+
+// MapValues preserves partitioning; Map does not.
+func TestMapValuesPreservesPartitioning(t *testing.T) {
+	ctx := NewLocalContext()
+	d := Parallelize(ctx, pairsOf(20), 4)
+	r := ReduceByKey(d, func(x, y int) int { return x + y }, 4)
+	if r.KeyPartitioned() != 4 {
+		t.Fatalf("reduceByKey partitioning %d", r.KeyPartitioned())
+	}
+	mv := MapValues(r, func(v int) int { return v + 1 })
+	if mv.KeyPartitioned() != 4 {
+		t.Fatal("MapValues lost partitioning")
+	}
+	m := Map(r, func(p Pair[int, int]) Pair[int, int] { return KV(p.Key+1, p.Value) })
+	if m.KeyPartitioned() != 0 {
+		t.Fatal("Map (which may rekey) must drop partitioning")
+	}
+	pb := PartitionByKey(d, 3)
+	if pb.KeyPartitioned() != 3 {
+		t.Fatal("partitionBy should record partitioning")
+	}
+	g := GroupByKey(d, 5)
+	if g.KeyPartitioned() != 5 {
+		t.Fatal("groupByKey should record partitioning")
+	}
+}

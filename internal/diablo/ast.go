@@ -1,0 +1,101 @@
+// Package diablo implements a front end in the spirit of the paper's
+// companion system DIABLO (Fegaras & Noor, PVLDB 2020): array-based
+// imperative loops are translated to SAC array comprehensions, which
+// the SAC back end then compiles to distributed block-array programs.
+// The paper positions SAC as "a drop-in back-end replacement for
+// DIABLO"; this package provides the loop language that feeds it.
+//
+// The supported subset covers the translation the papers illustrate:
+//
+//	var V: vector[n];
+//	var C: matrix[n, m];
+//
+//	for i = 0, n-1 do
+//	    for j = 0, m-1 do
+//	        V[i] += M[i, j];
+//
+//	for i = 0, n-1 do
+//	    for k = 0, l-1 do
+//	        for j = 0, m-1 do
+//	            C[i, j] += M[i, k] * N[k, j];
+//
+// Incremental updates (+=, *=, min=, max=) become group-by
+// comprehensions whose group key is the destination index; plain
+// assignments (:=) become comprehensions without a group-by. Array
+// reads indexed by loop variables become generators (full traversals)
+// when they cover fresh loop variables, and remain index expressions —
+// later desugared to joins per Section 2 — otherwise. As in DIABLO,
+// loops that start at 0 are assumed to span the dimension they index.
+package diablo
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/comp"
+)
+
+// Program is a parsed DIABLO program: declarations followed by
+// statements.
+type Program struct {
+	Decls []Decl
+	Stmts []Stmt
+}
+
+// Decl declares a result array and its dimensions.
+type Decl struct {
+	Name string
+	Kind string // "vector" or "matrix"
+	Dims []comp.Expr
+}
+
+// Stmt is a statement: a loop nest or an update.
+type Stmt interface {
+	fmt.Stringer
+	stmtNode()
+}
+
+// ForStmt is `for v = lo, hi do body` with inclusive bounds.
+type ForStmt struct {
+	Var    string
+	Lo, Hi comp.Expr
+	Body   []Stmt
+}
+
+// UpdateStmt is `A[e1,...,ed] op rhs` with op one of
+// :=, +=, *=, min=, max=.
+type UpdateStmt struct {
+	Array string
+	Idxs  []comp.Expr
+	Op    string
+	Rhs   comp.Expr
+}
+
+func (ForStmt) stmtNode()    {}
+func (UpdateStmt) stmtNode() {}
+
+func (s ForStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "for %s = %s, %s do { ", s.Var, s.Lo, s.Hi)
+	for _, st := range s.Body {
+		b.WriteString(st.String())
+		b.WriteString("; ")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func (s UpdateStmt) String() string {
+	idxs := make([]string, len(s.Idxs))
+	for i, e := range s.Idxs {
+		idxs[i] = e.String()
+	}
+	return fmt.Sprintf("%s[%s] %s %s", s.Array, strings.Join(idxs, ","), s.Op, s.Rhs)
+}
+
+// Assignment is one translated statement: the destination array and
+// the comprehension that computes it.
+type Assignment struct {
+	Dest  string
+	Query comp.Expr // a BuildExpr
+}

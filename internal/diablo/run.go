@@ -1,0 +1,64 @@
+package diablo
+
+import (
+	"fmt"
+
+	"repro/internal/comp"
+	"repro/internal/opt"
+	"repro/internal/plan"
+)
+
+// RunDistributed translates and executes a program on the SAC back
+// end: each assignment's comprehension is compiled against the
+// catalog, executed on the dataflow engine, and the result is bound to
+// the destination name (so later statements can read it). It returns
+// the plans chosen per assignment, for inspection.
+func RunDistributed(prog *Program, cat *plan.Catalog, opts opt.Options) ([]string, error) {
+	asgs, err := Translate(prog, "tiled")
+	if err != nil {
+		return nil, err
+	}
+	var plans []string
+	for _, a := range asgs {
+		q, err := plan.Compile(a.Query, cat, opts)
+		if err != nil {
+			return nil, fmt.Errorf("diablo: compiling %s: %w", a.Dest, err)
+		}
+		plans = append(plans, fmt.Sprintf("%s <- %s", a.Dest, q.Explain()))
+		res, err := q.Execute()
+		if err != nil {
+			return nil, fmt.Errorf("diablo: executing %s: %w", a.Dest, err)
+		}
+		switch res.Kind() {
+		case "matrix":
+			cat.BindMatrix(a.Dest, res.Matrix)
+		case "vector":
+			cat.BindVector(a.Dest, res.Vector)
+		default:
+			return nil, fmt.Errorf("diablo: %s produced a %s", a.Dest, res.Kind())
+		}
+	}
+	return plans, nil
+}
+
+// RunLocal translates and evaluates a program with the single-node
+// reference evaluator; bindings maps input arrays (comp storages) and
+// scalars, and is extended with the results.
+func RunLocal(prog *Program, bindings map[string]comp.Value) error {
+	asgs, err := Translate(prog, "local")
+	if err != nil {
+		return err
+	}
+	for _, a := range asgs {
+		var env *comp.Env
+		for k, v := range bindings {
+			env = env.Bind(k, v)
+		}
+		v, err := comp.Eval(comp.Desugar(a.Query), env)
+		if err != nil {
+			return fmt.Errorf("diablo: evaluating %s: %w", a.Dest, err)
+		}
+		bindings[a.Dest] = v
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+// Package linalg provides local (single-node) dense and sparse linear
+// algebra kernels used as the per-tile compute substrate of the SAC
+// reproduction. Dense matrices are stored in row-major order in a flat
+// float64 slice, mirroring the paper's tile representation
+// Array[Double] of size N*N with element (i,j) at position i*N+j.
+//
+// Kernels come in serial and parallel variants; the parallel variants
+// slice work by row blocks across goroutines, playing the role of
+// Scala's Parallel Collections (.par) in the paper's generated code.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("linalg: incompatible shapes")
+
+// Dense is a dense row-major matrix. Element (i,j) is Data[i*Cols+j].
+// The zero value is an empty 0x0 matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense allocates a zeroed rows x cols dense matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewDenseFrom wraps the given backing slice as a rows x cols matrix.
+// The slice is used directly, not copied; len(data) must be rows*cols.
+func NewDenseFrom(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i,j). Bounds are checked by the slice access.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates into element (i,j).
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	d := make([]float64, len(m.Data))
+	copy(d, m.Data)
+	return &Dense{Rows: m.Rows, Cols: m.Cols, Data: d}
+}
+
+// SameShape reports whether m and n have identical dimensions.
+func (m *Dense) SameShape(n *Dense) bool { return m.Rows == n.Rows && m.Cols == n.Cols }
+
+// NumBytes returns the approximate in-memory payload size of the matrix,
+// used by the dataflow engine's shuffle accounting.
+func (m *Dense) NumBytes() int64 { return int64(len(m.Data)) * 8 }
+
+// String renders small matrices fully and larger ones by shape.
+func (m *Dense) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Dense(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Dense(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
+
+// Equal reports exact element-wise equality (shapes must match).
+func (m *Dense) Equal(n *Dense) bool {
+	if !m.SameShape(n) {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != n.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports element-wise equality within absolute tolerance tol.
+func (m *Dense) EqualApprox(n *Dense, tol float64) bool {
+	if !m.SameShape(n) {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-n.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the max element-wise absolute difference, or +Inf on
+// shape mismatch.
+func (m *Dense) MaxAbsDiff(n *Dense) float64 {
+	if !m.SameShape(n) {
+		return math.Inf(1)
+	}
+	var d float64
+	for i, v := range m.Data {
+		if a := math.Abs(v - n.Data[i]); a > d {
+			d = a
+		}
+	}
+	return d
+}
+
+// Transpose returns a newly allocated transpose of m.
+func (m *Dense) Transpose() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Zero clears the matrix in place.
+func (m *Dense) Zero() { m.Fill(0) }
+
+// Slice returns a copy of the sub-matrix [r0,r1) x [c0,c1).
+func (m *Dense) Slice(r0, r1, c0, c1 int) *Dense {
+	if r0 < 0 || c0 < 0 || r1 > m.Rows || c1 > m.Cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("linalg: slice [%d:%d,%d:%d) out of %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	s := NewDense(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(s.Data[(i-r0)*s.Cols:(i-r0+1)*s.Cols], m.Data[i*m.Cols+c0:i*m.Cols+c1])
+	}
+	return s
+}
+
+// CopyInto writes src into m starting at (r0,c0). Out-of-range target
+// elements panic via bounds checks.
+func (m *Dense) CopyInto(src *Dense, r0, c0 int) {
+	for i := 0; i < src.Rows; i++ {
+		copy(m.Data[(r0+i)*m.Cols+c0:(r0+i)*m.Cols+c0+src.Cols], src.Data[i*src.Cols:(i+1)*src.Cols])
+	}
+}
+
+// FrobeniusNorm returns sqrt(sum of squares).
+func (m *Dense) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// RowSums returns the vector of per-row sums (the paper's Figure 1
+// running example V_i = sum_j M_ij at the tile level).
+func (m *Dense) RowSums() *Vector {
+	v := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for _, x := range m.Data[i*m.Cols : (i+1)*m.Cols] {
+			s += x
+		}
+		v.Data[i] = s
+	}
+	return v
+}
+
+// ColSums returns the vector of per-column sums.
+func (m *Dense) ColSums() *Vector {
+	v := NewVector(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			v.Data[j] += x
+		}
+	}
+	return v
+}
+
+// Diag returns the main diagonal as a vector of length min(Rows, Cols).
+func (m *Dense) Diag() *Vector {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	v := NewVector(n)
+	for i := 0; i < n; i++ {
+		v.Data[i] = m.At(i, i)
+	}
+	return v
+}
+
+// Eye returns the n x n identity matrix.
+func Eye(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}

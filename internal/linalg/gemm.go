@@ -1,0 +1,223 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Gemm computes C += A * B on dense row-major matrices using the
+// cache-friendly i-k-j loop order, which is the loop the paper's
+// group-by translation derives for tile multiplication:
+//
+//	V(i*N+j) += A(i*N+k) * B(k*N+j)
+//
+// C must be pre-allocated with shape A.Rows x B.Cols.
+func Gemm(c, a, b *Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	gemmRows(c, a, b, 0, a.Rows)
+}
+
+// gemmRows computes rows [r0,r1) of C += A*B.
+func gemmRows(c, a, b *Dense, r0, r1 int) {
+	l, m := a.Cols, b.Cols
+	for i := r0; i < r1; i++ {
+		crow := c.Data[i*m : (i+1)*m]
+		arow := a.Data[i*l : (i+1)*l]
+		for k := 0; k < l; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*m : (k+1)*m]
+			for j, bkj := range brow {
+				crow[j] += aik * bkj
+			}
+		}
+	}
+}
+
+// GemmNaive computes C += A*B with the textbook i-j-k triple loop. It is
+// the reference oracle for property tests of the optimized kernels.
+func GemmNaive(c, a, b *Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Add(i, j, s)
+		}
+	}
+}
+
+// ParGemm computes C += A*B with row blocks distributed over goroutines,
+// standing in for the per-tile multicore parallelism (.par) in the
+// paper's generated Spark code.
+func ParGemm(c, a, b *Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	parRows(a.Rows, func(r0, r1 int) { gemmRows(c, a, b, r0, r1) })
+}
+
+// Mul returns A*B as a new matrix using the serial kernel.
+func Mul(a, b *Dense) *Dense {
+	c := NewDense(a.Rows, b.Cols)
+	Gemm(c, a, b)
+	return c
+}
+
+// ParMul returns A*B as a new matrix using the parallel kernel.
+func ParMul(a, b *Dense) *Dense {
+	c := NewDense(a.Rows, b.Cols)
+	ParGemm(c, a, b)
+	return c
+}
+
+// parRows splits [0,n) into contiguous chunks, one per worker, and runs
+// body on each chunk concurrently. With n < 2 or a single CPU it runs
+// inline.
+func parRows(n int, body func(r0, r1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for r0 := 0; r0 < n; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > n {
+			r1 = n
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			body(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// AddInPlace computes A += B element-wise and returns A. It is the tile
+// monoid used by reduceByKey over blocks.
+func AddInPlace(a, b *Dense) *Dense {
+	if !a.SameShape(b) {
+		panic(ErrShape)
+	}
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+	return a
+}
+
+// AddDense returns A + B as a new matrix.
+func AddDense(a, b *Dense) *Dense { return AddInPlace(a.Clone(), b) }
+
+// ParAddInPlace is AddInPlace with row-sliced goroutine parallelism.
+func ParAddInPlace(a, b *Dense) *Dense {
+	if !a.SameShape(b) {
+		panic(ErrShape)
+	}
+	parRows(a.Rows, func(r0, r1 int) {
+		for i := r0 * a.Cols; i < r1*a.Cols; i++ {
+			a.Data[i] += b.Data[i]
+		}
+	})
+	return a
+}
+
+// SubInPlace computes A -= B element-wise and returns A.
+func SubInPlace(a, b *Dense) *Dense {
+	if !a.SameShape(b) {
+		panic(ErrShape)
+	}
+	for i, v := range b.Data {
+		a.Data[i] -= v
+	}
+	return a
+}
+
+// SubDense returns A - B as a new matrix.
+func SubDense(a, b *Dense) *Dense { return SubInPlace(a.Clone(), b) }
+
+// ScaleInPlace multiplies every element of A by s and returns A.
+func ScaleInPlace(a *Dense, s float64) *Dense {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+	return a
+}
+
+// Scale returns s*A as a new matrix.
+func Scale(a *Dense, s float64) *Dense { return ScaleInPlace(a.Clone(), s) }
+
+// HadamardInPlace computes A *= B element-wise and returns A.
+func HadamardInPlace(a, b *Dense) *Dense {
+	if !a.SameShape(b) {
+		panic(ErrShape)
+	}
+	for i, v := range b.Data {
+		a.Data[i] *= v
+	}
+	return a
+}
+
+// AXPYInPlace computes A += s*B and returns A; the fused update used by
+// gradient-descent factorization steps P <- P + gamma*(...).
+func AXPYInPlace(a *Dense, s float64, b *Dense) *Dense {
+	if !a.SameShape(b) {
+		panic(ErrShape)
+	}
+	for i, v := range b.Data {
+		a.Data[i] += s * v
+	}
+	return a
+}
+
+// GemmTransA computes C += A^T * B without materializing A^T.
+func GemmTransA(c, a, b *Dense) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, aki := range arow {
+			if aki == 0 {
+				continue
+			}
+			crow := c.Data[i*c.Cols : (i+1)*c.Cols]
+			for j, bkj := range brow {
+				crow[j] += aki * bkj
+			}
+		}
+	}
+}
+
+// GemmTransB computes C += A * B^T without materializing B^T.
+func GemmTransB(c, a, b *Dense) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(ErrShape)
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		crow := c.Data[i*c.Cols : (i+1)*c.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var s float64
+			for k, aik := range arow {
+				s += aik * brow[k]
+			}
+			crow[j] += s
+		}
+	}
+}

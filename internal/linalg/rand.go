@@ -1,0 +1,42 @@
+package linalg
+
+import "math/rand"
+
+// RandDense returns a rows x cols matrix filled with uniform values in
+// [lo, hi), generated from the given seed. The paper's evaluation fills
+// matrices with random values in [0, 10).
+func RandDense(rows, cols int, lo, hi float64, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return m
+}
+
+// RandVector returns a vector of length n with uniform values in [lo, hi).
+func RandVector(n int, lo, hi float64, seed int64) *Vector {
+	rng := rand.New(rand.NewSource(seed))
+	v := NewVector(n)
+	for i := range v.Data {
+		v.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return v
+}
+
+// RandSparseCOO returns a rows x cols COO matrix in which each element is
+// nonzero with probability density; nonzero values are uniform integers
+// in [1, maxVal]. The paper's factorization input R is a square sparse
+// matrix with random integers in (0, 5] at 10% density.
+func RandSparseCOO(rows, cols int, density float64, maxVal int, seed int64) *COO {
+	rng := rand.New(rand.NewSource(seed))
+	c := NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				c.Append(i, j, float64(1+rng.Intn(maxVal)))
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,89 @@
+// Package ml implements the third evaluation workload of the paper
+// (Section 6, Figure 4.C): one iteration of gradient-descent matrix
+// factorization [Koren et al.],
+//
+//	E <- R - P x Q^T
+//	P <- P + gamma * (2 E x Q - lambda P)
+//	Q <- Q + gamma * (2 E^T x P - lambda Q)
+//
+// in three variants: dense single-node (the correctness oracle), SAC
+// on tiled matrices with group-by-join multiplications, and the MLlib
+// BlockMatrix baseline.
+package ml
+
+import (
+	"repro/internal/linalg"
+	"repro/internal/mllib"
+	"repro/internal/tiled"
+)
+
+// Config holds the gradient-descent hyperparameters; the paper used
+// gamma = 0.002 and lambda = 0.02.
+type Config struct {
+	Gamma  float64
+	Lambda float64
+}
+
+// PaperConfig returns the paper's hyperparameters.
+func PaperConfig() Config { return Config{Gamma: 0.002, Lambda: 0.02} }
+
+// StepDense runs one factorization iteration on dense matrices; the
+// reference the distributed variants are tested against.
+func StepDense(r, p, q *linalg.Dense, cfg Config) (*linalg.Dense, *linalg.Dense) {
+	// E = R - P Q^T
+	e := r.Clone()
+	pq := linalg.NewDense(p.Rows, q.Rows)
+	linalg.GemmTransB(pq, p, q)
+	linalg.SubInPlace(e, pq)
+
+	// P' = P + gamma (2 E Q - lambda P)
+	eq := linalg.Mul(e, q)
+	pNew := p.Clone()
+	linalg.AXPYInPlace(pNew, 2*cfg.Gamma, eq)
+	linalg.AXPYInPlace(pNew, -cfg.Gamma*cfg.Lambda, p)
+
+	// Q' = Q + gamma (2 E^T P - lambda Q)
+	etp := linalg.NewDense(e.Cols, p.Cols)
+	linalg.GemmTransA(etp, e, p)
+	qNew := q.Clone()
+	linalg.AXPYInPlace(qNew, 2*cfg.Gamma, etp)
+	linalg.AXPYInPlace(qNew, -cfg.Gamma*cfg.Lambda, q)
+	return pNew, qNew
+}
+
+// StepTiled runs one iteration on tiled matrices using the SAC
+// group-by-join multiplications (the paper's "SAC GBJ" line) and
+// tiling-preserving updates. R is n x m, P is n x k, Q is m x k.
+func StepTiled(r, p, q *tiled.Matrix, cfg Config) (*tiled.Matrix, *tiled.Matrix) {
+	e := r.Sub(p.MultiplyTransBGBJ(q))
+	pNew := p.AXPY(2*cfg.Gamma, e.MultiplyGBJ(q)).AXPY(-cfg.Gamma*cfg.Lambda, p)
+	qNew := q.AXPY(2*cfg.Gamma, e.MultiplyTransAGBJ(p)).AXPY(-cfg.Gamma*cfg.Lambda, q)
+	return pNew, qNew
+}
+
+// StepTiledJoin is the same computation with the non-GBJ join +
+// reduceByKey multiplications (ablation; the paper only reports GBJ
+// for factorization). Transposes are materialized since the plain
+// multiply has no transposed variants.
+func StepTiledJoin(r, p, q *tiled.Matrix, cfg Config) (*tiled.Matrix, *tiled.Matrix) {
+	e := r.Sub(p.Multiply(q.Transpose()))
+	pNew := p.AXPY(2*cfg.Gamma, e.Multiply(q)).AXPY(-cfg.Gamma*cfg.Lambda, p)
+	qNew := q.AXPY(2*cfg.Gamma, e.Transpose().Multiply(p)).AXPY(-cfg.Gamma*cfg.Lambda, q)
+	return pNew, qNew
+}
+
+// StepMLlib runs one iteration on MLlib BlockMatrices, composing the
+// library operators the way an MLlib user must (transpose is
+// materialized; updates use scale/add).
+func StepMLlib(r, p, q *mllib.BlockMatrix, cfg Config) (*mllib.BlockMatrix, *mllib.BlockMatrix) {
+	e := r.Subtract(p.Multiply(q.Transpose()))
+	pNew := p.Add(e.Multiply(q).Scale(2 * cfg.Gamma)).Add(p.Scale(-cfg.Gamma * cfg.Lambda))
+	qNew := q.Add(e.Transpose().Multiply(p).Scale(2 * cfg.Gamma)).Add(q.Scale(-cfg.Gamma * cfg.Lambda))
+	return pNew, qNew
+}
+
+// Loss returns the squared Frobenius error ||R - P Q^T||^2 of a tiled
+// factorization, used to check that iterations decrease the objective.
+func Loss(r, p, q *tiled.Matrix) float64 {
+	return r.Sub(p.MultiplyTransBGBJ(q)).FrobeniusNorm2()
+}

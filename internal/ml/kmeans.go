@@ -1,0 +1,213 @@
+package ml
+
+import (
+	"math"
+
+	"repro/internal/dataflow"
+	"repro/internal/linalg"
+	"repro/internal/tiled"
+)
+
+// K-means clustering over a distributed tiled matrix of observations
+// (rows are points). Each Lloyd iteration is one dataflow pass: tiles
+// assign their rows to the nearest centroid locally and emit partial
+// (sum, count) accumulators per cluster, which reduce by cluster id —
+// the same per-tile partial aggregation + reduceByKey shape as the
+// paper's Section 5.3 translations. Centroids are small (k x dims) and
+// travel to the tasks by closure, playing Spark's broadcast variable.
+//
+// The row/tile split: a point's features may span several tiles in a
+// tile row, so assignment first reassembles tile rows; with the usual
+// configuration dims <= tile size, each tile row is a single tile.
+
+// KMeansResult holds the fitted model.
+type KMeansResult struct {
+	Centroids *linalg.Dense // k x dims
+	// Inertia is the final sum of squared distances to the assigned
+	// centroids.
+	Inertia float64
+	// Iterations actually run (may be fewer than requested on
+	// convergence).
+	Iterations int
+}
+
+// KMeans runs Lloyd's algorithm on the rows of X, seeded with greedy
+// farthest-point initialization. tol stops iteration when no centroid
+// moves more than tol (Euclidean).
+func KMeans(x *tiled.Matrix, k int, maxIter int, tol float64) *KMeansResult {
+	if int64(k) > x.Rows {
+		panic("ml: more clusters than points")
+	}
+	dims := int(x.Cols)
+	centroids := initFarthest(x, k)
+
+	var inertia float64
+	it := 0
+	for ; it < maxIter; it++ {
+		sums, counts, sse := assignStep(x, centroids)
+		inertia = sse
+		next := linalg.NewDense(k, dims)
+		maxMove := 0.0
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Empty cluster keeps its previous centroid.
+				for j := 0; j < dims; j++ {
+					next.Set(c, j, centroids.At(c, j))
+				}
+				continue
+			}
+			var move float64
+			for j := 0; j < dims; j++ {
+				v := sums.At(c, j) / float64(counts[c])
+				next.Set(c, j, v)
+				d := v - centroids.At(c, j)
+				move += d * d
+			}
+			if m := math.Sqrt(move); m > maxMove {
+				maxMove = m
+			}
+		}
+		centroids = next
+		if maxMove <= tol {
+			it++
+			break
+		}
+	}
+	return &KMeansResult{Centroids: centroids, Inertia: inertia, Iterations: it}
+}
+
+// initFarthest seeds centroids with greedy farthest-point traversal
+// (the deterministic 2-approximation for k-center): the first point,
+// then repeatedly the point farthest from its nearest chosen centroid.
+// Robust against the local optima that naive first-k seeding hits on
+// well-separated blobs. Each selection is one distributed pass.
+func initFarthest(x *tiled.Matrix, k int) *linalg.Dense {
+	dims := int(x.Cols)
+	centroids := x.ToDenseRows(0, 1)
+	for chosen := 1; chosen < k; chosen++ {
+		cur := centroids
+		type cand struct {
+			Dist  float64
+			Point []float64
+		}
+		byRow := dataflow.GroupByKey(
+			dataflow.Map(x.Tiles, func(b tiled.Block) dataflow.Pair[int64, tiled.Block] {
+				return dataflow.KV(b.Key.I, b)
+			}), x.Tiles.NumPartitions())
+		far := dataflow.Map(byRow, func(g dataflow.Pair[int64, []tiled.Block]) cand {
+			best := cand{Dist: -1}
+			point := make([]float64, dims)
+			rowOff := g.Key * int64(x.N)
+			for li := 0; li < x.N; li++ {
+				if rowOff+int64(li) >= x.Rows {
+					break
+				}
+				for _, b := range g.Value {
+					colOff := int(b.Key.J) * x.N
+					for lj := 0; lj < x.N; lj++ {
+						if colOff+lj < dims {
+							point[colOff+lj] = b.Value.At(li, lj)
+						}
+					}
+				}
+				nearest := math.Inf(1)
+				for c := 0; c < cur.Rows; c++ {
+					var d float64
+					for j := 0; j < dims; j++ {
+						diff := point[j] - cur.At(c, j)
+						d += diff * diff
+					}
+					if d < nearest {
+						nearest = d
+					}
+				}
+				if nearest > best.Dist {
+					best = cand{Dist: nearest, Point: append([]float64(nil), point...)}
+				}
+			}
+			return best
+		})
+		winner := dataflow.Reduce(far, func(a, b cand) cand {
+			if a.Dist >= b.Dist {
+				return a
+			}
+			return b
+		})
+		next := linalg.NewDense(cur.Rows+1, dims)
+		next.CopyInto(cur, 0, 0)
+		for j := 0; j < dims; j++ {
+			next.Set(cur.Rows, j, winner.Point[j])
+		}
+		centroids = next
+	}
+	return centroids
+}
+
+// assignStep performs one distributed assignment pass: per tile row,
+// assign each point to its nearest centroid and emit partial sums and
+// counts; reduce across tiles.
+func assignStep(x *tiled.Matrix, centroids *linalg.Dense) (*linalg.Dense, []int64, float64) {
+	k := centroids.Rows
+	dims := int(x.Cols)
+	n := x.N
+	rows := x.Rows
+
+	type acc struct {
+		Sums   *linalg.Dense
+		Counts []int64
+		SSE    float64
+	}
+	// Group the tiles of each tile row so points split across column
+	// tiles are reassembled.
+	byRow := dataflow.GroupByKey(
+		dataflow.Map(x.Tiles, func(b tiled.Block) dataflow.Pair[int64, tiled.Block] {
+			return dataflow.KV(b.Key.I, b)
+		}), x.Tiles.NumPartitions())
+
+	partials := dataflow.Map(byRow, func(g dataflow.Pair[int64, []tiled.Block]) *acc {
+		a := &acc{Sums: linalg.NewDense(k, dims), Counts: make([]int64, k)}
+		point := make([]float64, dims)
+		rowOff := g.Key * int64(n)
+		for li := 0; li < n; li++ {
+			gi := rowOff + int64(li)
+			if gi >= rows {
+				break
+			}
+			// Reassemble the point from this tile row's tiles.
+			for _, b := range g.Value {
+				colOff := int(b.Key.J) * n
+				for lj := 0; lj < n; lj++ {
+					if colOff+lj < dims {
+						point[colOff+lj] = b.Value.At(li, lj)
+					}
+				}
+			}
+			best, bestDist := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				var d float64
+				for j := 0; j < dims; j++ {
+					diff := point[j] - centroids.At(c, j)
+					d += diff * diff
+				}
+				if d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			a.Counts[best]++
+			a.SSE += bestDist
+			for j := 0; j < dims; j++ {
+				a.Sums.Add(best, j, point[j])
+			}
+		}
+		return a
+	})
+	total := dataflow.Reduce(partials, func(a, b *acc) *acc {
+		linalg.AddInPlace(a.Sums, b.Sums)
+		for i := range a.Counts {
+			a.Counts[i] += b.Counts[i]
+		}
+		a.SSE += b.SSE
+		return a
+	})
+	return total.Sums, total.Counts, total.SSE
+}

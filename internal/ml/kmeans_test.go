@@ -1,0 +1,131 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/linalg"
+	"repro/internal/tiled"
+)
+
+// Three well-separated Gaussian blobs: k-means must place one centroid
+// near each blob center and converge.
+func TestKMeansSeparatedBlobs(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	rng := rand.New(rand.NewSource(5))
+	centers := [][2]float64{{0, 0}, {10, 10}, {-10, 10}}
+	const perBlob = 40
+	d := linalg.NewDense(3*perBlob, 2)
+	for b, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			row := b*perBlob + i
+			d.Set(row, 0, c[0]+rng.NormFloat64()*0.5)
+			d.Set(row, 1, c[1]+rng.NormFloat64()*0.5)
+		}
+	}
+	// Shuffle rows so initial centroids (first k rows) are arbitrary.
+	perm := rng.Perm(3 * perBlob)
+	shuffled := linalg.NewDense(3*perBlob, 2)
+	for i, p := range perm {
+		shuffled.Set(i, 0, d.At(p, 0))
+		shuffled.Set(i, 1, d.At(p, 1))
+	}
+	x := tiled.FromDense(ctx, shuffled, 16, 4)
+	res := KMeans(x, 3, 50, 1e-6)
+
+	if res.Iterations == 0 || res.Iterations >= 50 {
+		t.Fatalf("iterations %d", res.Iterations)
+	}
+	// Each true center must have a centroid within distance 1.
+	for _, c := range centers {
+		found := false
+		for k := 0; k < 3; k++ {
+			dx := res.Centroids.At(k, 0) - c[0]
+			dy := res.Centroids.At(k, 1) - c[1]
+			if dx*dx+dy*dy < 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no centroid near %v: %v", c, res.Centroids)
+		}
+	}
+	// Inertia should be near perBlob*3*(2*0.25) = expected noise energy.
+	if res.Inertia > 150 {
+		t.Fatalf("inertia %v too high", res.Inertia)
+	}
+}
+
+// Points spanning multiple column tiles (dims > tile size) are
+// reassembled correctly.
+func TestKMeansWideFeatures(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	// dims=5 with tile 2: each point spans 3 column tiles.
+	d := linalg.NewDense(8, 5)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			d.Set(i, j, 1)
+			d.Set(4+i, j, 9)
+		}
+	}
+	x := tiled.FromDense(ctx, d, 2, 2)
+	res := KMeans(x, 2, 20, 1e-9)
+	// Two exact clusters: centroids must be the all-1 and all-9 points.
+	got := []float64{res.Centroids.At(0, 0), res.Centroids.At(1, 0)}
+	if !(got[0] == 1 && got[1] == 9 || got[0] == 9 && got[1] == 1) {
+		t.Fatalf("centroids %v", res.Centroids)
+	}
+	if res.Inertia > 1e-12 {
+		t.Fatalf("inertia %v should be 0", res.Inertia)
+	}
+}
+
+func TestKMeansEmptyClusterKeepsCentroid(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	// Identical points: with k=2, one cluster goes empty and must keep
+	// its previous centroid without NaNs.
+	d := linalg.NewDense(6, 2)
+	for i := 0; i < 6; i++ {
+		d.Set(i, 0, 3)
+		d.Set(i, 1, 4)
+	}
+	x := tiled.FromDense(ctx, d, 4, 2)
+	res := KMeans(x, 2, 10, 1e-9)
+	for k := 0; k < 2; k++ {
+		for j := 0; j < 2; j++ {
+			v := res.Centroids.At(k, j)
+			if v != 3 && v != 4 {
+				t.Fatalf("centroid value %v", v)
+			}
+		}
+	}
+}
+
+func TestKMeansPanicsOnTooManyClusters(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	x := tiled.FromDense(ctx, linalg.NewDense(2, 2), 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KMeans(x, 5, 3, 1e-9)
+}
+
+func TestToDenseRows(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	d := linalg.RandDense(9, 5, 0, 1, 31)
+	x := tiled.FromDense(ctx, d, 2, 3)
+	got := x.ToDenseRows(3, 7)
+	if got.Rows != 4 || got.Cols != 5 {
+		t.Fatalf("dims %dx%d", got.Rows, got.Cols)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			if got.At(i, j) != d.At(3+i, j) {
+				t.Fatalf("row slice mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package mllib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataflow"
+	"repro/internal/linalg"
+)
+
+func mctx() *dataflow.Context { return dataflow.NewLocalContext() }
+
+func TestGridPartitioner(t *testing.T) {
+	g := NewGridPartitioner(8, 8, 16)
+	if g.NumPartitions() < 4 || g.NumPartitions() > 32 {
+		t.Fatalf("odd partition count %d", g.NumPartitions())
+	}
+	seen := map[int]bool{}
+	for i := int64(0); i < 8; i++ {
+		for j := int64(0); j < 8; j++ {
+			p := g.Partition(Coord{I: i, J: j})
+			if p < 0 || p >= g.NumPartitions() {
+				t.Fatalf("partition %d out of range", p)
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != g.NumPartitions() {
+		t.Fatalf("used %d of %d cells", len(seen), g.NumPartitions())
+	}
+}
+
+func TestGridPartitionerSmall(t *testing.T) {
+	g := NewGridPartitioner(1, 1, 8)
+	if g.NumPartitions() != 1 {
+		t.Fatalf("1x1 grid should have 1 partition, got %d", g.NumPartitions())
+	}
+	if g.Partition(Coord{I: 0, J: 0}) != 0 {
+		t.Fatal("bad partition")
+	}
+}
+
+func TestBlockMatrixRoundTrip(t *testing.T) {
+	ctx := mctx()
+	d := linalg.RandDense(7, 5, -3, 3, 41)
+	m := FromDense(ctx, d, 3, 2)
+	if !m.ToDense().Equal(d) {
+		t.Fatal("round trip")
+	}
+	if m.BlockRows() != 3 || m.BlockCols() != 2 {
+		t.Fatalf("grid %dx%d", m.BlockRows(), m.BlockCols())
+	}
+}
+
+func TestBlockMatrixAdd(t *testing.T) {
+	ctx := mctx()
+	da := linalg.RandDense(6, 7, 0, 10, 42)
+	db := linalg.RandDense(6, 7, 0, 10, 43)
+	a := FromDense(ctx, da, 2, 3)
+	b := FromDense(ctx, db, 2, 3)
+	if !a.Add(b).ToDense().EqualApprox(linalg.AddDense(da, db), 1e-12) {
+		t.Fatal("add mismatch")
+	}
+}
+
+func TestBlockMatrixSubtractScale(t *testing.T) {
+	ctx := mctx()
+	da := linalg.RandDense(4, 4, 0, 10, 44)
+	db := linalg.RandDense(4, 4, 0, 10, 45)
+	a := FromDense(ctx, da, 2, 2)
+	b := FromDense(ctx, db, 2, 2)
+	if !a.Subtract(b).ToDense().EqualApprox(linalg.SubDense(da, db), 1e-12) {
+		t.Fatal("subtract mismatch")
+	}
+	if !a.Scale(2.5).ToDense().EqualApprox(linalg.Scale(da, 2.5), 1e-12) {
+		t.Fatal("scale mismatch")
+	}
+}
+
+func TestBlockMatrixTranspose(t *testing.T) {
+	ctx := mctx()
+	d := linalg.RandDense(5, 9, -1, 1, 46)
+	m := FromDense(ctx, d, 4, 2)
+	if !m.Transpose().ToDense().Equal(d.Transpose()) {
+		t.Fatal("transpose mismatch")
+	}
+}
+
+func TestBlockMatrixMultiply(t *testing.T) {
+	ctx := mctx()
+	da := linalg.RandDense(6, 4, 0, 2, 47)
+	db := linalg.RandDense(4, 5, 0, 2, 48)
+	a := FromDense(ctx, da, 2, 3)
+	b := FromDense(ctx, db, 2, 3)
+	want := linalg.Mul(da, db)
+	got := a.Multiply(b).ToDense()
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatalf("multiply mismatch: %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestBlockMatrixMultiplyPadded(t *testing.T) {
+	ctx := mctx()
+	da := linalg.RandDense(5, 7, -1, 1, 49)
+	db := linalg.RandDense(7, 3, -1, 1, 50)
+	a := FromDense(ctx, da, 4, 2)
+	b := FromDense(ctx, db, 4, 2)
+	want := linalg.Mul(da, db)
+	if got := a.Multiply(b).ToDense(); !got.EqualApprox(want, 1e-9) {
+		t.Fatal("padded multiply mismatch")
+	}
+}
+
+func TestRandBlockMatrixDeterministic(t *testing.T) {
+	ctx := mctx()
+	a := RandBlockMatrix(ctx, 6, 6, 2, 2, 0, 10, 3).ToDense()
+	b := RandBlockMatrix(ctx, 6, 6, 2, 2, 0, 10, 3).ToDense()
+	if !a.Equal(b) {
+		t.Fatal("same seed must reproduce")
+	}
+}
+
+// MLlib and the tiled package must agree on the same generated inputs,
+// since the benchmarks compare them head to head.
+func TestRandAgreesWithTiledSeeding(t *testing.T) {
+	ctx := mctx()
+	a := RandBlockMatrix(ctx, 9, 9, 4, 2, 0, 10, 77).ToDense()
+	if a.Rows != 9 || a.Cols != 9 {
+		t.Fatal("dims")
+	}
+	for _, v := range a.Data {
+		if v < 0 || v >= 10 {
+			t.Fatalf("value %v out of range", v)
+		}
+	}
+}
+
+// Property: MLlib multiply agrees with dense multiply for random
+// shapes and block sizes.
+func TestQuickMultiplyMatchesDense(t *testing.T) {
+	ctx := mctx()
+	f := func(n1, n2, n3, ts uint8, seed int64) bool {
+		r, k, c := int(n1%5)+1, int(n2%5)+1, int(n3%5)+1
+		n := int(ts%3) + 1
+		da := linalg.RandDense(r, k, -2, 2, seed)
+		db := linalg.RandDense(k, c, -2, 2, seed+1)
+		a := FromDense(ctx, da, n, 2)
+		b := FromDense(ctx, db, n, 2)
+		return a.Multiply(b).ToDense().EqualApprox(linalg.Mul(da, db), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MLlib's replication factor is bounded by the partition grid, not the
+// block grid: strictly fewer shuffled records than block-granular
+// replication (2 g^3) on a big enough grid.
+func TestMultiplyReplicationBounded(t *testing.T) {
+	ctx := mctx()
+	da := linalg.RandDense(24, 24, 0, 1, 51)
+	db := linalg.RandDense(24, 24, 0, 1, 52)
+	a := FromDense(ctx, da, 4, 4) // 6x6 blocks
+	b := FromDense(ctx, db, 4, 4)
+	ctx.ResetMetrics()
+	a.Multiply(b).ToDense()
+	recs := ctx.Metrics().ShuffledRecords
+	// Block-granular replication would be 2*6^3 = 432 records before
+	// the product reduce; MLlib must ship fewer replicas.
+	if recs >= 432 {
+		t.Fatalf("MLlib shuffled %d records, expected < 432", recs)
+	}
+}

@@ -1,0 +1,888 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/comp"
+	"repro/internal/dataflow"
+	"repro/internal/linalg"
+	"repro/internal/opt"
+	"repro/internal/tiled"
+)
+
+// This file implements the Section 4 coordinate-format pipeline: the
+// correct-for-everything fallback that sparsifies block arrays into
+// element streams, evaluates the comprehension qualifiers per element
+// on the dataflow engine (deriving joins per Rule 14 and reduceByKey
+// per Rules 12-13 where possible), and rebuilds the requested storage.
+
+// distGen is a generator over a catalog-bound distributed array.
+type distGen struct {
+	pat  comp.Pattern
+	name string
+}
+
+// coordQuery is the decomposition of a comprehension for coordinate
+// execution.
+type coordQuery struct {
+	gens      []distGen
+	local     []comp.Qualifier // non-distributed qualifiers, original order
+	groupVars []string
+	postQuals []comp.Qualifier // qualifiers after the group-by
+	headKey   comp.Expr        // nil in bare mode
+	headVal   comp.Expr
+}
+
+// decompose splits the (desugared) comprehension for coordinate
+// execution. bare mode treats the head as a single value.
+func (q *Compiled) decompose(bare bool) (*coordQuery, error) {
+	var body comp.Comprehension
+	switch x := q.src.(type) {
+	case comp.BuildExpr:
+		body = x.Body.(comp.Comprehension)
+	case comp.Reduce:
+		body = x.E.(comp.Comprehension)
+	default:
+		return nil, fmt.Errorf("plan: cannot decompose %T", q.src)
+	}
+	cq := &coordQuery{}
+	seenGroup := false
+	for _, qq := range body.Quals {
+		switch qual := qq.(type) {
+		case comp.Generator:
+			if v, ok := qual.Src.(comp.Var); ok {
+				if _, bound := q.cat.lookup(v.Name); bound {
+					if _, isArr := q.cat.vals[v.Name].(*tiled.Matrix); isArr {
+						if seenGroup {
+							return nil, fmt.Errorf("plan: distributed generator after group-by")
+						}
+						cq.gens = append(cq.gens, distGen{pat: qual.Pat, name: v.Name})
+						continue
+					}
+					if _, isVec := q.cat.vals[v.Name].(*tiled.Vector); isVec {
+						if seenGroup {
+							return nil, fmt.Errorf("plan: distributed generator after group-by")
+						}
+						cq.gens = append(cq.gens, distGen{pat: qual.Pat, name: v.Name})
+						continue
+					}
+				}
+			}
+			if seenGroup {
+				cq.postQuals = append(cq.postQuals, qq)
+			} else {
+				cq.local = append(cq.local, qq)
+			}
+		case comp.GroupBy:
+			if seenGroup {
+				return nil, fmt.Errorf("plan: multiple group-bys unsupported in coordinate mode")
+			}
+			seenGroup = true
+			cq.groupVars = comp.PatternVars(qual.Pat)
+		default:
+			if seenGroup {
+				cq.postQuals = append(cq.postQuals, qq)
+			} else {
+				cq.local = append(cq.local, qq)
+			}
+		}
+	}
+	if len(cq.gens) == 0 {
+		return nil, fmt.Errorf("plan: no distributed generator in coordinate query")
+	}
+	if bare {
+		cq.headVal = body.Head
+	} else {
+		head, ok := body.Head.(comp.TupleExpr)
+		if !ok || len(head.Elems) != 2 {
+			cq.headVal = body.Head
+		} else {
+			cq.headKey = head.Elems[0]
+			cq.headVal = head.Elems[1]
+		}
+	}
+	return cq, nil
+}
+
+// sparsifyToRows streams a distributed array as calculus entries.
+func (q *Compiled) sparsifyToRows(name string) (*dataflow.Dataset[comp.Value], error) {
+	switch arr := q.cat.vals[name].(type) {
+	case *tiled.Matrix:
+		return dataflow.Map(arr.Sparsify(), func(e tiled.Entry) comp.Value {
+			return comp.T(comp.T(e.I, e.J), e.V)
+		}), nil
+	case *tiled.Vector:
+		n, size := arr.N, arr.Size
+		return dataflow.FlatMap(arr.Blocks, func(b tiled.VBlock) []comp.Value {
+			var out []comp.Value
+			off := b.Key * int64(n)
+			for i := 0; i < n; i++ {
+				gi := off + int64(i)
+				if gi >= size {
+					break
+				}
+				out = append(out, comp.T(gi, b.Value.At(i)))
+			}
+			return out
+		}), nil
+	default:
+		return nil, fmt.Errorf("plan: %q is not a distributed array", name)
+	}
+}
+
+// coordPipeline produces the dataset of T(key, value) rows for the
+// comprehension, after join derivation, local qualifier evaluation,
+// and group-by aggregation.
+func (q *Compiled) coordPipeline(_ *opt.QueryInfo, bare bool) (*dataflow.Dataset[comp.Value], error) {
+	cq, err := q.decompose(bare)
+	if err != nil {
+		return nil, err
+	}
+	scalars := q.cat.scalarEnv()
+
+	// Pre-group emission head: (key payload) pairs; the payload shape
+	// depends on the aggregation mode chosen below.
+	liftedVars := cq.liftedVars()
+	mode, aggs, finalVal := q.chooseAggMode(cq, liftedVars)
+
+	preHead := q.preGroupHead(cq, mode, aggs)
+
+	// Build the join chain, first seeded by the leading generator;
+	// when generators only connect transitively through loop (range)
+	// variables — stencils — retry with the range product as the seed.
+	// Also prefer the seeded chain when the plain chain would leave
+	// scalar-bounded ranges that are join-linked to generator
+	// variables: expanding such a range per joined row multiplies the
+	// work by the full range size before the guard filters it back.
+	cr, err := q.buildChain(cq, scalars, false)
+	if err != nil || leavesLinkedRanges(cr, scalars) {
+		cr2, err2 := q.buildChain(cq, scalars, true)
+		if err2 == nil {
+			cr = cr2
+		} else if err != nil {
+			return nil, fmt.Errorf("%w (range-seeded retry: %v)", err, err2)
+		}
+	}
+	expand := comp.Comprehension{Head: preHead, Quals: cr.local}
+	bind := cr.bind
+	rows := dataflow.FlatMap(cr.base, func(tuple comp.Value) []comp.Value {
+		env, ok := bind(tuple)
+		if !ok {
+			return nil
+		}
+		return comp.MustList(comp.EvalFast(expand, env))
+	})
+
+	if cq.groupVars == nil {
+		return rows, nil
+	}
+	switch mode {
+	case aggModeReduce:
+		return q.reduceGrouped(cq, rows, aggs, finalVal)
+	default:
+		return q.collectGrouped(cq, rows, liftedVars)
+	}
+}
+
+// liftedVars returns the variables bound before the group-by that are
+// not group keys.
+func (cq *coordQuery) liftedVars() []string {
+	if cq.groupVars == nil {
+		return nil
+	}
+	isGroup := map[string]bool{}
+	for _, v := range cq.groupVars {
+		isGroup[v] = true
+	}
+	var out []string
+	add := func(vs []string) {
+		for _, v := range vs {
+			if v != "_" && !isGroup[v] {
+				out = append(out, v)
+			}
+		}
+	}
+	for _, g := range cq.gens {
+		add(comp.PatternVars(g.pat))
+	}
+	for _, qq := range cq.local {
+		switch qual := qq.(type) {
+		case comp.Generator:
+			add(comp.PatternVars(qual.Pat))
+		case comp.LetQual:
+			add(comp.PatternVars(qual.Pat))
+		}
+	}
+	return out
+}
+
+type aggMode int
+
+const (
+	aggModeNone aggMode = iota
+	aggModeReduce
+	aggModeCollect
+)
+
+// factoredAgg is one recognized reduction ⊕/x over a lifted variable.
+type factoredAgg struct {
+	Monoid string
+	Var    string
+	Hole   string // placeholder variable in the final expression
+}
+
+// chooseAggMode applies Rule 12: factor the head value into monoid
+// reductions over lifted variables. When every lifted-variable
+// occurrence is inside such a reduction (and there are no post-group
+// qualifiers), the group-by runs as reduceByKey (Rule 13); otherwise
+// the groups are collected with groupByKey.
+func (q *Compiled) chooseAggMode(cq *coordQuery, lifted []string) (aggMode, []factoredAgg, comp.Expr) {
+	if cq.groupVars == nil {
+		return aggModeNone, nil, cq.headVal
+	}
+	if len(cq.postQuals) > 0 {
+		return aggModeCollect, nil, cq.headVal
+	}
+	isLifted := map[string]bool{}
+	for _, v := range lifted {
+		isLifted[v] = true
+	}
+	var aggs []factoredAgg
+	counter := 0
+	var rewrite func(e comp.Expr) (comp.Expr, bool)
+	rewrite = func(e comp.Expr) (comp.Expr, bool) {
+		switch x := e.(type) {
+		case comp.Reduce:
+			if v, ok := x.E.(comp.Var); ok && isLifted[v.Name] {
+				hole := fmt.Sprintf("_agg%d", counter)
+				counter++
+				aggs = append(aggs, factoredAgg{Monoid: x.Monoid, Var: v.Name, Hole: hole})
+				return comp.Var{Name: hole}, true
+			}
+			return e, false
+		case comp.Call:
+			if (x.Fn == "count" || x.Fn == "length") && len(x.Args) == 1 {
+				if v, ok := x.Args[0].(comp.Var); ok && isLifted[v.Name] {
+					hole := fmt.Sprintf("_agg%d", counter)
+					counter++
+					aggs = append(aggs, factoredAgg{Monoid: "count", Var: v.Name, Hole: hole})
+					return comp.Var{Name: hole}, true
+				}
+			}
+			args := make([]comp.Expr, len(x.Args))
+			allOK := true
+			for i, a := range x.Args {
+				na, ok := rewrite(a)
+				args[i] = na
+				allOK = allOK && ok
+			}
+			return comp.Call{Fn: x.Fn, Args: args}, allOK
+		case comp.BinOp:
+			l, lok := rewrite(x.L)
+			r, rok := rewrite(x.R)
+			return comp.BinOp{Op: x.Op, L: l, R: r}, lok && rok
+		case comp.UnaryOp:
+			inner, ok := rewrite(x.E)
+			return comp.UnaryOp{Op: x.Op, E: inner}, ok
+		case comp.TupleExpr:
+			elems := make([]comp.Expr, len(x.Elems))
+			allOK := true
+			for i, s := range x.Elems {
+				ne, ok := rewrite(s)
+				elems[i] = ne
+				allOK = allOK && ok
+			}
+			return comp.TupleExpr{Elems: elems}, allOK
+		case comp.IfExpr:
+			c, cok := rewrite(x.Cond)
+			t, tok := rewrite(x.Then)
+			el, eok := rewrite(x.Else)
+			return comp.IfExpr{Cond: c, Then: t, Else: el}, cok && tok && eok
+		default:
+			return e, true
+		}
+	}
+	finalVal, _ := rewrite(cq.headVal)
+	// All lifted vars must be gone from the rewritten expression.
+	for v := range comp.FreeVars(finalVal) {
+		if isLifted[v] {
+			return aggModeCollect, nil, cq.headVal
+		}
+	}
+	if len(aggs) == 0 {
+		return aggModeCollect, nil, cq.headVal
+	}
+	return aggModeReduce, aggs, finalVal
+}
+
+// preGroupHead builds the expression emitted per pre-group row.
+func (q *Compiled) preGroupHead(cq *coordQuery, mode aggMode, aggs []factoredAgg) comp.Expr {
+	if cq.groupVars == nil {
+		key := cq.headKey
+		if key == nil {
+			key = comp.TupleExpr{}
+		}
+		return comp.TupleExpr{Elems: []comp.Expr{key, cq.headVal}}
+	}
+	keyElems := make([]comp.Expr, len(cq.groupVars))
+	for i, v := range cq.groupVars {
+		keyElems[i] = comp.Var{Name: v}
+	}
+	key := comp.Expr(comp.TupleExpr{Elems: keyElems})
+	switch mode {
+	case aggModeReduce:
+		payload := make([]comp.Expr, len(aggs))
+		for i, a := range aggs {
+			payload[i] = comp.Var{Name: a.Var}
+		}
+		return comp.TupleExpr{Elems: []comp.Expr{key, comp.TupleExpr{Elems: payload}}}
+	default:
+		lifted := cq.liftedVars()
+		payload := make([]comp.Expr, len(lifted))
+		for i, v := range lifted {
+			payload[i] = comp.Var{Name: v}
+		}
+		return comp.TupleExpr{Elems: []comp.Expr{key, comp.TupleExpr{Elems: payload}}}
+	}
+}
+
+// chainResult is a built join chain: tuples of bound entries, a binder
+// reconstructing the environment per tuple, and the local qualifiers
+// not consumed by the joins.
+type chainResult struct {
+	base  *dataflow.Dataset[comp.Value]
+	bind  func(tuple comp.Value) (*comp.Env, bool)
+	local []comp.Qualifier
+}
+
+// buildChain derives the Rule 14 joins between all distributed
+// generators. With seedRanges false, the first generator seeds the
+// chain; with seedRanges true, the cartesian product of the
+// scalar-bounded range generators seeds it (loop-domain-driven, the
+// DIABLO stencil case), and every generator joins in.
+func (q *Compiled) buildChain(cq *coordQuery, scalars *comp.Env, seedRanges bool) (*chainResult, error) {
+	local := append([]comp.Qualifier{}, cq.local...)
+	genVars := make([]map[string]bool, len(cq.gens))
+	for i, g := range cq.gens {
+		genVars[i] = map[string]bool{}
+		for _, v := range comp.PatternVars(g.pat) {
+			genVars[i][v] = true
+		}
+	}
+
+	boundVars := map[string]bool{}
+	var base *dataflow.Dataset[comp.Value]
+	var seedVars []string
+	firstGen := 0
+
+	if seedRanges {
+		var err error
+		base, seedVars, local, err = q.rangeSeed(local, scalars)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range seedVars {
+			boundVars[v] = true
+		}
+	} else {
+		src0, err := q.sparsifyToRows(cq.gens[0].name)
+		if err != nil {
+			return nil, err
+		}
+		g0 := cq.gens[0]
+		base = dataflow.FlatMap(src0, func(e comp.Value) []comp.Value {
+			if _, ok := comp.MatchPattern(g0.pat, e, scalars); !ok {
+				return nil
+			}
+			return []comp.Value{comp.Value(comp.T(e))}
+		})
+		for v := range genVars[0] {
+			boundVars[v] = true
+		}
+		firstGen = 1
+	}
+
+	// Binder for the accumulated tuple layout: optional seed entry
+	// first, then one entry per chained generator.
+	gens := cq.gens
+	sv := seedVars
+	seeded := seedRanges
+	bind := func(tuple comp.Value) (*comp.Env, bool) {
+		entries := comp.MustTuple(tuple)
+		env := scalars
+		idx := 0
+		if seeded {
+			vals := comp.MustTuple(entries[0])
+			for i, name := range sv {
+				env = env.Bind(name, vals[i])
+			}
+			idx = 1
+		}
+		for _, g := range gens {
+			var ok bool
+			env, ok = comp.MatchPattern(g.pat, entries[idx], env)
+			if !ok {
+				return nil, false
+			}
+			idx++
+		}
+		return env, true
+	}
+
+	for k := firstGen; k < len(cq.gens); k++ {
+		gk := cq.gens[k]
+		// Collect equality guards connecting bound variables to gk's.
+		var leftKeys, rightKeys []comp.Expr
+		var remaining []comp.Qualifier
+		for _, qq := range local {
+			g, ok := qq.(comp.Guard)
+			if !ok {
+				remaining = append(remaining, qq)
+				continue
+			}
+			b, ok := g.E.(comp.BinOp)
+			if !ok || b.Op != "==" {
+				remaining = append(remaining, qq)
+				continue
+			}
+			lv := comp.FreeVars(b.L)
+			rv := comp.FreeVars(b.R)
+			switch {
+			case subset(lv, boundVars) && subset(rv, genVars[k]) && len(lv) > 0 && len(rv) > 0:
+				leftKeys = append(leftKeys, b.L)
+				rightKeys = append(rightKeys, b.R)
+			case subset(lv, genVars[k]) && subset(rv, boundVars) && len(lv) > 0 && len(rv) > 0:
+				leftKeys = append(leftKeys, b.R)
+				rightKeys = append(rightKeys, b.L)
+			default:
+				remaining = append(remaining, qq)
+			}
+		}
+		if len(leftKeys) == 0 {
+			return nil, fmt.Errorf("plan: no equi-join condition linking %s into the chain (cartesian products unsupported)", gk.name)
+		}
+		local = remaining
+
+		srcK, err := q.sparsifyToRows(gk.name)
+		if err != nil {
+			return nil, err
+		}
+		prefixBind := partialBinder(gens[:k], sv, seeded, scalars)
+		lks := leftKeys
+		left := dataflow.FlatMap(base, func(tuple comp.Value) []dataflow.Pair[string, comp.Value] {
+			env, ok := prefixBind(tuple)
+			if !ok {
+				return nil
+			}
+			t := make(comp.Tuple, len(lks))
+			for i, ke := range lks {
+				t[i] = comp.EvalFast(ke, env)
+			}
+			return []dataflow.Pair[string, comp.Value]{dataflow.KV(comp.KeyString(t), tuple)}
+		})
+		rks := rightKeys
+		gkPat := gk.pat
+		right := dataflow.FlatMap(srcK, func(e comp.Value) []dataflow.Pair[string, comp.Value] {
+			env, ok := comp.MatchPattern(gkPat, e, scalars)
+			if !ok {
+				return nil
+			}
+			t := make(comp.Tuple, len(rks))
+			for i, ke := range rks {
+				t[i] = comp.EvalFast(ke, env)
+			}
+			return []dataflow.Pair[string, comp.Value]{dataflow.KV(comp.KeyString(t), e)}
+		})
+		joined := dataflow.Join(left, right, left.NumPartitions())
+		base = dataflow.Map(joined, func(p dataflow.Pair[string, dataflow.JoinedPair[comp.Value, comp.Value]]) comp.Value {
+			prev := comp.MustTuple(p.Value.Left)
+			out := make(comp.Tuple, len(prev)+1)
+			copy(out, prev)
+			out[len(prev)] = p.Value.Right
+			return out
+		})
+		for v := range genVars[k] {
+			boundVars[v] = true
+		}
+	}
+	return &chainResult{base: base, bind: bind, local: local}, nil
+}
+
+// leavesLinkedRanges reports whether the chain'sremaining local
+// qualifiers contain a scalar-bounded range generator whose variable
+// is constrained by an equality guard — the signature of a join the
+// range-seeded chain would have used.
+func leavesLinkedRanges(cr *chainResult, scalars *comp.Env) bool {
+	rangeVars := map[string]bool{}
+	for _, qq := range cr.local {
+		g, ok := qq.(comp.Generator)
+		if !ok {
+			continue
+		}
+		b, isRange := g.Src.(comp.BinOp)
+		pv, isVar := g.Pat.(comp.PVar)
+		if !isRange || !isVar || (b.Op != "until" && b.Op != "to") {
+			continue
+		}
+		if _, err := comp.Eval(g.Src, scalars); err == nil {
+			rangeVars[pv.Name] = true
+		}
+	}
+	if len(rangeVars) == 0 {
+		return false
+	}
+	for _, qq := range cr.local {
+		g, ok := qq.(comp.Guard)
+		if !ok {
+			continue
+		}
+		b, ok := g.E.(comp.BinOp)
+		if !ok || b.Op != "==" {
+			continue
+		}
+		for v := range comp.FreeVars(b.L) {
+			if rangeVars[v] {
+				return true
+			}
+		}
+		for v := range comp.FreeVars(b.R) {
+			if rangeVars[v] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// partialBinder binds the seed and the first k generator entries.
+func partialBinder(gens []distGen, seedVars []string, seeded bool, scalars *comp.Env) func(comp.Value) (*comp.Env, bool) {
+	return func(tuple comp.Value) (*comp.Env, bool) {
+		entries := comp.MustTuple(tuple)
+		env := scalars
+		idx := 0
+		if seeded {
+			vals := comp.MustTuple(entries[0])
+			for i, name := range seedVars {
+				env = env.Bind(name, vals[i])
+			}
+			idx = 1
+		}
+		for _, g := range gens {
+			var ok bool
+			env, ok = comp.MatchPattern(g.pat, entries[idx], env)
+			if !ok {
+				return nil, false
+			}
+			idx++
+		}
+		return env, true
+	}
+}
+
+// rangeSeed extracts the scalar-bounded range generators from the
+// local qualifiers and materializes their cartesian product as the
+// chain seed, one tuple per index combination.
+func (q *Compiled) rangeSeed(local []comp.Qualifier, scalars *comp.Env) (*dataflow.Dataset[comp.Value], []string, []comp.Qualifier, error) {
+	var names []string
+	var ranges []comp.Range
+	var remaining []comp.Qualifier
+	for _, qq := range local {
+		g, ok := qq.(comp.Generator)
+		if !ok {
+			remaining = append(remaining, qq)
+			continue
+		}
+		b, isRange := g.Src.(comp.BinOp)
+		pv, isVar := g.Pat.(comp.PVar)
+		if !isRange || !isVar || (b.Op != "until" && b.Op != "to") {
+			remaining = append(remaining, qq)
+			continue
+		}
+		v, err := comp.Eval(g.Src, scalars)
+		if err != nil {
+			// Bounds depend on generator variables: keep local.
+			remaining = append(remaining, qq)
+			continue
+		}
+		names = append(names, pv.Name)
+		ranges = append(ranges, v.(comp.Range))
+	}
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("plan: no scalar-bounded range generators to seed the join chain")
+	}
+	total := int64(1)
+	for _, r := range ranges {
+		total *= r.Len()
+	}
+	parts := q.cat.ctx.DefaultPartitions()
+	if int64(parts) > total && total > 0 {
+		parts = int(total)
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	rs := ranges
+	base := dataflow.Generate(q.cat.ctx, parts, func(p int) []comp.Value {
+		lo := int64(p) * total / int64(parts)
+		hi := int64(p+1) * total / int64(parts)
+		out := make([]comp.Value, 0, hi-lo)
+		for flat := lo; flat < hi; flat++ {
+			vals := make(comp.Tuple, len(rs))
+			rem := flat
+			for i := len(rs) - 1; i >= 0; i-- {
+				span := rs[i].Len()
+				vals[i] = rs[i].Lo + rem%span
+				rem /= span
+			}
+			out = append(out, comp.Value(comp.T(comp.Value(vals))))
+		}
+		return out
+	})
+	return base, names, remaining, nil
+}
+
+func subset(a map[string]bool, b map[string]bool) bool {
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// reduceGrouped implements the Rule 13 path: rows carry
+// (key, (x1..xm)); reduceByKey with the product monoid; finalize.
+func (q *Compiled) reduceGrouped(cq *coordQuery, rows *dataflow.Dataset[comp.Value], aggs []factoredAgg, finalVal comp.Expr) (*dataflow.Dataset[comp.Value], error) {
+	monoids := make([]comp.Monoid, len(aggs))
+	for i, a := range aggs {
+		m, err := comp.LookupMonoid(a.Monoid)
+		if err != nil {
+			return nil, err
+		}
+		if !m.Commutative {
+			return nil, fmt.Errorf("plan: monoid %q is not commutative; cannot use reduceByKey", a.Monoid)
+		}
+		monoids[i] = m
+	}
+	keyed := dataflow.Map(rows, func(row comp.Value) dataflow.Pair[string, comp.Value] {
+		t := comp.MustTuple(row)
+		payload := comp.MustTuple(t[1])
+		lifted := make(comp.Tuple, len(aggs))
+		for i, a := range aggs {
+			lifted[i] = comp.MonoidLift(a.Monoid, payload[i])
+		}
+		return dataflow.KV(comp.KeyString(t[0]), comp.Value(comp.T(t[0], lifted)))
+	})
+	combined := dataflow.ReduceByKey(keyed, func(a, b comp.Value) comp.Value {
+		ta, tb := comp.MustTuple(a), comp.MustTuple(b)
+		pa, pb := comp.MustTuple(ta[1]), comp.MustTuple(tb[1])
+		out := make(comp.Tuple, len(monoids))
+		for i, m := range monoids {
+			out[i] = m.Op(pa[i], pb[i])
+		}
+		return comp.T(ta[0], out)
+	}, rows.NumPartitions())
+
+	scalars := q.cat.scalarEnv()
+	groupVars := cq.groupVars
+	headKey := cq.headKey
+	return dataflow.Map(combined, func(p dataflow.Pair[string, comp.Value]) comp.Value {
+		t := comp.MustTuple(p.Value)
+		keyVals := comp.MustTuple(t[0])
+		aggVals := comp.MustTuple(t[1])
+		env := scalars
+		for i, v := range groupVars {
+			env = env.Bind(v, keyVals[i])
+		}
+		for i, a := range aggs {
+			env = env.Bind(a.Hole, comp.MonoidFinalize(a.Monoid, aggVals[i]))
+		}
+		val := comp.EvalFast(finalVal, env)
+		var key comp.Value = keyVals
+		if headKey != nil {
+			key = comp.EvalFast(headKey, env)
+		}
+		return comp.T(key, val)
+	}), nil
+}
+
+// collectGrouped implements the general group-by: groupByKey, lift
+// each variable to the list of its group values (Rule 11), evaluate
+// the post-group qualifiers and head per group.
+func (q *Compiled) collectGrouped(cq *coordQuery, rows *dataflow.Dataset[comp.Value], lifted []string) (*dataflow.Dataset[comp.Value], error) {
+	keyed := dataflow.Map(rows, func(row comp.Value) dataflow.Pair[string, comp.Value] {
+		t := comp.MustTuple(row)
+		return dataflow.KV(comp.KeyString(t[0]), row)
+	})
+	grouped := dataflow.GroupByKey(keyed, rows.NumPartitions())
+
+	scalars := q.cat.scalarEnv()
+	groupVars := cq.groupVars
+	headKey := cq.headKey
+	headVal := cq.headVal
+	post := cq.postQuals
+	return dataflow.FlatMap(grouped, func(g dataflow.Pair[string, []comp.Value]) []comp.Value {
+		if len(g.Value) == 0 {
+			return nil
+		}
+		first := comp.MustTuple(g.Value[0])
+		keyVals := comp.MustTuple(first[0])
+		lists := make([]comp.List, len(lifted))
+		for _, row := range g.Value {
+			payload := comp.MustTuple(comp.MustTuple(row)[1])
+			for i := range lifted {
+				lists[i] = append(lists[i], payload[i])
+			}
+		}
+		env := scalars
+		for i, v := range lifted {
+			env = env.Bind(v, lists[i])
+		}
+		for i, v := range groupVars {
+			env = env.Bind(v, keyVals[i])
+		}
+		// Evaluate post-group qualifiers + head as a comprehension.
+		headElems := []comp.Expr{comp.TupleExpr{}, headVal}
+		if headKey != nil {
+			headElems[0] = headKey
+		} else {
+			headElems[0] = keyLiteral(groupVars)
+		}
+		inner := comp.Comprehension{
+			Head:  comp.TupleExpr{Elems: headElems},
+			Quals: post,
+		}
+		return comp.MustList(comp.EvalFast(inner, env))
+	}), nil
+}
+
+// keyLiteral rebuilds the group key tuple expression from variables.
+func keyLiteral(groupVars []string) comp.Expr {
+	elems := make([]comp.Expr, len(groupVars))
+	for i, v := range groupVars {
+		elems[i] = comp.Var{Name: v}
+	}
+	return comp.TupleExpr{Elems: elems}
+}
+
+// execCoord runs the fallback strategy end to end and builds the
+// requested output storage.
+func (q *Compiled) execCoord(s *opt.CoordStrategy) (*Result, error) {
+	bare := q.builder == "" || ((q.builder == "rdd" || q.builder == "list") && q.headIsBare())
+	rows, err := q.coordPipeline(s.Info, bare)
+	if err != nil {
+		return nil, err
+	}
+	switch q.builder {
+	case "tiled":
+		n, err := q.inputTileSize()
+		if err != nil {
+			return nil, err
+		}
+		entries := dataflow.FlatMap(rows, func(row comp.Value) []tiled.Entry {
+			t := comp.MustTuple(row)
+			key := comp.MustTuple(t[0])
+			i, j := comp.MustInt(key[0]), comp.MustInt(key[1])
+			if i < 0 || i >= q.dims[0] || j < 0 || j >= q.dims[1] {
+				return nil
+			}
+			return []tiled.Entry{{I: i, J: j, V: comp.MustFloat(t[1])}}
+		})
+		m := tiled.Build(q.cat.ctx, q.dims[0], q.dims[1], n, entries, rows.NumPartitions())
+		return &Result{Matrix: m}, nil
+	case "tiledvec":
+		n, err := q.inputTileSize()
+		if err != nil {
+			return nil, err
+		}
+		v, err := buildTiledVector(q.cat.ctx, q.dims[0], n, rows)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Vector: v}, nil
+	default: // rdd, list
+		collected := dataflow.Collect(rows)
+		out := make(comp.List, 0, len(collected))
+		for _, row := range collected {
+			t := comp.MustTuple(row)
+			if bare {
+				out = append(out, t[1])
+			} else {
+				out = append(out, comp.Value(comp.T(t[0], t[1])))
+			}
+		}
+		return &Result{List: out}, nil
+	}
+}
+
+// headIsBare reports whether the original head was not a key-value
+// pair (extractBare wrapped it with a unit key).
+func (q *Compiled) headIsBare() bool {
+	b, ok := q.src.(comp.BuildExpr)
+	if !ok {
+		return true
+	}
+	body := b.Body.(comp.Comprehension)
+	t, ok := body.Head.(comp.TupleExpr)
+	return !ok || len(t.Elems) != 2
+}
+
+// inputTileSize finds the tile size of the first distributed input.
+func (q *Compiled) inputTileSize() (int, error) {
+	cq, err := q.decompose(false)
+	if err != nil {
+		return 0, err
+	}
+	switch arr := q.cat.vals[cq.gens[0].name].(type) {
+	case *tiled.Matrix:
+		return arr.N, nil
+	case *tiled.Vector:
+		return arr.N, nil
+	default:
+		return 0, fmt.Errorf("plan: cannot infer tile size")
+	}
+}
+
+// buildTiledVector groups (i, v) rows into vector blocks.
+func buildTiledVector(ctx *dataflow.Context, size int64, n int, rows *dataflow.Dataset[comp.Value]) (*tiled.Vector, error) {
+	keyed := dataflow.FlatMap(rows, func(row comp.Value) []dataflow.Pair[int64, comp.Value] {
+		t := comp.MustTuple(row)
+		var i int64
+		switch k := t[0].(type) {
+		case comp.Tuple:
+			if len(k) != 1 {
+				panic(fmt.Errorf("plan: vector key must have one component, got %v", comp.Render(t[0])))
+			}
+			i = comp.MustInt(k[0])
+		default:
+			i = comp.MustInt(t[0])
+		}
+		if i < 0 || i >= size {
+			return nil
+		}
+		return []dataflow.Pair[int64, comp.Value]{dataflow.KV(i/int64(n), comp.Value(comp.T(i, t[1])))}
+	})
+	grouped := dataflow.GroupByKey(keyed, keyed.NumPartitions())
+	blocks := dataflow.Map(grouped, func(g dataflow.Pair[int64, []comp.Value]) tiled.VBlock {
+		blk := linalg.NewVector(n)
+		for _, e := range g.Value {
+			t := comp.MustTuple(e)
+			blk.Set(int(comp.MustInt(t[0])-g.Key*int64(n)), comp.MustFloat(t[1]))
+		}
+		return dataflow.KV(g.Key, blk)
+	})
+	// Fill missing blocks with zeros.
+	present := map[int64]bool{}
+	collected := dataflow.Collect(blocks)
+	for _, b := range collected {
+		present[b.Key] = true
+	}
+	nb := (size + int64(n) - 1) / int64(n)
+	for bi := int64(0); bi < nb; bi++ {
+		if !present[bi] {
+			collected = append(collected, dataflow.KV(bi, linalg.NewVector(n)))
+		}
+	}
+	return &tiled.Vector{Size: size, N: n,
+		Blocks: dataflow.Parallelize(ctx, collected, keyed.NumPartitions())}, nil
+}

@@ -1,0 +1,201 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/comp"
+	"repro/internal/opt"
+)
+
+// This file generates the per-tile kernels of the Section 5
+// translations. The generic path interprets the (let-inlined) head
+// expression per element with the calculus evaluator; recognizable
+// arithmetic shapes compile to direct closures, which is the moral
+// equivalent of the paper's generated Scala loops.
+
+// inlineLets substitutes let bindings (in order) into an expression so
+// kernels only reference generator-bound variables. Tuple-pattern lets
+// are decomposed when their right side is a tuple expression.
+func inlineLets(e comp.Expr, lets []comp.LetQual) comp.Expr {
+	sub := map[string]comp.Expr{}
+	for _, l := range lets {
+		rhs := comp.SubstExpr(l.E, sub)
+		switch p := l.Pat.(type) {
+		case comp.PVar:
+			if p.Name != "_" {
+				sub[p.Name] = rhs
+			}
+		case comp.PTuple:
+			t, ok := rhs.(comp.TupleExpr)
+			if !ok || len(t.Elems) != len(p.Elems) {
+				panic(fmt.Errorf("plan: cannot inline tuple let %s", l))
+			}
+			for i, sp := range p.Elems {
+				pv, ok := sp.(comp.PVar)
+				if !ok {
+					panic(fmt.Errorf("plan: nested tuple let unsupported: %s", l))
+				}
+				if pv.Name != "_" {
+					sub[pv.Name] = t.Elems[i]
+				}
+			}
+		}
+	}
+	return comp.SubstExpr(e, sub)
+}
+
+// cellFn1 evaluates a head value for one element of a single
+// generator: indices are the generator's global index values, v its
+// element value. ok=false drops the element (a filter rejected it).
+type cellFn1 func(idx []int64, v float64) (float64, bool)
+
+// compileCell1 builds the kernel for single-input elementwise
+// strategies.
+func compileCell1(gen opt.ArrayGen, lets []comp.LetQual, filters []comp.Expr, val comp.Expr) cellFn1 {
+	val = inlineLets(val, lets)
+	inlinedFilters := make([]comp.Expr, len(filters))
+	for i, f := range filters {
+		inlinedFilters[i] = inlineLets(f, lets)
+	}
+
+	// Fast path: identity value, no filters.
+	if len(inlinedFilters) == 0 {
+		if v, ok := val.(comp.Var); ok && v.Name == gen.ValueVar {
+			return func(_ []int64, x float64) (float64, bool) { return x, true }
+		}
+		// value op literal / literal op value.
+		if f, ok := compileArith1(val, gen.ValueVar); ok {
+			return func(_ []int64, x float64) (float64, bool) { return f(x), true }
+		}
+	}
+
+	// Generic interpreted path.
+	return func(idx []int64, x float64) (float64, bool) {
+		env := bindGen(nil, gen, idx, x)
+		for _, f := range inlinedFilters {
+			if !comp.MustBool(comp.EvalFast(f, env)) {
+				return 0, false
+			}
+		}
+		return comp.MustFloat(comp.EvalFast(val, env)), true
+	}
+}
+
+// compileArith1 compiles value-and-literal arithmetic into a closure.
+func compileArith1(e comp.Expr, valueVar string) (func(float64) float64, bool) {
+	b, ok := e.(comp.BinOp)
+	if !ok {
+		return nil, false
+	}
+	isVal := func(x comp.Expr) bool {
+		v, ok := x.(comp.Var)
+		return ok && v.Name == valueVar
+	}
+	litOf := func(x comp.Expr) (float64, bool) {
+		l, ok := x.(comp.Lit)
+		if !ok {
+			return 0, false
+		}
+		return comp.AsFloat(l.Val)
+	}
+	if isVal(b.L) {
+		if c, ok := litOf(b.R); ok {
+			switch b.Op {
+			case "+":
+				return func(x float64) float64 { return x + c }, true
+			case "-":
+				return func(x float64) float64 { return x - c }, true
+			case "*":
+				return func(x float64) float64 { return x * c }, true
+			case "/":
+				return func(x float64) float64 { return x / c }, true
+			}
+		}
+	}
+	if isVal(b.R) {
+		if c, ok := litOf(b.L); ok {
+			switch b.Op {
+			case "+":
+				return func(x float64) float64 { return c + x }, true
+			case "-":
+				return func(x float64) float64 { return c - x }, true
+			case "*":
+				return func(x float64) float64 { return c * x }, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// cellFn2 evaluates a head value from two matched elements.
+type cellFn2 func(idx []int64, a, b float64) float64
+
+// compileCell2 builds the kernel for two-input elementwise strategies
+// (zip) and for the group-by-join combine function h(a,b).
+func compileCell2(genA, genB opt.ArrayGen, lets []comp.LetQual, val comp.Expr) cellFn2 {
+	val = inlineLets(val, lets)
+	// Fast path: plain arithmetic on the two value variables.
+	if b, ok := val.(comp.BinOp); ok {
+		l, lok := b.L.(comp.Var)
+		r, rok := b.R.(comp.Var)
+		if lok && rok && l.Name == genA.ValueVar && r.Name == genB.ValueVar {
+			switch b.Op {
+			case "+":
+				return func(_ []int64, a, bb float64) float64 { return a + bb }
+			case "-":
+				return func(_ []int64, a, bb float64) float64 { return a - bb }
+			case "*":
+				return func(_ []int64, a, bb float64) float64 { return a * bb }
+			}
+		}
+	}
+	return func(idx []int64, a, b float64) float64 {
+		env := bindGen(nil, genA, idx, a)
+		env = env.Bind(genB.ValueVar, b)
+		// genB's index vars equal genA's via the join; bind them too.
+		for i, v := range genB.IndexVars {
+			if i < len(idx) {
+				env = env.Bind(v, idx[i])
+			}
+		}
+		return comp.MustFloat(comp.EvalFast(val, env))
+	}
+}
+
+// bindGen binds a generator's index and value variables.
+func bindGen(env *comp.Env, gen opt.ArrayGen, idx []int64, v float64) *comp.Env {
+	for i, name := range gen.IndexVars {
+		if name != "_" && i < len(idx) {
+			env = env.Bind(name, idx[i])
+		}
+	}
+	if gen.ValueVar != "_" {
+		env = env.Bind(gen.ValueVar, v)
+	}
+	return env
+}
+
+// isMulOfValues reports whether the (let-inlined) combine expression
+// is exactly a*b of the two generator values — the shape that lets the
+// group-by-join use the GEMM fast path.
+func isMulOfValues(e comp.Expr, lets []comp.LetQual, aVar, bVar string) bool {
+	e = inlineLets(e, lets)
+	b, ok := e.(comp.BinOp)
+	if !ok || b.Op != "*" {
+		return false
+	}
+	l, lok := b.L.(comp.Var)
+	r, rok := b.R.(comp.Var)
+	if !lok || !rok {
+		return false
+	}
+	return (l.Name == aVar && r.Name == bVar) || (l.Name == bVar && r.Name == aVar)
+}
+
+// isIdentityValue reports whether the value expression is the bare
+// generator value variable after let inlining.
+func isIdentityValue(e comp.Expr, lets []comp.LetQual, valueVar string) bool {
+	e = inlineLets(e, lets)
+	v, ok := e.(comp.Var)
+	return ok && v.Name == valueVar
+}

@@ -1,0 +1,329 @@
+// Package plan compiles SAC comprehensions on block arrays into
+// physical plans over the dataflow engine and executes them. It is
+// the back end of the reproduction: the parser produces an AST, comp
+// desugars it, opt picks a Section 5 strategy, and this package runs
+// the strategy against tiled matrices and vectors registered in a
+// Catalog. Explain exposes the chosen translation so tests and users
+// can verify which rule fired.
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/comp"
+	"repro/internal/dataflow"
+	"repro/internal/opt"
+	"repro/internal/tiled"
+)
+
+// Catalog binds query-visible names to distributed arrays and scalar
+// constants.
+type Catalog struct {
+	ctx  *dataflow.Context
+	vals map[string]any
+}
+
+// NewCatalog creates an empty catalog bound to an engine context.
+func NewCatalog(ctx *dataflow.Context) *Catalog {
+	return &Catalog{ctx: ctx, vals: map[string]any{}}
+}
+
+// Context returns the engine context.
+func (c *Catalog) Context() *dataflow.Context { return c.ctx }
+
+// BindMatrix registers a tiled matrix.
+func (c *Catalog) BindMatrix(name string, m *tiled.Matrix) *Catalog {
+	c.vals[name] = m
+	return c
+}
+
+// BindVector registers a tiled vector.
+func (c *Catalog) BindVector(name string, v *tiled.Vector) *Catalog {
+	c.vals[name] = v
+	return c
+}
+
+// BindScalar registers a scalar constant (int64, float64, bool).
+func (c *Catalog) BindScalar(name string, v comp.Value) *Catalog {
+	c.vals[name] = v
+	return c
+}
+
+// lookup resolves a name.
+func (c *Catalog) lookup(name string) (any, bool) {
+	v, ok := c.vals[name]
+	return v, ok
+}
+
+// matrix resolves a name that must be a tiled matrix.
+func (c *Catalog) matrix(name string) (*tiled.Matrix, error) {
+	v, ok := c.vals[name]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown array %q", name)
+	}
+	m, ok := v.(*tiled.Matrix)
+	if !ok {
+		return nil, fmt.Errorf("plan: %q is %T, not a tiled matrix", name, v)
+	}
+	return m, nil
+}
+
+// dimOf reports the extent of a bound array's index position, used by
+// the range-fusion optimization.
+func (c *Catalog) dimOf(array string, pos int) (int64, bool) {
+	switch arr := c.vals[array].(type) {
+	case *tiled.Matrix:
+		switch pos {
+		case 0:
+			return arr.Rows, true
+		case 1:
+			return arr.Cols, true
+		}
+	case *tiled.Vector:
+		if pos == 0 {
+			return arr.Size, true
+		}
+	}
+	return 0, false
+}
+
+// scalarConsts returns the scalar bindings as a constant map for
+// folding into query bodies.
+func (c *Catalog) scalarConsts() map[string]comp.Value {
+	out := map[string]comp.Value{}
+	for k, v := range c.vals {
+		switch v.(type) {
+		case *tiled.Matrix, *tiled.Vector:
+		default:
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// scalarEnv builds a comp evaluation environment holding the scalar
+// bindings (for builder dimension expressions).
+func (c *Catalog) scalarEnv() *comp.Env {
+	var env *comp.Env
+	for k, v := range c.vals {
+		switch v.(type) {
+		case *tiled.Matrix, *tiled.Vector:
+		default:
+			env = env.Bind(k, v)
+		}
+	}
+	return env
+}
+
+// Result is the value of an executed query.
+type Result struct {
+	Matrix *tiled.Matrix
+	Vector *tiled.Vector
+	List   comp.List
+	Scalar comp.Value
+}
+
+// Kind reports which result field is set.
+func (r *Result) Kind() string {
+	switch {
+	case r.Matrix != nil:
+		return "matrix"
+	case r.Vector != nil:
+		return "vector"
+	case r.List != nil:
+		return "list"
+	default:
+		return "scalar"
+	}
+}
+
+// Compiled is a query ready to execute.
+type Compiled struct {
+	src      comp.Expr
+	builder  string
+	dims     []int64
+	strategy opt.Strategy
+	info     *opt.QueryInfo
+	reduce   string // non-empty for total-aggregation queries
+	cat      *Catalog
+	opts     opt.Options
+}
+
+// Explain describes the chosen physical translation. Coordinate plans
+// additionally report the derived pipeline: how many generators join
+// and whether the group-by runs as reduceByKey (Rule 13) or collects
+// groups.
+func (q *Compiled) Explain() string {
+	desc := q.strategy.Describe()
+	if _, ok := q.strategy.(*opt.CoordStrategy); ok {
+		if detail := q.coordDetail(); detail != "" {
+			desc += "; " + detail
+		}
+	}
+	if q.reduce != "" {
+		return fmt.Sprintf("total %s-aggregation over %s", q.reduce, desc)
+	}
+	return fmt.Sprintf("%s(%v) <- %s", q.builder, q.dims, desc)
+}
+
+// coordDetail inspects the coordinate pipeline the executor would run.
+func (q *Compiled) coordDetail() string {
+	cq, err := q.decompose(q.builder == "" || q.builder == "rdd" && q.headIsBare())
+	if err != nil {
+		return ""
+	}
+	detail := fmt.Sprintf("%d generator(s)", len(cq.gens))
+	if len(cq.gens) > 1 {
+		detail += fmt.Sprintf(", %d-way join chain (Rule 14)", len(cq.gens))
+	}
+	if cq.groupVars != nil {
+		mode, aggs, _ := q.chooseAggMode(cq, cq.liftedVars())
+		if mode == aggModeReduce {
+			detail += fmt.Sprintf(", group-by via reduceByKey with %d factored aggregation(s) (Rules 12-13)", len(aggs))
+		} else {
+			detail += ", group-by via groupByKey (general Rule 11)"
+		}
+	}
+	return detail
+}
+
+// Strategy exposes the selected strategy (for tests and ablations).
+func (q *Compiled) Strategy() opt.Strategy { return q.strategy }
+
+// Compile desugars, analyzes, and plans a query expression against the
+// catalog. Supported top-level forms: tiled(n,m)[...], tiledvec(n)[...],
+// rdd[...], and total reductions ⊕/[...].
+func Compile(e comp.Expr, cat *Catalog, opts opt.Options) (*Compiled, error) {
+	e = comp.Desugar(e)
+	switch x := e.(type) {
+	case comp.BuildExpr:
+		return compileBuild(x, cat, opts)
+	case comp.Reduce:
+		inner, ok := x.E.(comp.Comprehension)
+		if !ok {
+			return nil, fmt.Errorf("plan: total reduction needs a comprehension, got %s", x.E)
+		}
+		info, err := extractBare(inner)
+		if err != nil {
+			return nil, err
+		}
+		return &Compiled{src: e, reduce: x.Monoid,
+			strategy: &opt.CoordStrategy{Info: info, Reason: "total aggregation"},
+			info:     info, cat: cat, opts: opts}, nil
+	default:
+		return nil, fmt.Errorf("plan: top-level expression must be a builder or reduction, got %T", e)
+	}
+}
+
+func compileBuild(b comp.BuildExpr, cat *Catalog, opts opt.Options) (*Compiled, error) {
+	body, ok := b.Body.(comp.Comprehension)
+	if !ok {
+		return nil, fmt.Errorf("plan: builder body must be a comprehension")
+	}
+	dims := make([]int64, len(b.Args))
+	env := cat.scalarEnv()
+	for i, a := range b.Args {
+		v, err := comp.Eval(a, env)
+		if err != nil {
+			return nil, fmt.Errorf("plan: builder dimension %d: %w", i, err)
+		}
+		dims[i] = comp.MustInt(v)
+	}
+	switch b.Builder {
+	case "tiled", "tiledvec", "rdd", "list":
+	default:
+		return nil, fmt.Errorf("plan: unsupported distributed builder %q (use comp.Eval for local builders)", b.Builder)
+	}
+	if b.Builder == "tiled" && len(dims) != 2 {
+		return nil, fmt.Errorf("plan: tiled builder needs (rows, cols)")
+	}
+	if b.Builder == "tiledvec" && len(dims) != 1 {
+		return nil, fmt.Errorf("plan: tiledvec builder needs (size)")
+	}
+
+	// Fold catalog scalars into the body so the affine-key analysis
+	// (Rule 19) sees concrete moduli and offsets.
+	body = comp.FoldConstants(comp.SubstConsts(body, cat.scalarConsts())).(comp.Comprehension)
+
+	info, err := opt.Extract(body)
+	if err != nil {
+		// Shapes outside the opt subset still run via the bare
+		// coordinate pipeline when possible.
+		bare, err2 := extractBare(body)
+		if err2 != nil {
+			return nil, err
+		}
+		return &Compiled{src: b, builder: b.Builder, dims: dims,
+			strategy: &opt.CoordStrategy{Info: bare, Reason: err.Error()},
+			info:     bare, cat: cat, opts: opts}, nil
+	}
+
+	info.FuseRanges(cat.dimOf)
+
+	var strat opt.Strategy
+	if b.Builder == "tiled" || b.Builder == "tiledvec" {
+		strat, err = opt.Choose(info, opts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		strat = &opt.CoordStrategy{Info: info, Reason: "rdd builder"}
+	}
+	return &Compiled{src: b, builder: b.Builder, dims: dims,
+		strategy: strat, info: info, cat: cat, opts: opts}, nil
+}
+
+// extractBare parses a comprehension whose head is not necessarily a
+// key-value pair, for rdd and total-reduction queries.
+func extractBare(c comp.Comprehension) (*opt.QueryInfo, error) {
+	// Wrap the head as (unit, head) so Extract's quals analysis can be
+	// reused; executors treat a unit key as "no key".
+	wrapped := comp.Comprehension{
+		Head:  comp.TupleExpr{Elems: []comp.Expr{comp.TupleExpr{}, c.Head}},
+		Quals: c.Quals,
+	}
+	return opt.Extract(wrapped)
+}
+
+// Run compiles and executes in one step.
+func Run(e comp.Expr, cat *Catalog, opts opt.Options) (*Result, error) {
+	q, err := Compile(e, cat, opts)
+	if err != nil {
+		return nil, err
+	}
+	return q.Execute()
+}
+
+// Execute runs the compiled query.
+func (q *Compiled) Execute() (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if rerr, ok := r.(error); ok {
+				err = fmt.Errorf("plan: execution failed: %w", rerr)
+				return
+			}
+			err = fmt.Errorf("plan: execution failed: %v", r)
+		}
+	}()
+	if q.reduce != "" {
+		return q.execTotalReduce()
+	}
+	switch s := q.strategy.(type) {
+	case *opt.MapStrategy:
+		return q.execMap(s)
+	case *opt.ZipStrategy:
+		return q.execZip(s)
+	case *opt.GroupByJoinStrategy:
+		return q.execGroupByJoin(s)
+	case *opt.TileAggStrategy:
+		return q.execTileAgg(s)
+	case *opt.MatVecStrategy:
+		return q.execMatVec(s)
+	case *opt.ReplicateStrategy:
+		return q.execReplicate(s)
+	case *opt.CoordStrategy:
+		return q.execCoord(s)
+	default:
+		return nil, fmt.Errorf("plan: no executor for %T", q.strategy)
+	}
+}

@@ -1,0 +1,181 @@
+package tiled
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataflow"
+	"repro/internal/linalg"
+)
+
+func tctx() *dataflow.Context { return dataflow.NewLocalContext() }
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	ctx := tctx()
+	for _, dims := range [][3]int{{4, 4, 2}, {5, 7, 3}, {1, 1, 4}, {6, 2, 6}, {10, 10, 4}} {
+		d := linalg.RandDense(dims[0], dims[1], -5, 5, int64(dims[0]*31+dims[1]))
+		m := FromDense(ctx, d, dims[2], 4)
+		if got := m.ToDense(); !got.Equal(d) {
+			t.Fatalf("round trip failed for %v", dims)
+		}
+	}
+}
+
+func TestBlockGrid(t *testing.T) {
+	ctx := tctx()
+	m := FromDense(ctx, linalg.NewDense(5, 7), 3, 2)
+	if m.BlockRows() != 2 || m.BlockCols() != 3 {
+		t.Fatalf("grid %dx%d", m.BlockRows(), m.BlockCols())
+	}
+	if got := dataflow.Count(m.Tiles); got != 6 {
+		t.Fatalf("tiles %d", got)
+	}
+}
+
+func TestGenerateMatchesFromDense(t *testing.T) {
+	ctx := tctx()
+	d := linalg.RandDense(7, 5, 0, 1, 99)
+	viaDense := FromDense(ctx, d, 3, 2)
+	viaGen := Generate(ctx, 7, 5, 3, 2, func(c Coord, rowOff, colOff int64, tile *linalg.Dense) {
+		for i := 0; i < tile.Rows; i++ {
+			for j := 0; j < tile.Cols; j++ {
+				gi, gj := rowOff+int64(i), colOff+int64(j)
+				if gi < 7 && gj < 5 {
+					tile.Set(i, j, d.At(int(gi), int(gj)))
+				}
+			}
+		}
+	})
+	if !viaGen.ToDense().Equal(viaDense.ToDense()) {
+		t.Fatal("Generate and FromDense disagree")
+	}
+}
+
+func TestGenerateClampsPadding(t *testing.T) {
+	ctx := tctx()
+	// Generator writes garbage everywhere; clamp must zero the padding.
+	m := Generate(ctx, 3, 3, 2, 1, func(_ Coord, _, _ int64, tile *linalg.Dense) {
+		tile.Fill(9)
+	})
+	d := m.ToDense()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if d.At(i, j) != 9 {
+				t.Fatal("in-bounds value lost")
+			}
+		}
+	}
+	// Padding cells in the stored tiles must be zero so ops like
+	// multiply are unaffected.
+	for _, b := range dataflow.Collect(m.Tiles) {
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				gi, gj := b.Key.I*2+int64(i), b.Key.J*2+int64(j)
+				if (gi >= 3 || gj >= 3) && b.Value.At(i, j) != 0 {
+					t.Fatalf("padding not zeroed at tile %v (%d,%d)", b.Key, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSparsifyBuildRoundTrip(t *testing.T) {
+	ctx := tctx()
+	d := linalg.RandDense(5, 6, -2, 2, 123)
+	m := FromDense(ctx, d, 2, 3)
+	entries := m.Sparsify()
+	if got := dataflow.Count(entries); got != 30 {
+		t.Fatalf("sparsify produced %d entries", got)
+	}
+	rebuilt := Build(ctx, 5, 6, 2, entries, 3)
+	if !rebuilt.ToDense().Equal(d) {
+		t.Fatal("build(sparsify(M)) != M")
+	}
+}
+
+func TestBuildFillsMissingTiles(t *testing.T) {
+	ctx := tctx()
+	// Only one entry: all other tiles must still exist (zero-filled).
+	entries := dataflow.Parallelize(ctx, []Entry{{I: 0, J: 0, V: 5}}, 1)
+	m := Build(ctx, 4, 4, 2, entries, 2)
+	if got := dataflow.Count(m.Tiles); got != 4 {
+		t.Fatalf("tiles %d, want 4", got)
+	}
+	d := m.ToDense()
+	if d.At(0, 0) != 5 || d.Sum() != 5 {
+		t.Fatalf("built matrix wrong: %v", d)
+	}
+}
+
+func TestRandMatrixDeterministic(t *testing.T) {
+	ctx := tctx()
+	a := RandMatrix(ctx, 6, 6, 2, 2, 0, 10, 7).ToDense()
+	b := RandMatrix(ctx, 6, 6, 2, 2, 0, 10, 7).ToDense()
+	c := RandMatrix(ctx, 6, 6, 2, 2, 0, 10, 8).ToDense()
+	if !a.Equal(b) {
+		t.Fatal("same seed should reproduce")
+	}
+	if a.Equal(c) {
+		t.Fatal("different seeds should differ")
+	}
+	for _, v := range a.Data {
+		if v < 0 || v >= 10 {
+			t.Fatalf("value %v out of range", v)
+		}
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	ctx := tctx()
+	v := linalg.RandVector(11, -1, 1, 3)
+	bv := VectorFromDense(ctx, v, 4, 2)
+	if bv.NumBlocks() != 3 {
+		t.Fatalf("blocks %d", bv.NumBlocks())
+	}
+	if !bv.ToDense().Equal(v) {
+		t.Fatal("vector round trip")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	ctx := tctx()
+	v := linalg.RandVector(9, -1, 1, 4)
+	w := linalg.RandVector(9, -1, 1, 5)
+	bv := VectorFromDense(ctx, v, 4, 2)
+	bw := VectorFromDense(ctx, w, 4, 2)
+	if !bv.Add(bw).ToDense().EqualApprox(linalg.AddVectors(v, w), 1e-12) {
+		t.Fatal("vector add")
+	}
+	if !bv.Scale(2).ToDense().EqualApprox(v.Clone().ScaleInPlace(2), 1e-12) {
+		t.Fatal("vector scale")
+	}
+	if got, want := bv.Dot(bw), linalg.Dot(v, w); !approx(got, want, 1e-9) {
+		t.Fatalf("dot %v vs %v", got, want)
+	}
+	if got, want := bv.Sum(), v.Sum(); !approx(got, want, 1e-9) {
+		t.Fatalf("sum %v vs %v", got, want)
+	}
+}
+
+func approx(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// Property: FromDense/ToDense round trip holds for arbitrary shapes
+// and tile sizes.
+func TestQuickTileRoundTrip(t *testing.T) {
+	ctx := tctx()
+	f := func(r, c, n uint8, seed int64) bool {
+		rows, cols := int(r%12)+1, int(c%12)+1
+		ts := int(n%5) + 1
+		d := linalg.RandDense(rows, cols, -3, 3, seed)
+		return FromDense(ctx, d, ts, 3).ToDense().Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,348 @@
+package tiled
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataflow"
+	"repro/internal/linalg"
+)
+
+func randPair(ctx *dataflow.Context, rows, cols, n int, s1, s2 int64) (*Matrix, *Matrix, *linalg.Dense, *linalg.Dense) {
+	da := linalg.RandDense(rows, cols, 0, 10, s1)
+	db := linalg.RandDense(rows, cols, 0, 10, s2)
+	return FromDense(ctx, da, n, 3), FromDense(ctx, db, n, 3), da, db
+}
+
+func TestAddMatchesDense(t *testing.T) {
+	ctx := tctx()
+	a, b, da, db := randPair(ctx, 7, 5, 3, 1, 2)
+	got := a.Add(b).ToDense()
+	if !got.EqualApprox(linalg.AddDense(da, db), 1e-12) {
+		t.Fatal("tiled add mismatch")
+	}
+}
+
+func TestAddPreservesTilingNoGroupShuffle(t *testing.T) {
+	ctx := tctx()
+	a, b, _, _ := randPair(ctx, 8, 8, 2, 3, 4)
+	ctx.ResetMetrics()
+	a.Add(b).ToDense()
+	m := ctx.Metrics()
+	// Rule 17: addition needs exactly the one co-partitioning shuffle
+	// of the join, no group-by shuffle of replicated tiles.
+	if m.Shuffles != 2 { // two exchange sides of one join
+		t.Fatalf("expected 2 shuffle exchanges (join sides), got %d", m.Shuffles)
+	}
+	// Shuffled records = tiles of A + tiles of B, nothing more.
+	if m.ShuffledRecords != 32 {
+		t.Fatalf("shuffled records %d, want 32", m.ShuffledRecords)
+	}
+}
+
+func TestSubHadamardAXPYScale(t *testing.T) {
+	ctx := tctx()
+	a, b, da, db := randPair(ctx, 6, 6, 2, 5, 6)
+	if !a.Sub(b).ToDense().EqualApprox(linalg.SubDense(da, db), 1e-12) {
+		t.Fatal("sub mismatch")
+	}
+	if !a.Hadamard(b).ToDense().EqualApprox(linalg.HadamardInPlace(da.Clone(), db), 1e-12) {
+		t.Fatal("hadamard mismatch")
+	}
+	if !a.AXPY(0.5, b).ToDense().EqualApprox(linalg.AXPYInPlace(da.Clone(), 0.5, db), 1e-12) {
+		t.Fatal("axpy mismatch")
+	}
+	if !a.Scale(3).ToDense().EqualApprox(linalg.Scale(da, 3), 1e-12) {
+		t.Fatal("scale mismatch")
+	}
+}
+
+func TestTransposeMatchesDense(t *testing.T) {
+	ctx := tctx()
+	d := linalg.RandDense(5, 8, -1, 1, 7)
+	m := FromDense(ctx, d, 3, 2)
+	got := m.Transpose()
+	if got.Rows != 8 || got.Cols != 5 {
+		t.Fatalf("transpose dims %dx%d", got.Rows, got.Cols)
+	}
+	if !got.ToDense().Equal(d.Transpose()) {
+		t.Fatal("transpose mismatch")
+	}
+}
+
+func TestMultiplyMatchesDense(t *testing.T) {
+	ctx := tctx()
+	da := linalg.RandDense(6, 4, 0, 2, 8)
+	db := linalg.RandDense(4, 5, 0, 2, 9)
+	a := FromDense(ctx, da, 2, 3)
+	b := FromDense(ctx, db, 2, 3)
+	want := linalg.Mul(da, db)
+	if got := a.Multiply(b).ToDense(); !got.EqualApprox(want, 1e-9) {
+		t.Fatalf("multiply mismatch: %g", got.MaxAbsDiff(want))
+	}
+	if got := a.MultiplyGBJ(b).ToDense(); !got.EqualApprox(want, 1e-9) {
+		t.Fatalf("GBJ multiply mismatch: %g", got.MaxAbsDiff(want))
+	}
+	if got := a.MultiplyGroupByKey(b).ToDense(); !got.EqualApprox(want, 1e-9) {
+		t.Fatalf("groupByKey multiply mismatch: %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestMultiplyWithPadding(t *testing.T) {
+	ctx := tctx()
+	// Dimensions that do not divide the tile size: padding must not
+	// contribute to the product.
+	da := linalg.RandDense(5, 7, -1, 1, 10)
+	db := linalg.RandDense(7, 3, -1, 1, 11)
+	a := FromDense(ctx, da, 4, 2)
+	b := FromDense(ctx, db, 4, 2)
+	want := linalg.Mul(da, db)
+	if got := a.Multiply(b).ToDense(); !got.EqualApprox(want, 1e-9) {
+		t.Fatal("padded multiply mismatch")
+	}
+	if got := a.MultiplyGBJ(b).ToDense(); !got.EqualApprox(want, 1e-9) {
+		t.Fatal("padded GBJ multiply mismatch")
+	}
+}
+
+func TestMultiplyShapePanics(t *testing.T) {
+	ctx := tctx()
+	a := FromDense(ctx, linalg.NewDense(4, 4), 2, 1)
+	b := FromDense(ctx, linalg.NewDense(6, 4), 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Multiply(b)
+}
+
+// Shuffle accounting behind Figure 4.B. Rule 13: reduceByKey's
+// map-side combine must shuffle strictly less than groupByKey, which
+// ships every partial-product tile. GBJ's shuffle is exactly the
+// bounded replication 2*g^3 tiles (g = blocks per side) — its real
+// advantage over join+reduce is never materializing the g^3 partial
+// product tiles, which benchmarks observe as time, not bytes.
+func TestMultiplyShuffleAccounting(t *testing.T) {
+	ctx := tctx()
+	da := linalg.RandDense(24, 24, 0, 1, 12)
+	db := linalg.RandDense(24, 24, 0, 1, 13)
+	mk := func() (*Matrix, *Matrix) {
+		return FromDense(ctx, da, 4, 4), FromDense(ctx, db, 4, 4)
+	}
+
+	a, b := mk()
+	ctx.ResetMetrics()
+	a.MultiplyGBJ(b).ToDense()
+	gbjRecords := ctx.Metrics().ShuffledRecords
+
+	a, b = mk()
+	ctx.ResetMetrics()
+	a.Multiply(b).ToDense()
+	rbk := ctx.Metrics().ShuffledBytes
+
+	a, b = mk()
+	ctx.ResetMetrics()
+	a.MultiplyGroupByKey(b).ToDense()
+	gbk := ctx.Metrics().ShuffledBytes
+
+	if rbk >= gbk {
+		t.Fatalf("reduceByKey should shuffle less than groupByKey: %d vs %d", rbk, gbk)
+	}
+	// g = 24/4 = 6 blocks per side; GBJ replicates each of the 36
+	// tiles per side 6 times: 2 * 6^3 = 432 shuffled records.
+	if gbjRecords != 432 {
+		t.Fatalf("GBJ shuffled records %d, want 432", gbjRecords)
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	ctx := tctx()
+	d := linalg.RandDense(6, 6, -3, 3, 14)
+	m := FromDense(ctx, d, 2, 2)
+	if !m.Diagonal().ToDense().Equal(d.Diag()) {
+		t.Fatal("diagonal mismatch")
+	}
+}
+
+func TestRowColSums(t *testing.T) {
+	ctx := tctx()
+	d := linalg.RandDense(7, 5, -2, 2, 15)
+	m := FromDense(ctx, d, 3, 2)
+	if !m.RowSums().ToDense().EqualApprox(d.RowSums(), 1e-9) {
+		t.Fatal("row sums mismatch")
+	}
+	if !m.ColSums().ToDense().EqualApprox(d.ColSums(), 1e-9) {
+		t.Fatal("col sums mismatch")
+	}
+}
+
+func TestSumAllAndNorm(t *testing.T) {
+	ctx := tctx()
+	d := linalg.RandDense(5, 5, -1, 1, 16)
+	m := FromDense(ctx, d, 2, 2)
+	if !approx(m.SumAll(), d.Sum(), 1e-9) {
+		t.Fatal("sum mismatch")
+	}
+	want := d.FrobeniusNorm()
+	if !approx(m.FrobeniusNorm2(), want*want, 1e-9) {
+		t.Fatal("norm mismatch")
+	}
+}
+
+func TestRotateRows(t *testing.T) {
+	ctx := tctx()
+	d := linalg.RandDense(6, 4, 0, 9, 17)
+	m := FromDense(ctx, d, 2, 2)
+	got := m.RotateRows().ToDense()
+	// Row i of input becomes row (i+1) % rows.
+	want := linalg.NewDense(6, 4)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			want.Set((i+1)%6, j, d.At(i, j))
+		}
+	}
+	if !got.Equal(want) {
+		t.Fatalf("rotate mismatch:\n%v\n%v", got, want)
+	}
+}
+
+func TestRotateRowsOddSize(t *testing.T) {
+	ctx := tctx()
+	// Rows not a multiple of tile size: wraparound crosses a padded tile.
+	d := linalg.RandDense(5, 3, 0, 9, 18)
+	m := FromDense(ctx, d, 2, 2)
+	got := m.RotateRows().ToDense()
+	want := linalg.NewDense(5, 3)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			want.Set((i+1)%5, j, d.At(i, j))
+		}
+	}
+	if !got.Equal(want) {
+		t.Fatalf("odd rotate mismatch:\n%v\n%v", got, want)
+	}
+}
+
+func TestMultiplyTransVariants(t *testing.T) {
+	ctx := tctx()
+	da := linalg.RandDense(6, 4, -1, 1, 19)
+	db := linalg.RandDense(6, 5, -1, 1, 20)
+	a := FromDense(ctx, da, 2, 2)
+	b := FromDense(ctx, db, 2, 2)
+	want := linalg.Mul(da.Transpose(), db)
+	if got := a.MultiplyTransAGBJ(b).ToDense(); !got.EqualApprox(want, 1e-9) {
+		t.Fatalf("A^T*B mismatch: %g", got.MaxAbsDiff(want))
+	}
+
+	dc := linalg.RandDense(7, 4, -1, 1, 21)
+	dd := linalg.RandDense(5, 4, -1, 1, 22)
+	c := FromDense(ctx, dc, 2, 2)
+	e := FromDense(ctx, dd, 2, 2)
+	want2 := linalg.Mul(dc, dd.Transpose())
+	if got := c.MultiplyTransBGBJ(e).ToDense(); !got.EqualApprox(want2, 1e-9) {
+		t.Fatalf("A*B^T mismatch: %g", got.MaxAbsDiff(want2))
+	}
+}
+
+// Property: tiled multiply agrees with dense multiply across random
+// shapes, tile sizes, and both strategies.
+func TestQuickMultiplyStrategiesAgree(t *testing.T) {
+	ctx := tctx()
+	f := func(n1, n2, n3, ts uint8, seed int64) bool {
+		r, k, c := int(n1%6)+1, int(n2%6)+1, int(n3%6)+1
+		n := int(ts%3) + 1
+		da := linalg.RandDense(r, k, -2, 2, seed)
+		db := linalg.RandDense(k, c, -2, 2, seed+1)
+		a := FromDense(ctx, da, n, 2)
+		b := FromDense(ctx, db, n, 2)
+		want := linalg.Mul(da, db)
+		return a.Multiply(b).ToDense().EqualApprox(want, 1e-9) &&
+			a.MultiplyGBJ(b).ToDense().EqualApprox(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A+B)^T == A^T + B^T on tiled matrices.
+func TestQuickTransposeAddCommute(t *testing.T) {
+	ctx := tctx()
+	f := func(seed int64) bool {
+		da := linalg.RandDense(5, 7, -2, 2, seed)
+		db := linalg.RandDense(5, 7, -2, 2, seed+3)
+		a := FromDense(ctx, da, 3, 2)
+		b := FromDense(ctx, db, 3, 2)
+		left := a.Add(b).Transpose().ToDense()
+		right := a.Transpose().Add(b.Transpose()).ToDense()
+		return left.EqualApprox(right, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fault tolerance: multiplication under failure injection matches the
+// clean run.
+func TestMultiplyWithFailures(t *testing.T) {
+	clean := tctx()
+	faulty := dataflow.NewContext(dataflow.Config{FailureRate: 0.2, FailureSeed: 5, MaxTaskRetries: 60})
+	da := linalg.RandDense(8, 8, 0, 1, 23)
+	db := linalg.RandDense(8, 8, 0, 1, 24)
+	want := FromDense(clean, da, 2, 3).Multiply(FromDense(clean, db, 2, 3)).ToDense()
+	got := FromDense(faulty, da, 2, 3).Multiply(FromDense(faulty, db, 2, 3)).ToDense()
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatal("failure injection changed the result")
+	}
+	if faulty.Metrics().TaskFailures == 0 {
+		t.Fatal("no failures injected")
+	}
+}
+
+func TestConcatRowsCols(t *testing.T) {
+	ctx := tctx()
+	da := linalg.RandDense(4, 6, 0, 1, 25) // 4 rows: tile-aligned for N=2
+	db := linalg.RandDense(3, 6, 0, 1, 26)
+	a := FromDense(ctx, da, 2, 2)
+	b := FromDense(ctx, db, 2, 2)
+	got := a.ConcatRows(b).ToDense()
+	if got.Rows != 7 || got.Cols != 6 {
+		t.Fatalf("concat dims %dx%d", got.Rows, got.Cols)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			if got.At(i, j) != da.At(i, j) {
+				t.Fatal("upper part mismatch")
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 6; j++ {
+			if got.At(4+i, j) != db.At(i, j) {
+				t.Fatal("lower part mismatch")
+			}
+		}
+	}
+
+	dc := linalg.RandDense(4, 4, 0, 1, 27)
+	dd := linalg.RandDense(4, 3, 0, 1, 28)
+	got2 := FromDense(ctx, dc, 2, 2).ConcatCols(FromDense(ctx, dd, 2, 2)).ToDense()
+	if got2.Rows != 4 || got2.Cols != 7 {
+		t.Fatalf("concat cols dims %dx%d", got2.Rows, got2.Cols)
+	}
+	if got2.At(1, 5) != dd.At(1, 1) {
+		t.Fatal("right part mismatch")
+	}
+}
+
+func TestConcatRowsAlignmentPanics(t *testing.T) {
+	ctx := tctx()
+	a := FromDense(ctx, linalg.NewDense(3, 4), 2, 1) // 3 rows, not tile-aligned
+	b := FromDense(ctx, linalg.NewDense(2, 4), 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected alignment panic")
+		}
+	}()
+	a.ConcatRows(b)
+}

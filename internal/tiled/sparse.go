@@ -1,0 +1,200 @@
+package tiled
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/linalg"
+)
+
+// Sparse block matrices: the extension the paper's conclusion sketches
+// ("tiled arrays where each tile is stored in the compressed sparse
+// column format" — we use CSR, the row-major analogue matching our
+// dense tiles). The storage-mapping layer makes this a drop-in
+// alternative: a different sparsifier/builder pair over the same
+// coordinate abstraction, and kernels specialized per tile
+// representation. Only tiles containing nonzeros are stored.
+
+// SparseBlock is one CSR tile with its coordinates.
+type SparseBlock = dataflow.Pair[Coord, *linalg.CSR]
+
+// SparseMatrix is a distributed block matrix with CSR tiles; absent
+// tiles are all-zero.
+type SparseMatrix struct {
+	Rows, Cols int64
+	N          int
+	Tiles      *dataflow.Dataset[SparseBlock]
+}
+
+// SparseFromCOO partitions a coordinate-format matrix into CSR tiles.
+func SparseFromCOO(ctx *dataflow.Context, c *linalg.COO, n int, numPartitions int) *SparseMatrix {
+	byTile := map[Coord]*linalg.COO{}
+	for _, e := range c.Entries {
+		key := Coord{I: int64(e.I) / int64(n), J: int64(e.J) / int64(n)}
+		t, ok := byTile[key]
+		if !ok {
+			t = linalg.NewCOO(n, n)
+			byTile[key] = t
+		}
+		t.Append(e.I-int(key.I)*n, e.J-int(key.J)*n, e.V)
+	}
+	blocks := make([]SparseBlock, 0, len(byTile))
+	for key, t := range byTile {
+		blocks = append(blocks, dataflow.KV(key, linalg.COOToCSR(t)))
+	}
+	return &SparseMatrix{Rows: int64(c.Rows), Cols: int64(c.Cols), N: n,
+		Tiles: dataflow.Parallelize(ctx, blocks, numPartitions)}
+}
+
+// BlockRows returns the number of tile rows.
+func (m *SparseMatrix) BlockRows() int64 { return ceilDiv(m.Rows, int64(m.N)) }
+
+// BlockCols returns the number of tile columns.
+func (m *SparseMatrix) BlockCols() int64 { return ceilDiv(m.Cols, int64(m.N)) }
+
+// NNZ returns the total stored nonzeros.
+func (m *SparseMatrix) NNZ() int64 {
+	counts := dataflow.Map(m.Tiles, func(b SparseBlock) int64 { return int64(b.Value.NNZ()) })
+	return dataflow.Aggregate(counts, int64(0),
+		func(a, x int64) int64 { return a + x },
+		func(a, b int64) int64 { return a + b })
+}
+
+// ToDense collects to a driver-side dense matrix.
+func (m *SparseMatrix) ToDense() *linalg.Dense {
+	out := linalg.NewDense(int(m.Rows), int(m.Cols))
+	for _, b := range dataflow.Collect(m.Tiles) {
+		rowOff := int(b.Key.I) * m.N
+		colOff := int(b.Key.J) * m.N
+		for i := 0; i < b.Value.Rows; i++ {
+			for idx := b.Value.RowPtr[i]; idx < b.Value.RowPtr[i+1]; idx++ {
+				gi, gj := rowOff+i, colOff+b.Value.ColIdx[idx]
+				if gi < int(m.Rows) && gj < int(m.Cols) {
+					out.Set(gi, gj, b.Value.Val[idx])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ToTiled densifies into the standard tiled representation.
+func (m *SparseMatrix) ToTiled(ctx *dataflow.Context) *Matrix {
+	tiles := dataflow.Map(m.Tiles, func(b SparseBlock) Block {
+		return dataflow.KV(b.Key, b.Value.ToDense())
+	})
+	out := &Matrix{Rows: m.Rows, Cols: m.Cols, N: m.N, Tiles: tiles}
+	return out.fillMissing(ctx)
+}
+
+// Sparsify presents the matrix as coordinate entries (only nonzeros).
+func (m *SparseMatrix) Sparsify() *dataflow.Dataset[Entry] {
+	n := m.N
+	return dataflow.FlatMap(m.Tiles, func(b SparseBlock) []Entry {
+		out := make([]Entry, 0, b.Value.NNZ())
+		rowOff := b.Key.I * int64(n)
+		colOff := b.Key.J * int64(n)
+		for i := 0; i < b.Value.Rows; i++ {
+			for idx := b.Value.RowPtr[i]; idx < b.Value.RowPtr[i+1]; idx++ {
+				out = append(out, Entry{
+					I: rowOff + int64(i),
+					J: colOff + int64(b.Value.ColIdx[idx]),
+					V: b.Value.Val[idx],
+				})
+			}
+		}
+		return out
+	})
+}
+
+// MultiplyDense computes S * D (sparse times dense tiled) with the
+// Section 5.3 join + reduceByKey translation and an SpMM tile kernel.
+// Sparse tiles join only the dense tiles they touch, so work scales
+// with stored tiles rather than the full grid.
+func (m *SparseMatrix) MultiplyDense(d *Matrix) *Matrix {
+	if m.Cols != d.Rows || m.N != d.N {
+		panic(fmt.Sprintf("tiled: sparse multiply shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, d.Rows, d.Cols))
+	}
+	parts := d.Tiles.NumPartitions()
+	left := dataflow.Map(m.Tiles, func(t SparseBlock) dataflow.Pair[int64, SparseBlock] {
+		return dataflow.KV(t.Key.J, t)
+	})
+	right := dataflow.Map(d.Tiles, func(t Block) dataflow.Pair[int64, Block] {
+		return dataflow.KV(t.Key.I, t)
+	})
+	joined := dataflow.Join(left, right, parts)
+	products := dataflow.Map(joined, func(p dataflow.Pair[int64, dataflow.JoinedPair[SparseBlock, Block]]) Block {
+		st, dt := p.Value.Left, p.Value.Right
+		c := linalg.NewDense(m.N, m.N)
+		linalg.SpMM(c, st.Value, dt.Value)
+		return dataflow.KV(Coord{I: st.Key.I, J: dt.Key.J}, c)
+	})
+	reduced := dataflow.ReduceByKey(products, func(x, y *linalg.Dense) *linalg.Dense {
+		return linalg.AddInPlace(x, y)
+	}, parts)
+	out := &Matrix{Rows: m.Rows, Cols: d.Cols, N: m.N, Tiles: reduced}
+	return out
+}
+
+// MatVec computes y = S * x with per-tile SpMV kernels.
+func (m *SparseMatrix) MatVec(x *Vector) *Vector {
+	if m.Cols != x.Size || m.N != x.N {
+		panic("tiled: sparse matvec shape mismatch")
+	}
+	parts := x.Blocks.NumPartitions()
+	left := dataflow.Map(m.Tiles, func(t SparseBlock) dataflow.Pair[int64, SparseBlock] {
+		return dataflow.KV(t.Key.J, t)
+	})
+	joined := dataflow.Join(left, x.Blocks, parts)
+	partials := dataflow.Map(joined, func(p dataflow.Pair[int64, dataflow.JoinedPair[SparseBlock, *linalg.Vector]]) VBlock {
+		t := p.Value.Left
+		return dataflow.KV(t.Key.I, t.Value.SpMV(p.Value.Right))
+	})
+	reduced := dataflow.ReduceByKey(partials, func(a, b *linalg.Vector) *linalg.Vector {
+		return a.AddInPlace(b)
+	}, parts)
+	return (&Vector{Size: m.Rows, N: m.N, Blocks: reduced}).fillMissingBlocks()
+}
+
+// fillMissingBlocks adds zero blocks for coordinates with no partial
+// result (rows whose sparse tiles are entirely absent).
+func (v *Vector) fillMissingBlocks() *Vector {
+	blocks := dataflow.Collect(v.Blocks)
+	present := map[int64]bool{}
+	for _, b := range blocks {
+		present[b.Key] = true
+	}
+	nb := v.NumBlocks()
+	for bi := int64(0); bi < nb; bi++ {
+		if !present[bi] {
+			blocks = append(blocks, dataflow.KV(bi, linalg.NewVector(v.N)))
+		}
+	}
+	return &Vector{Size: v.Size, N: v.N,
+		Blocks: dataflow.Parallelize(v.Blocks.Context(), blocks, v.Blocks.NumPartitions())}
+}
+
+// Scale multiplies every stored value by s (narrow; structure
+// preserved).
+func (m *SparseMatrix) Scale(s float64) *SparseMatrix {
+	tiles := dataflow.Map(m.Tiles, func(b SparseBlock) SparseBlock {
+		out := &linalg.CSR{Rows: b.Value.Rows, Cols: b.Value.Cols,
+			RowPtr: b.Value.RowPtr, ColIdx: b.Value.ColIdx,
+			Val: make([]float64, len(b.Value.Val))}
+		for i, v := range b.Value.Val {
+			out.Val[i] = v * s
+		}
+		return dataflow.KV(b.Key, out)
+	})
+	return &SparseMatrix{Rows: m.Rows, Cols: m.Cols, N: m.N, Tiles: tiles}
+}
+
+// Transpose swaps tile coordinates and transposes each CSR tile (via
+// its dense form; tiles are small).
+func (m *SparseMatrix) Transpose() *SparseMatrix {
+	tiles := dataflow.Map(m.Tiles, func(b SparseBlock) SparseBlock {
+		t := linalg.DenseToCOO(b.Value.ToDense().Transpose())
+		return dataflow.KV(Coord{I: b.Key.J, J: b.Key.I}, linalg.COOToCSR(t))
+	})
+	return &SparseMatrix{Rows: m.Cols, Cols: m.Rows, N: m.N, Tiles: tiles}
+}

@@ -1,0 +1,146 @@
+package tiled
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/linalg"
+)
+
+// This file implements Section 5.4: the group-by-join (GBJ) physical
+// operator, a generalization of the SUMMA block algorithm. A
+// group-by-join is
+//
+//	tiled(n,m)[ (k, ⊕/c) | ((i,j),a) <- A, ((ii,jj),b) <- B,
+//	            kx(i,j) == ky(ii,jj), let c = h(a,b),
+//	            group by k: (gx(i,j), gy(ii,jj)) ]
+//
+// evaluated by replicating each A tile across the output's column
+// groups and each B tile across the output's row groups, cogrouping on
+// the output coordinate, and reducing matches locally. Compared to the
+// join+reduceByKey translation it shuffles each input tile a bounded
+// number of times instead of shuffling every partial-product tile.
+
+// keyedTile tags a tile with its join key kx/ky.
+type keyedTile struct {
+	K    int64
+	Tile *linalg.Dense
+}
+
+// NumBytes reports the tile payload for shuffle accounting.
+func (k keyedTile) NumBytes() int64 { return 8 + k.Tile.NumBytes() }
+
+// GBJSpec describes a group-by-join instance: coordinate projections
+// for the group (gx, gy) and join keys (kx, ky), the per-match tile
+// kernel h accumulating into the output tile, and the output grid.
+type GBJSpec struct {
+	OutRows, OutCols int64 // logical output dims
+	// GroupsX is the number of distinct gy groups (output tile cols);
+	// GroupsY is the number of distinct gx groups (output tile rows).
+	GroupsX, GroupsY int64
+	// GX/KX project an A-tile coordinate to its group and join key.
+	GX, KX func(c Coord) int64
+	// GY/KY project a B-tile coordinate to its group and join key.
+	GY, KY func(c Coord) int64
+	// H accumulates the contribution of a matching tile pair into out.
+	H func(out, a, b *linalg.Dense)
+}
+
+// GroupByJoin runs the generic GBJ operator on two tiled matrices.
+func GroupByJoin(a, b *Matrix, spec GBJSpec) *Matrix {
+	parts := a.Tiles.NumPartitions()
+	n := a.N
+
+	as := dataflow.FlatMap(a.Tiles, func(t Block) []dataflow.Pair[Coord, keyedTile] {
+		out := make([]dataflow.Pair[Coord, keyedTile], 0, spec.GroupsX)
+		g := spec.GX(t.Key)
+		k := spec.KX(t.Key)
+		for jj := int64(0); jj < spec.GroupsX; jj++ {
+			out = append(out, dataflow.KV(Coord{I: g, J: jj}, keyedTile{K: k, Tile: t.Value}))
+		}
+		return out
+	})
+	bs := dataflow.FlatMap(b.Tiles, func(t Block) []dataflow.Pair[Coord, keyedTile] {
+		out := make([]dataflow.Pair[Coord, keyedTile], 0, spec.GroupsY)
+		g := spec.GY(t.Key)
+		k := spec.KY(t.Key)
+		for ii := int64(0); ii < spec.GroupsY; ii++ {
+			out = append(out, dataflow.KV(Coord{I: ii, J: g}, keyedTile{K: k, Tile: t.Value}))
+		}
+		return out
+	})
+
+	cg := dataflow.CoGroup(as, bs, parts)
+	tiles := dataflow.Map(cg, func(g dataflow.Pair[Coord, dataflow.CoGrouped[keyedTile, keyedTile]]) Block {
+		out := linalg.NewDense(n, n)
+		// Hash the smaller side by join key, probe with the other.
+		right := make(map[int64][]*linalg.Dense, len(g.Value.Right))
+		for _, kt := range g.Value.Right {
+			right[kt.K] = append(right[kt.K], kt.Tile)
+		}
+		for _, at := range g.Value.Left {
+			for _, bt := range right[at.K] {
+				spec.H(out, at.Tile, bt)
+			}
+		}
+		return dataflow.KV(g.Key, out)
+	})
+	return &Matrix{Rows: spec.OutRows, Cols: spec.OutCols, N: n, Tiles: tiles}
+}
+
+// MultiplyGBJ computes A * B with the SUMMA-style group-by-join:
+// gx(i,k)=i, kx(i,k)=k, gy(k,j)=j, ky(k,j)=k, h = tile GEMM.
+func (a *Matrix) MultiplyGBJ(b *Matrix) *Matrix {
+	if a.Cols != b.Rows || a.N != b.N {
+		panic("tiled: multiply shape mismatch")
+	}
+	return GroupByJoin(a, b, GBJSpec{
+		OutRows: a.Rows, OutCols: b.Cols,
+		GroupsX: b.BlockCols(), GroupsY: a.BlockRows(),
+		GX: func(c Coord) int64 { return c.I },
+		KX: func(c Coord) int64 { return c.J },
+		GY: func(c Coord) int64 { return c.J },
+		KY: func(c Coord) int64 { return c.I },
+		H: func(out, x, y *linalg.Dense) {
+			linalg.ParGemm(out, x, y)
+		},
+	})
+}
+
+// MultiplyTransAGBJ computes A^T * B without materializing A^T, as a
+// group-by-join with gx(k,i)=i and h = GemmTransA. Used by matrix
+// factorization (E^T x P).
+func (a *Matrix) MultiplyTransAGBJ(b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.N != b.N {
+		panic("tiled: multiplyTransA shape mismatch")
+	}
+	return GroupByJoin(a, b, GBJSpec{
+		OutRows: a.Cols, OutCols: b.Cols,
+		GroupsX: b.BlockCols(), GroupsY: a.BlockCols(),
+		GX: func(c Coord) int64 { return c.J }, // output row group = A col
+		KX: func(c Coord) int64 { return c.I }, // join on A row
+		GY: func(c Coord) int64 { return c.J },
+		KY: func(c Coord) int64 { return c.I },
+		H: func(out, x, y *linalg.Dense) {
+			linalg.GemmTransA(out, x, y)
+		},
+	})
+}
+
+// MultiplyTransBGBJ computes A * B^T without materializing B^T:
+// join key is the column coordinate of both inputs, h = GemmTransB.
+// Used by matrix factorization (P x Q^T).
+func (a *Matrix) MultiplyTransBGBJ(b *Matrix) *Matrix {
+	if a.Cols != b.Cols || a.N != b.N {
+		panic("tiled: multiplyTransB shape mismatch")
+	}
+	return GroupByJoin(a, b, GBJSpec{
+		OutRows: a.Rows, OutCols: b.Rows,
+		GroupsX: b.BlockRows(), GroupsY: a.BlockRows(),
+		GX: func(c Coord) int64 { return c.I },
+		KX: func(c Coord) int64 { return c.J },
+		GY: func(c Coord) int64 { return c.I }, // output col group = B row
+		KY: func(c Coord) int64 { return c.J }, // join on B col
+		H: func(out, x, y *linalg.Dense) {
+			linalg.GemmTransB(out, x, y)
+		},
+	})
+}
