@@ -1,0 +1,33 @@
+# Tier-1 gate plus the deeper checks. `make check` is what CI should
+# run; `make tier1` is the fast edit loop.
+
+GO ?= go
+
+.PHONY: all tier1 vet race test bench stages check
+
+all: tier1
+
+# The repo's tier-1 gate: everything builds, all tests pass.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full test suite under the race detector; the stage scheduler runs
+# independent shuffle map-sides concurrently, so -race is load-bearing.
+race:
+	$(GO) test -race ./...
+
+test: tier1 race
+
+# Narrow-chain fusion benchmarks with allocation counts.
+bench:
+	$(GO) test -run '^$$' -bench 'NarrowChain|Fig4B' -benchmem -benchtime 10x .
+
+# Per-stage timing table for a GBJ multiply.
+stages:
+	$(GO) run ./cmd/sacbench -fig stages -sizes 400
+
+check: vet tier1 race

@@ -194,6 +194,44 @@ func BenchmarkFig1_RowSums(b *testing.B) {
 	}
 }
 
+// --- Narrow-operator chains (whole-stage fusion) ---
+
+// A sparsify -> filter -> map -> count pipeline over tiles: all narrow
+// operators, so the engine should run it as one fused loop per
+// partition with no intermediate slices.
+func BenchmarkNarrowChain_SparsifyFilterMap(b *testing.B) {
+	ctx := benchCtx()
+	x := tiled.RandMatrix(ctx, 400, 400, benchTile, benchParts, 0, 10, 1).Persist()
+	dataflow.Count(x.Tiles)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := x.Sparsify()
+		f := dataflow.Filter(s, func(e tiled.Entry) bool { return e.V > 5 })
+		m := dataflow.Map(f, func(e tiled.Entry) float64 { return e.V })
+		dataflow.Count(m)
+	}
+}
+
+// A longer scalar chain: generate -> map -> filter -> flatMap -> reduce.
+func BenchmarkNarrowChain_ScalarOps(b *testing.B) {
+	ctx := benchCtx()
+	src := dataflow.Generate(ctx, benchParts, func(p int) []int {
+		rows := make([]int, 100_000)
+		for i := range rows {
+			rows[i] = p*100_000 + i
+		}
+		return rows
+	}).Persist()
+	dataflow.Count(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := dataflow.Map(src, func(x int) int { return 3 * x })
+		f := dataflow.Filter(m, func(x int) bool { return x%2 == 0 })
+		fm := dataflow.FlatMap(f, func(x int) []int { return []int{x, -x} })
+		dataflow.Reduce(fm, func(a, b int) int { return a + b })
+	}
+}
+
 // --- Local kernels (the per-tile code SAC generates) ---
 
 func BenchmarkKernel_Gemm_ikj(b *testing.B) {

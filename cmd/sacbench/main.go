@@ -6,6 +6,8 @@
 //	sacbench -fig 4c -k 200       # factorization series
 //	sacbench -fig ablation        # Rule 13 / storage / tile-size ablations
 //	sacbench -fig all -quick      # everything, small sizes
+//	sacbench -fig stages          # per-stage timing table for a GBJ multiply
+//	sacbench -fig 4b -stages      # append the stage table to any figure run
 package main
 
 import (
@@ -23,6 +25,7 @@ func main() {
 	parts := flag.Int("parts", 8, "dataset partitions (the paper had 8 executors)")
 	k := flag.Int64("k", 100, "factorization rank k (the paper used 1000)")
 	quick := flag.Bool("quick", false, "use small sizes for a fast smoke run")
+	stages := flag.Bool("stages", false, "print a per-stage timing table for a GBJ multiply after the figures")
 	netns := flag.Float64("netns", 0, "simulated serialization/network cost in ns per shuffled byte (0 = off)")
 	sizesFlag := flag.String("sizes", "", "comma-separated matrix side lengths, overriding defaults")
 	flag.Parse()
@@ -69,6 +72,9 @@ func main() {
 		fmt.Printf("paper shape: SAC GBJ up to 3x faster than MLlib — measured: %.2fx\n\n",
 			s.Ratios("SAC GBJ", "MLlib"))
 	}
+	runStages := func() {
+		fmt.Println(bench.StageBreakdown(cfg, mulSizes[len(mulSizes)-1]))
+	}
 	runAblation := func() {
 		fmt.Println(bench.AblationReduceByKey(cfg, mulSizes[:min(2, len(mulSizes))]).Format())
 		fmt.Println(bench.AblationCoordinate(cfg, []int64{100, 150}).Format())
@@ -84,6 +90,9 @@ func main() {
 		run4c()
 	case "ablation":
 		runAblation()
+	case "stages":
+		runStages()
+		return
 	case "all":
 		run4a()
 		run4b()
@@ -92,6 +101,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "sacbench: unknown figure %q\n", *fig)
 		os.Exit(2)
+	}
+	if *stages {
+		runStages()
 	}
 }
 

@@ -46,9 +46,19 @@ func main() {
 	prev := ml.Loss(r, p, q)
 	fmt.Printf("iter %2d: loss %.6g\n", 0, prev)
 	for it := 1; it <= iter; it++ {
-		p, q = ml.StepTiled(r, p, q, cfg)
-		loss := ml.Loss(r, p, q)
-		fmt.Printf("iter %2d: loss %.6g\n", it, loss)
+		// Rotate the tile cache: persist the new iterate, then release
+		// the superseded one so only the live factors stay pinned.
+		np, nq := ml.StepTiled(r, p, q, cfg)
+		np.Persist()
+		nq.Persist()
+		loss := ml.Loss(r, np, nq)
+		if it > 1 {
+			p.Unpersist()
+			q.Unpersist()
+		}
+		p, q = np, nq
+		fmt.Printf("iter %2d: loss %.6g (cached %.1f MiB)\n", it, loss,
+			float64(ctx.Metrics().CachedBytes)/(1<<20))
 		if loss > prev {
 			log.Fatalf("loss increased at iteration %d", it)
 		}

@@ -309,6 +309,28 @@ func AblationCoordinate(cfg Config, sizes []int64) Series {
 	return s
 }
 
+// StageBreakdown runs one SAC GBJ matrix multiplication of side n and
+// renders the engine's per-stage execution table: each shuffle
+// map-side and the final action with its wall time, tasks, records
+// in/out, and shuffled bytes. The scheduler launches both SUMMA
+// replication stages concurrently; on multi-core hosts the
+// max-concurrent-stages line shows them overlapping (on a single core
+// short CPU-bound stages may run back to back).
+func StageBreakdown(cfg Config, n int64) string {
+	ctx := newCtx(cfg)
+	a := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 1)
+	b := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 2)
+	force(ctx, a.Tiles)
+	force(ctx, b.Tiles)
+	ctx.ResetMetrics()
+	forceBlocks(a.MultiplyGBJ(b).Tiles)
+	var out strings.Builder
+	fmt.Fprintf(&out, "# Per-stage breakdown — SAC GBJ multiply, n=%d, tile=%d, %d partitions\n",
+		n, cfg.TileSize, cfg.Partitions)
+	out.WriteString(ctx.Metrics().FormatStages())
+	return out.String()
+}
+
 // force materializes a dataset and caches it so setup work is
 // excluded from measurements.
 func force[T any](ctx *dataflow.Context, d *dataflow.Dataset[T]) {

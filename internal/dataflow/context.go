@@ -1,15 +1,26 @@
 // Package dataflow implements a from-scratch, in-process analogue of the
 // Spark RDD runtime that the paper compiles to. Datasets are immutable
-// partitioned collections with lazy narrow transformations (map, filter,
-// flatMap, mapPartitions) fused per partition, and wide transformations
-// (groupByKey, reduceByKey, join, cogroup) that move data through an
-// explicit hash shuffle.
+// partitioned collections evaluated lazily through a push-based
+// pipeline: every narrow transformation (map, filter, flatMap,
+// mapPartitions, union) wraps its parent's per-partition iterator, so a
+// whole chain of narrow operators runs as one fused loop per partition
+// with no intermediate slices. Data materializes only at stage
+// boundaries — shuffle inputs, Persist caches, and actions.
 //
-// The engine executes partitions on a bounded worker pool ("executor
-// cores") and keeps per-context metrics — bytes and records shuffled,
-// tasks and stages run — so benchmarks can observe the quantity the
-// paper's optimizations target: shuffle volume. Task failures can be
-// injected; failed tasks are recomputed from lineage, mirroring the
+// Wide transformations (groupByKey, reduceByKey, join, cogroup) move
+// data through an explicit hash shuffle and cut the lineage into
+// first-class Stage nodes carrying their dependencies. The driver
+// scheduler runs a stage after its dependencies and runs independent
+// stages concurrently on the shared bounded worker pool ("executor
+// cores"), so e.g. both map-sides of a join overlap; stage bodies
+// submit tasks but never start other stages, which keeps the bounded
+// pool deadlock-free.
+//
+// The engine keeps per-context metrics — bytes and records shuffled,
+// tasks and stages run, per-stage wall time and record counts, bytes
+// pinned by caches — so benchmarks can observe the quantity the paper's
+// optimizations target: shuffle volume. Task failures can be injected;
+// failed tasks are recomputed from lineage, mirroring the
 // fault-tolerance DISC systems provide.
 package dataflow
 
@@ -51,11 +62,12 @@ type Config struct {
 // Context is the entry point to the engine, analogous to SparkContext.
 // A Context is safe for concurrent use.
 type Context struct {
-	conf    Config
-	metrics Metrics
-	sem     chan struct{}
-	failMu  sync.Mutex
-	failRng *rand.Rand
+	conf     Config
+	metrics  Metrics
+	sem      chan struct{}
+	stageIDs atomic.Int64
+	failMu   sync.Mutex
+	failRng  *rand.Rand
 }
 
 // NewContext returns a context with the given configuration,
@@ -107,6 +119,15 @@ func (c *Context) shouldFail() bool {
 	return c.failRng.Float64() < c.conf.FailureRate
 }
 
+// shuffleScratch holds reusable copy buffers for chargeShuffleCost so
+// concurrent shuffle stages do not allocate 2 MiB of scratch each.
+var shuffleScratch = sync.Pool{
+	New: func() any {
+		b := make([]byte, 2<<20)
+		return &b
+	},
+}
+
 // chargeShuffleCost simulates serialization and network transfer for
 // shuffled bytes by streaming the equivalent volume through a scratch
 // buffer (see Config.ShuffleCostNsPerByte).
@@ -122,8 +143,9 @@ func (c *Context) chargeShuffleCost(bytes int64) {
 		passes = 1
 	}
 	const chunk = 1 << 20
-	src := make([]byte, chunk)
-	dst := make([]byte, chunk)
+	scratch := shuffleScratch.Get().(*[]byte)
+	defer shuffleScratch.Put(scratch)
+	src, dst := (*scratch)[:chunk], (*scratch)[chunk:]
 	remaining := bytes * int64(passes)
 	for remaining > 0 {
 		n := remaining
@@ -142,10 +164,19 @@ func (e injectedFailure) Error() string {
 	return fmt.Sprintf("dataflow: injected failure on partition %d", e.part)
 }
 
+// capturedPanic carries a task failure from a worker goroutine to the
+// driver, where it is re-raised. Without the hand-off a panic on a
+// worker goroutine would kill the whole process, including unrelated
+// stages running concurrently.
+type capturedPanic struct{ val any }
+
 // runTasks executes body(i) for i in [0,n) on the worker pool, with
-// retry-on-injected-failure, and blocks until all complete. A panic in
-// body other than failure injection propagates to the caller.
-func (c *Context) runTasks(n int, body func(i int)) {
+// retry-on-injected-failure, and blocks until all complete. Successful
+// tasks are credited to st (which may be nil for untracked work). A
+// panic in body other than failure injection is re-raised on the
+// calling goroutine; it is not retried, since unlike injected faults it
+// is deterministic.
+func (c *Context) runTasks(st *Stage, n int, body func(i int)) {
 	var wg sync.WaitGroup
 	var panicked atomic.Value
 	for i := 0; i < n; i++ {
@@ -155,14 +186,19 @@ func (c *Context) runTasks(n int, body func(i int)) {
 			defer wg.Done()
 			defer func() { <-c.sem }()
 			for attempt := 0; ; attempt++ {
-				err := c.tryTask(i, body)
+				err := c.tryTask(st, i, body)
 				if err == nil {
+					return
+				}
+				if tp, ok := err.(taskPanic); ok {
+					panicked.Store(&capturedPanic{val: tp.val})
 					return
 				}
 				c.metrics.taskFailures.Add(1)
 				if attempt+1 >= c.conf.MaxTaskRetries {
-					panicked.Store(fmt.Errorf("dataflow: task %d failed after %d attempts: %w",
-						i, attempt+1, err))
+					panicked.Store(&capturedPanic{val: fmt.Errorf(
+						"dataflow: task %d failed after %d attempts: %w",
+						i, attempt+1, err)})
 					return
 				}
 			}
@@ -170,20 +206,26 @@ func (c *Context) runTasks(n int, body func(i int)) {
 	}
 	wg.Wait()
 	if p := panicked.Load(); p != nil {
-		panic(p)
+		panic(p.(*capturedPanic).val)
 	}
 }
 
+// taskPanic wraps a non-injected panic raised by user code inside a
+// task body.
+type taskPanic struct{ val any }
+
+func (e taskPanic) Error() string { return fmt.Sprintf("task panicked: %v", e.val) }
+
 // tryTask runs one attempt of a task, converting injected failures into
 // errors and recording task metrics.
-func (c *Context) tryTask(i int, body func(i int)) (err error) {
+func (c *Context) tryTask(st *Stage, i int, body func(i int)) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if f, ok := r.(injectedFailure); ok {
 				err = f
 				return
 			}
-			panic(r)
+			err = taskPanic{val: r}
 		}
 	}()
 	if c.shouldFail() {
@@ -191,5 +233,8 @@ func (c *Context) tryTask(i int, body func(i int)) (err error) {
 	}
 	body(i)
 	c.metrics.tasks.Add(1)
+	if st != nil {
+		st.tasks.Add(1)
+	}
 	return nil
 }

@@ -2,7 +2,10 @@ package dataflow
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Metrics accumulates engine counters. All fields are updated atomically
@@ -15,33 +18,92 @@ type Metrics struct {
 	shuffledRecords  atomic.Int64
 	shuffledBytes    atomic.Int64
 	collectedRecords atomic.Int64
+	cachedBytes      atomic.Int64
+
+	stagesInFlight atomic.Int64
+	maxInFlight    atomic.Int64
+
+	stageMu  sync.Mutex
+	perStage []StageMetric
+}
+
+// StageMetric is the execution record of one completed stage.
+// RecordsIn counts the records that reached the stage's sink (after the
+// fused narrow-operator chain); RecordsOut counts the records the stage
+// emitted across its boundary (shuffle rows written, or results handed
+// to the driver).
+type StageMetric struct {
+	ID            int64
+	Name          string
+	Wall          time.Duration
+	Tasks         int64
+	RecordsIn     int64
+	RecordsOut    int64
+	ShuffledBytes int64
 }
 
 // MetricsSnapshot is an immutable copy of the counters.
 type MetricsSnapshot struct {
 	Tasks            int64 // tasks completed successfully
 	TaskFailures     int64 // injected/retried task failures
-	Stages           int64 // shuffle stages executed
+	Stages           int64 // stages executed (shuffle map-sides and actions)
 	Shuffles         int64 // wide operations performed
 	ShuffledRecords  int64 // records that crossed a shuffle boundary
 	ShuffledBytes    int64 // estimated payload bytes shuffled
 	CollectedRecords int64 // records returned to the driver
+	CachedBytes      int64 // estimated bytes pinned by Persist caches
+	// MaxConcurrentStages is the high-water mark of stages executing
+	// simultaneously (>= 2 proves independent shuffle map-sides, e.g.
+	// both sides of a join, overlapped).
+	MaxConcurrentStages int64
+	// PerStage lists every completed stage in completion order with its
+	// wall time, task count, records in/out, and shuffled bytes.
+	PerStage []StageMetric
+}
+
+// noteStageStart tracks the in-flight stage gauge and its high-water
+// mark.
+func (m *Metrics) noteStageStart() {
+	cur := m.stagesInFlight.Add(1)
+	for {
+		max := m.maxInFlight.Load()
+		if cur <= max || m.maxInFlight.CompareAndSwap(max, cur) {
+			return
+		}
+	}
+}
+
+// noteStageEnd decrements the in-flight stage gauge.
+func (m *Metrics) noteStageEnd() { m.stagesInFlight.Add(-1) }
+
+// recordStage appends a completed stage's record.
+func (m *Metrics) recordStage(s StageMetric) {
+	m.stageMu.Lock()
+	m.perStage = append(m.perStage, s)
+	m.stageMu.Unlock()
 }
 
 // Snapshot copies the counters.
 func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.stageMu.Lock()
+	perStage := append([]StageMetric(nil), m.perStage...)
+	m.stageMu.Unlock()
 	return MetricsSnapshot{
-		Tasks:            m.tasks.Load(),
-		TaskFailures:     m.taskFailures.Load(),
-		Stages:           m.stages.Load(),
-		Shuffles:         m.shuffles.Load(),
-		ShuffledRecords:  m.shuffledRecords.Load(),
-		ShuffledBytes:    m.shuffledBytes.Load(),
-		CollectedRecords: m.collectedRecords.Load(),
+		Tasks:               m.tasks.Load(),
+		TaskFailures:        m.taskFailures.Load(),
+		Stages:              m.stages.Load(),
+		Shuffles:            m.shuffles.Load(),
+		ShuffledRecords:     m.shuffledRecords.Load(),
+		ShuffledBytes:       m.shuffledBytes.Load(),
+		CollectedRecords:    m.collectedRecords.Load(),
+		CachedBytes:         m.cachedBytes.Load(),
+		MaxConcurrentStages: m.maxInFlight.Load(),
+		PerStage:            perStage,
 	}
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters except the cached-bytes gauge, which tracks
+// live Persist caches rather than work done.
 func (m *Metrics) Reset() {
 	m.tasks.Store(0)
 	m.taskFailures.Store(0)
@@ -50,6 +112,10 @@ func (m *Metrics) Reset() {
 	m.shuffledRecords.Store(0)
 	m.shuffledBytes.Store(0)
 	m.collectedRecords.Store(0)
+	m.maxInFlight.Store(0)
+	m.stageMu.Lock()
+	m.perStage = nil
+	m.stageMu.Unlock()
 }
 
 // String formats the snapshot as a single diagnostics line.
@@ -58,17 +124,40 @@ func (s MetricsSnapshot) String() string {
 		s.Tasks, s.TaskFailures, s.Stages, s.Shuffles, s.ShuffledRecords, s.ShuffledBytes)
 }
 
+// FormatStages renders the per-stage execution table: one row per
+// completed stage with wall time, tasks, records in/out, and shuffled
+// bytes.
+func (s MetricsSnapshot) FormatStages() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s  %-34s %12s %7s %12s %12s %12s\n",
+		"id", "stage", "wall", "tasks", "recordsIn", "recordsOut", "shufBytes")
+	for _, st := range s.PerStage {
+		name := st.Name
+		if len(name) > 34 {
+			name = name[:31] + "..."
+		}
+		fmt.Fprintf(&b, "%4d  %-34s %12s %7d %12d %12d %12d\n",
+			st.ID, name, st.Wall.Round(time.Microsecond), st.Tasks,
+			st.RecordsIn, st.RecordsOut, st.ShuffledBytes)
+	}
+	fmt.Fprintf(&b, "max concurrent stages: %d\n", s.MaxConcurrentStages)
+	return b.String()
+}
+
 // Sub returns the difference s - t, useful to meter one query when the
-// context is reused.
+// context is reused. Per-stage records and gauges are taken from s.
 func (s MetricsSnapshot) Sub(t MetricsSnapshot) MetricsSnapshot {
 	return MetricsSnapshot{
-		Tasks:            s.Tasks - t.Tasks,
-		TaskFailures:     s.TaskFailures - t.TaskFailures,
-		Stages:           s.Stages - t.Stages,
-		Shuffles:         s.Shuffles - t.Shuffles,
-		ShuffledRecords:  s.ShuffledRecords - t.ShuffledRecords,
-		ShuffledBytes:    s.ShuffledBytes - t.ShuffledBytes,
-		CollectedRecords: s.CollectedRecords - t.CollectedRecords,
+		Tasks:               s.Tasks - t.Tasks,
+		TaskFailures:        s.TaskFailures - t.TaskFailures,
+		Stages:              s.Stages - t.Stages,
+		Shuffles:            s.Shuffles - t.Shuffles,
+		ShuffledRecords:     s.ShuffledRecords - t.ShuffledRecords,
+		ShuffledBytes:       s.ShuffledBytes - t.ShuffledBytes,
+		CollectedRecords:    s.CollectedRecords - t.CollectedRecords,
+		CachedBytes:         s.CachedBytes,
+		MaxConcurrentStages: s.MaxConcurrentStages,
+		PerStage:            s.PerStage,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Dataset is an immutable, lazily evaluated, partitioned collection —
@@ -11,22 +12,41 @@ import (
 // from its lineage; nothing runs until an action (Collect, Count,
 // Reduce, ...) or a downstream shuffle materializes it.
 //
+// Execution is push-based: each streams a partition's elements into a
+// sink one at a time, and narrow transformations wrap their parent's
+// stream, so an entire chain of narrow operators runs as one fused
+// loop per partition with no intermediate slices. Elements materialize
+// only at stage boundaries: shuffle inputs, Persist caches, and
+// actions.
+//
 // Because Go methods cannot introduce type parameters, transformations
 // that change the element type are package-level functions (Map,
 // FlatMap, ...) taking the Dataset as the first argument.
 type Dataset[T any] struct {
-	ctx     *Context
-	parts   int
-	compute func(part int) []T
-	// prepare runs shuffle dependencies stage-by-stage from the
-	// driver goroutine before this dataset's tasks are scheduled, so
-	// task bodies never start nested stages (which would deadlock the
-	// bounded worker pool). It may be nil for source datasets.
-	prepare func()
+	ctx   *Context
+	parts int
+	// each pushes partition part's elements into emit (the fused
+	// pipeline). It reads only materialized inputs, so it is safe to
+	// run inside a task once deps have completed.
+	each func(part int, emit func(T))
+	// rows, when non-nil, exposes a partition as an already-materialized
+	// slice without copying (sources and shuffle reads); nil for fused
+	// operator chains.
+	rows func(part int) []T
+	// deps are the stages (shuffle map-sides, transitively collected)
+	// that must complete before this dataset's partitions can be
+	// computed inside a task. The driver scheduler runs them — with
+	// independent stages concurrent — before any action or shuffle over
+	// this dataset, so task bodies never start nested stages (which
+	// would deadlock the bounded worker pool).
+	deps    []*Stage
 	cacheMu sync.Mutex
 	cached  [][]T
-	persist bool
-	name    string
+	// cachedBytes tracks this dataset's contribution to the context's
+	// cached-bytes gauge, so Unpersist can release exactly that much.
+	cachedBytes int64
+	persist     bool
+	name        string
 	// keyParts, when nonzero, records that the elements are Pairs
 	// hash-partitioned by key into exactly this many partitions
 	// (partition p holds the keys with partitionOf(k, keyParts) == p).
@@ -35,18 +55,32 @@ type Dataset[T any] struct {
 	keyParts int
 }
 
-// newDataset wraps a compute function as a Dataset.
-func newDataset[T any](ctx *Context, parts int, name string, compute func(part int) []T) *Dataset[T] {
+// newSliceDataset wraps a materialized per-partition slice function
+// (sources and shuffle outputs) as a Dataset.
+func newSliceDataset[T any](ctx *Context, parts int, name string, deps []*Stage, rows func(part int) []T) *Dataset[T] {
+	checkParts(parts, name)
+	return &Dataset[T]{
+		ctx: ctx, parts: parts, name: name, deps: deps,
+		rows: rows,
+		each: func(p int, emit func(T)) {
+			for _, v := range rows(p) {
+				emit(v)
+			}
+		},
+	}
+}
+
+// newStreamDataset wraps a push-based per-partition stream (fused
+// narrow operators) as a Dataset.
+func newStreamDataset[T any](ctx *Context, parts int, name string, deps []*Stage, each func(part int, emit func(T))) *Dataset[T] {
+	checkParts(parts, name)
+	return &Dataset[T]{ctx: ctx, parts: parts, name: name, deps: deps, each: each}
+}
+
+func checkParts(parts int, name string) {
 	if parts <= 0 {
 		panic(fmt.Sprintf("dataflow: dataset %q with %d partitions", name, parts))
 	}
-	return &Dataset[T]{ctx: ctx, parts: parts, compute: compute, name: name}
-}
-
-// withPrepare attaches a stage-preparation hook and returns d.
-func (d *Dataset[T]) withPrepare(prep func()) *Dataset[T] {
-	d.prepare = prep
-	return d
 }
 
 // withKeyParts records the hash-partitioning of a keyed dataset.
@@ -57,16 +91,6 @@ func (d *Dataset[T]) withKeyParts(parts int) *Dataset[T] {
 
 // KeyPartitioned reports the recorded hash-partitioning (0 = none).
 func (d *Dataset[T]) KeyPartitioned() int { return d.keyParts }
-
-// prepareAll runs this dataset's shuffle dependencies (transitively).
-func (d *Dataset[T]) prepareAll() {
-	if d.prepare != nil {
-		d.prepare()
-	}
-}
-
-// prepHook returns the preparation hook for children of d.
-func (d *Dataset[T]) prepHook() func() { return d.prepareAll }
 
 // Context returns the owning context.
 func (d *Dataset[T]) Context() *Context { return d.ctx }
@@ -86,7 +110,51 @@ func (d *Dataset[T]) Persist() *Dataset[T] {
 	return d
 }
 
-// partition computes (or fetches from cache) one partition.
+// IsPersisted reports whether the dataset is marked for caching.
+func (d *Dataset[T]) IsPersisted() bool {
+	d.cacheMu.Lock()
+	defer d.cacheMu.Unlock()
+	return d.persist
+}
+
+// Unpersist drops the cache and the persist mark, releasing the bytes
+// from the context's cached-bytes gauge. Iterative workloads call it on
+// superseded iterates so the cache holds only live data; the dataset
+// can still be recomputed from lineage afterwards.
+func (d *Dataset[T]) Unpersist() *Dataset[T] {
+	d.cacheMu.Lock()
+	defer d.cacheMu.Unlock()
+	d.persist = false
+	d.cached = nil
+	d.ctx.metrics.cachedBytes.Add(-d.cachedBytes)
+	d.cachedBytes = 0
+	return d
+}
+
+// forEach streams one partition into emit, preferring the cache and
+// materialized rows over re-running the fused pipeline.
+func (d *Dataset[T]) forEach(p int, emit func(T)) {
+	d.cacheMu.Lock()
+	if d.cached != nil && d.cached[p] != nil {
+		rows := d.cached[p]
+		d.cacheMu.Unlock()
+		for _, v := range rows {
+			emit(v)
+		}
+		return
+	}
+	persist := d.persist
+	d.cacheMu.Unlock()
+	if persist {
+		for _, v := range d.partition(p) {
+			emit(v)
+		}
+		return
+	}
+	d.each(p, emit)
+}
+
+// partition computes (or fetches from cache) one partition as a slice.
 func (d *Dataset[T]) partition(p int) []T {
 	d.cacheMu.Lock()
 	if d.cached != nil && d.cached[p] != nil {
@@ -97,7 +165,12 @@ func (d *Dataset[T]) partition(p int) []T {
 	persist := d.persist
 	d.cacheMu.Unlock()
 
-	rows := d.compute(p)
+	var rows []T
+	if d.rows != nil {
+		rows = d.rows(p)
+	} else {
+		d.each(p, func(v T) { rows = append(rows, v) })
+	}
 	if persist {
 		d.cacheMu.Lock()
 		if d.cached == nil {
@@ -105,6 +178,9 @@ func (d *Dataset[T]) partition(p int) []T {
 		}
 		if d.cached[p] == nil {
 			d.cached[p] = rows
+			b := sliceBytes(rows)
+			d.cachedBytes += b
+			d.ctx.metrics.cachedBytes.Add(b)
 		} else {
 			rows = d.cached[p]
 		}
@@ -113,14 +189,33 @@ func (d *Dataset[T]) partition(p int) []T {
 	return rows
 }
 
+// sliceBytes estimates the payload size of a cached partition.
+func sliceBytes[T any](rows []T) int64 {
+	var b int64
+	for _, v := range rows {
+		b += estimateSize(v)
+	}
+	return b
+}
+
+// runAction executes body as a result stage over d's dependencies:
+// the scheduler first completes the dependency stages (independent
+// ones concurrently), then runs the action's own tasks.
+func (d *Dataset[T]) runAction(name string, body func(st *Stage)) {
+	d.ctx.newStage(name+"("+d.name+")", d.deps, body).ensure()
+}
+
 // materialize computes every partition in parallel on the worker pool
 // and returns them in partition order. It counts as one stage.
 func (d *Dataset[T]) materialize() [][]T {
-	d.prepareAll()
 	out := make([][]T, d.parts)
-	d.ctx.metrics.stages.Add(1)
-	d.ctx.runTasks(d.parts, func(p int) {
-		out[p] = d.partition(p)
+	d.runAction("collect", func(st *Stage) {
+		d.ctx.runTasks(st, d.parts, func(p int) {
+			out[p] = d.partition(p)
+			n := int64(len(out[p]))
+			st.recordsIn.Add(n)
+			st.recordsOut.Add(n)
+		})
 	})
 	return out
 }
@@ -139,7 +234,7 @@ func Parallelize[T any](ctx *Context, data []T, numPartitions int) *Dataset[T] {
 	if n == 0 {
 		numPartitions = 1
 	}
-	return newDataset(ctx, numPartitions, "parallelize", func(p int) []T {
+	return newSliceDataset(ctx, numPartitions, "parallelize", nil, func(p int) []T {
 		lo := p * n / numPartitions
 		hi := (p + 1) * n / numPartitions
 		return data[lo:hi]
@@ -153,52 +248,57 @@ func Generate[T any](ctx *Context, numPartitions int, gen func(part int) []T) *D
 	if numPartitions <= 0 {
 		numPartitions = ctx.DefaultPartitions()
 	}
-	return newDataset(ctx, numPartitions, "generate", gen)
+	return newSliceDataset(ctx, numPartitions, "generate", nil, gen)
 }
 
 // Map applies f to each element.
 func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
-	return newDataset(d.ctx, d.parts, "map", func(p int) []U {
-		in := d.partition(p)
-		out := make([]U, len(in))
-		for i, v := range in {
-			out[i] = f(v)
-		}
-		return out
-	}).withPrepare(d.prepHook())
+	return newStreamDataset(d.ctx, d.parts, "map", d.deps, func(p int, emit func(U)) {
+		d.forEach(p, func(v T) { emit(f(v)) })
+	})
 }
 
 // Filter keeps elements satisfying pred.
 func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] {
-	return newDataset(d.ctx, d.parts, "filter", func(p int) []T {
-		in := d.partition(p)
-		var out []T
-		for _, v := range in {
+	return newStreamDataset(d.ctx, d.parts, "filter", d.deps, func(p int, emit func(T)) {
+		d.forEach(p, func(v T) {
 			if pred(v) {
-				out = append(out, v)
+				emit(v)
 			}
-		}
-		return out
-	}).withPrepare(d.prepHook())
+		})
+	})
 }
 
 // FlatMap applies f and concatenates the results.
 func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
-	return newDataset(d.ctx, d.parts, "flatMap", func(p int) []U {
-		in := d.partition(p)
-		var out []U
-		for _, v := range in {
-			out = append(out, f(v)...)
-		}
-		return out
-	}).withPrepare(d.prepHook())
+	return newStreamDataset(d.ctx, d.parts, "flatMap", d.deps, func(p int, emit func(U)) {
+		d.forEach(p, func(v T) {
+			for _, u := range f(v) {
+				emit(u)
+			}
+		})
+	})
 }
 
-// MapPartitions transforms each whole partition at once.
+// FlatMapEmit is the push-native flatMap: f receives each element and
+// an emit callback and may emit any number of outputs. Unlike FlatMap
+// there is no intermediate result slice per element, so sparsifier-like
+// expansions stream straight into the consuming sink.
+func FlatMapEmit[T, U any](d *Dataset[T], f func(v T, emit func(U))) *Dataset[U] {
+	return newStreamDataset(d.ctx, d.parts, "flatMapEmit", d.deps, func(p int, emit func(U)) {
+		d.forEach(p, func(v T) { f(v, emit) })
+	})
+}
+
+// MapPartitions transforms each whole partition at once. The input
+// partition materializes (f needs the full slice), making this a
+// fusion barrier within the stage; the output streams onward.
 func MapPartitions[T, U any](d *Dataset[T], f func(part int, rows []T) []U) *Dataset[U] {
-	return newDataset(d.ctx, d.parts, "mapPartitions", func(p int) []U {
-		return f(p, d.partition(p))
-	}).withPrepare(d.prepHook())
+	return newStreamDataset(d.ctx, d.parts, "mapPartitions", d.deps, func(p int, emit func(U)) {
+		for _, u := range f(p, d.partition(p)) {
+			emit(u)
+		}
+	})
 }
 
 // Union concatenates two datasets (no shuffle; partitions are appended).
@@ -206,15 +306,14 @@ func Union[T any](a, b *Dataset[T]) *Dataset[T] {
 	if a.ctx != b.ctx {
 		panic("dataflow: union across contexts")
 	}
-	return newDataset(a.ctx, a.parts+b.parts, "union", func(p int) []T {
-		if p < a.parts {
-			return a.partition(p)
-		}
-		return b.partition(p - a.parts)
-	}).withPrepare(func() {
-		a.prepareAll()
-		b.prepareAll()
-	})
+	return newStreamDataset(a.ctx, a.parts+b.parts, "union", mergeDeps(a.deps, b.deps),
+		func(p int, emit func(T)) {
+			if p < a.parts {
+				a.forEach(p, emit)
+			} else {
+				b.forEach(p-a.parts, emit)
+			}
+		})
 }
 
 // Collect materializes the dataset and returns all elements in
@@ -233,50 +332,84 @@ func Collect[T any](d *Dataset[T]) []T {
 	return out
 }
 
-// Count returns the number of elements.
+// Count returns the number of elements. The count streams through the
+// fused pipeline without materializing partitions.
 func Count[T any](d *Dataset[T]) int64 {
-	parts := d.materialize()
-	var n int64
-	for _, p := range parts {
-		n += int64(len(p))
-	}
-	return n
+	var total atomic.Int64
+	d.runAction("count", func(st *Stage) {
+		d.ctx.runTasks(st, d.parts, func(p int) {
+			var n int64
+			d.forEach(p, func(T) { n++ })
+			total.Add(n)
+			st.recordsIn.Add(n)
+		})
+	})
+	return total.Load()
 }
 
-// Reduce folds all elements with the associative function f. It panics
-// on an empty dataset.
+// Reduce folds all elements with the associative function f: each
+// partition folds in parallel inside its task, and the driver merges
+// the partials in partition order. It panics on an empty dataset.
 func Reduce[T any](d *Dataset[T], f func(T, T) T) T {
-	parts := d.materialize()
-	var acc T
-	seen := false
-	for _, p := range parts {
-		for _, v := range p {
-			if !seen {
-				acc, seen = v, true
-			} else {
-				acc = f(acc, v)
+	partials := make([]T, d.parts)
+	seen := make([]bool, d.parts)
+	d.runAction("reduce", func(st *Stage) {
+		d.ctx.runTasks(st, d.parts, func(p int) {
+			var n int64
+			d.forEach(p, func(v T) {
+				n++
+				if !seen[p] {
+					partials[p], seen[p] = v, true
+				} else {
+					partials[p] = f(partials[p], v)
+				}
+			})
+			st.recordsIn.Add(n)
+			if seen[p] {
+				st.recordsOut.Add(1)
 			}
+		})
+	})
+	var acc T
+	any := false
+	for p := range partials {
+		if !seen[p] {
+			continue
+		}
+		if !any {
+			acc, any = partials[p], true
+		} else {
+			acc = f(acc, partials[p])
 		}
 	}
-	if !seen {
+	if !any {
 		panic("dataflow: Reduce of empty dataset")
 	}
 	return acc
 }
 
 // Aggregate folds all elements starting from zero; zero is used once
-// per partition and partials merged with merge.
+// per partition (folded inside the partition's task) and partials are
+// merged in partition order on the driver.
 func Aggregate[T, A any](d *Dataset[T], zero A, seq func(A, T) A, merge func(A, A) A) A {
-	parts := d.materialize()
+	partials := make([]A, d.parts)
+	d.runAction("aggregate", func(st *Stage) {
+		d.ctx.runTasks(st, d.parts, func(p int) {
+			partial := zero
+			var n int64
+			d.forEach(p, func(v T) {
+				n++
+				partial = seq(partial, v)
+			})
+			partials[p] = partial
+			st.recordsIn.Add(n)
+			st.recordsOut.Add(1)
+		})
+	})
 	acc := zero
-	first := true
-	for _, p := range parts {
-		partial := zero
-		for _, v := range p {
-			partial = seq(partial, v)
-		}
-		if first {
-			acc, first = partial, false
+	for p, partial := range partials {
+		if p == 0 {
+			acc = partial
 		} else {
 			acc = merge(acc, partial)
 		}
@@ -299,26 +432,23 @@ func Repartition[T any](d *Dataset[T], numPartitions int) *Dataset[T] {
 		numPartitions = d.ctx.DefaultPartitions()
 	}
 	lb := &lazyBuckets[T]{ctx: d.ctx, parts: numPartitions}
-	lb.produce = func() [][]bucketed[T] {
-		d.prepareAll()
-		parents := d.parts
-		outputs := make([][]bucketed[T], parents)
-		d.ctx.metrics.stages.Add(1)
-		d.ctx.runTasks(parents, func(p int) {
-			in := d.partition(p)
+	lb.stage = d.ctx.newStage("shuffle(repartition)", d.deps, func(st *Stage) {
+		outputs := make([][]bucketed[T], d.parts)
+		d.ctx.runTasks(st, d.parts, func(p int) {
 			buckets := make([]bucketed[T], numPartitions)
-			for i, v := range in {
+			i := 0
+			d.forEach(p, func(v T) {
 				b := (p + i) % numPartitions
+				i++
 				buckets[b].rows = append(buckets[b].rows, v)
 				buckets[b].bytes += estimateSize(v)
-			}
+			})
+			st.recordsIn.Add(int64(i))
 			outputs[p] = buckets
 		})
-		return outputs
-	}
-	return newDataset(d.ctx, numPartitions, "repartition", func(p int) []T {
-		return lb.get(p)
-	}).withPrepare(lb.ensure)
+		lb.merge(st, outputs)
+	})
+	return newSliceDataset(d.ctx, numPartitions, "repartition", []*Stage{lb.stage}, lb.get)
 }
 
 // Distinct removes duplicate elements (by the canonical key of keyOf)
@@ -330,18 +460,24 @@ func Distinct[T any, K comparable](d *Dataset[T], keyOf func(T) K, numPartitions
 }
 
 // Take returns up to n elements, materializing partitions in order
-// until enough are gathered.
+// until enough are gathered. It runs as a stage whose tasks are the
+// partitions actually scanned.
 func Take[T any](d *Dataset[T], n int) []T {
-	d.prepareAll()
 	var out []T
-	for p := 0; p < d.parts && len(out) < n; p++ {
-		rows := d.partition(p)
-		for _, v := range rows {
-			out = append(out, v)
-			if len(out) == n {
-				return out
+	d.runAction("take", func(st *Stage) {
+		for p := 0; p < d.parts && len(out) < n; p++ {
+			part := p
+			var rows []T
+			d.ctx.runTasks(st, 1, func(int) { rows = d.partition(part) })
+			st.recordsIn.Add(int64(len(rows)))
+			for _, v := range rows {
+				out = append(out, v)
+				if len(out) == n {
+					break
+				}
 			}
 		}
-	}
+		st.recordsOut.Add(int64(len(out)))
+	})
 	return out
 }

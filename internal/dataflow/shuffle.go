@@ -1,9 +1,5 @@
 package dataflow
 
-import (
-	"sync"
-)
-
 // bucketed is the map-side output of one task for one reduce bucket.
 type bucketed[T any] struct {
 	rows  []T
@@ -11,14 +7,15 @@ type bucketed[T any] struct {
 }
 
 // lazyBuckets is materialized shuffle output: for each reduce partition
-// the rows routed to it. Materialization runs once, on first access,
-// and records shuffle metrics.
+// the rows routed to it. The map-side runs as a first-class Stage;
+// downstream datasets list that stage as a dependency, so the driver
+// scheduler materializes it (concurrently with independent stages)
+// before any task reads a bucket.
 type lazyBuckets[T any] struct {
 	ctx     *Context
 	parts   int
-	once    sync.Once
+	stage   *Stage
 	buckets [][]T
-	produce func() [][]bucketed[T]
 	// post, when set, transforms each bucket exactly once during
 	// materialization. ReduceByKey folds here because combine
 	// functions may mutate their first argument (the Spark contract);
@@ -30,77 +27,81 @@ type lazyBuckets[T any] struct {
 	narrow bool
 }
 
-// ensure materializes the shuffle output; it must be called from the
-// driver goroutine (via Dataset.prepare), never from inside a task.
-func (s *lazyBuckets[T]) ensure() {
-	s.once.Do(func() {
-		outputs := s.produce()
-		s.buckets = make([][]T, s.parts)
-		var recs, bytes int64
-		for _, parent := range outputs {
-			for b := range parent {
-				s.buckets[b] = append(s.buckets[b], parent[b].rows...)
-				recs += int64(len(parent[b].rows))
-				bytes += parent[b].bytes
-			}
+// merge concatenates the per-parent bucket outputs into reduce
+// partitions and records shuffle metrics. It runs at the end of the
+// shuffle stage's body.
+func (s *lazyBuckets[T]) merge(st *Stage, outputs [][]bucketed[T]) {
+	s.buckets = make([][]T, s.parts)
+	var recs, bytes int64
+	for _, parent := range outputs {
+		for b := range parent {
+			s.buckets[b] = append(s.buckets[b], parent[b].rows...)
+			recs += int64(len(parent[b].rows))
+			bytes += parent[b].bytes
 		}
-		if !s.narrow {
-			s.ctx.metrics.shuffles.Add(1)
-			s.ctx.metrics.shuffledRecords.Add(recs)
-			s.ctx.metrics.shuffledBytes.Add(bytes)
-			s.ctx.chargeShuffleCost(bytes)
+	}
+	st.recordsOut.Add(recs)
+	st.shuffledBytes.Add(bytes)
+	if !s.narrow {
+		s.ctx.metrics.shuffles.Add(1)
+		s.ctx.metrics.shuffledRecords.Add(recs)
+		s.ctx.metrics.shuffledBytes.Add(bytes)
+		s.ctx.chargeShuffleCost(bytes)
+	}
+	if s.post != nil {
+		for b := range s.buckets {
+			s.buckets[b] = s.post(s.buckets[b])
 		}
-		if s.post != nil {
-			for b := range s.buckets {
-				s.buckets[b] = s.post(s.buckets[b])
-			}
-		}
-	})
+	}
 }
 
+// get reads one reduce partition. The stage must have run (it is a
+// dependency of every downstream dataset); tasks never trigger it.
 func (s *lazyBuckets[T]) get(p int) []T {
-	s.ensure()
+	if s.buckets == nil {
+		panic("dataflow: shuffle read before its stage ran")
+	}
 	return s.buckets[p]
 }
 
-// exchange routes every element of d into numPartitions buckets.
-// keyed marks the route as hash-by-key: when d is already
-// hash-partitioned by key into numPartitions partitions, the exchange
-// is skipped and partitions are read in place (a narrow dependency,
-// like Spark's partitioner-aware joins).
+// exchange routes every element of d into numPartitions buckets inside
+// a shuffle map stage, fusing d's narrow-operator chain into the
+// bucket-write sink. keyed marks the route as hash-by-key: when d is
+// already hash-partitioned by key into numPartitions partitions, the
+// exchange degrades to an in-place narrow read (like Spark's
+// partitioner-aware joins).
 func exchange[T any](d *Dataset[T], numPartitions int, route func(T) int, keyed bool) *lazyBuckets[T] {
 	lb := &lazyBuckets[T]{ctx: d.ctx, parts: numPartitions}
 	if keyed && d.keyParts == numPartitions {
 		lb.narrow = true
-		lb.produce = func() [][]bucketed[T] {
-			d.prepareAll()
+		lb.stage = d.ctx.newStage("narrow-read("+d.name+")", d.deps, func(st *Stage) {
 			outputs := make([][]bucketed[T], d.parts)
-			d.ctx.metrics.stages.Add(1)
-			d.ctx.runTasks(d.parts, func(p int) {
+			d.ctx.runTasks(st, d.parts, func(p int) {
 				buckets := make([]bucketed[T], numPartitions)
 				buckets[p].rows = d.partition(p)
+				st.recordsIn.Add(int64(len(buckets[p].rows)))
 				outputs[p] = buckets
 			})
-			return outputs
-		}
+			lb.merge(st, outputs)
+		})
 		return lb
 	}
-	lb.produce = func() [][]bucketed[T] {
-		d.prepareAll()
+	lb.stage = d.ctx.newStage("shuffle("+d.name+")", d.deps, func(st *Stage) {
 		outputs := make([][]bucketed[T], d.parts)
-		d.ctx.metrics.stages.Add(1)
-		d.ctx.runTasks(d.parts, func(p int) {
-			in := d.partition(p)
+		d.ctx.runTasks(st, d.parts, func(p int) {
 			buckets := make([]bucketed[T], numPartitions)
-			for _, v := range in {
+			var in int64
+			d.forEach(p, func(v T) {
+				in++
 				b := route(v)
 				buckets[b].rows = append(buckets[b].rows, v)
 				buckets[b].bytes += estimateSize(v)
-			}
+			})
+			st.recordsIn.Add(in)
 			outputs[p] = buckets
 		})
-		return outputs
-	}
+		lb.merge(st, outputs)
+	})
 	return lb
 }
 
@@ -125,30 +126,31 @@ func pairRoute[K comparable, V any](numPartitions int) func(Pair[K, V]) int {
 
 // ReduceByKey merges values sharing a key with the associative,
 // commutative function combine. Values are partially combined on the
-// map side before the shuffle (Spark's reduceByKey), so shuffle volume
-// is one record per (input partition, distinct key).
+// map side before the shuffle (Spark's reduceByKey) — the combine sink
+// sits at the end of the fused narrow chain — so shuffle volume is one
+// record per (input partition, distinct key).
 func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(V, V) V, numPartitions int) *Dataset[Pair[K, V]] {
 	if numPartitions <= 0 {
 		numPartitions = d.ctx.DefaultPartitions()
 	}
 	lb := &lazyBuckets[Pair[K, V]]{ctx: d.ctx, parts: numPartitions}
-	lb.produce = func() [][]bucketed[Pair[K, V]] {
-		d.prepareAll()
+	lb.stage = d.ctx.newStage("shuffle(reduceByKey)", d.deps, func(st *Stage) {
 		outputs := make([][]bucketed[Pair[K, V]], d.parts)
-		d.ctx.metrics.stages.Add(1)
-		d.ctx.runTasks(d.parts, func(p int) {
-			in := d.partition(p)
+		d.ctx.runTasks(st, d.parts, func(p int) {
 			// Map-side combine.
 			acc := make(map[K]V)
 			order := make([]K, 0)
-			for _, kv := range in {
+			var in int64
+			d.forEach(p, func(kv Pair[K, V]) {
+				in++
 				if old, ok := acc[kv.Key]; ok {
 					acc[kv.Key] = combine(old, kv.Value)
 				} else {
 					acc[kv.Key] = kv.Value
 					order = append(order, kv.Key)
 				}
-			}
+			})
+			st.recordsIn.Add(in)
 			buckets := make([]bucketed[Pair[K, V]], numPartitions)
 			for _, k := range order {
 				kv := KV(k, acc[k])
@@ -158,16 +160,15 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(V, V)
 			}
 			outputs[p] = buckets
 		})
-		return outputs
-	}
+		lb.merge(st, outputs)
+	})
 	// Reduce side: fold the shuffled partials per key, exactly once
 	// (combine may mutate its first argument).
 	lb.post = func(rows []Pair[K, V]) []Pair[K, V] {
 		return foldPairs(rows, combine)
 	}
-	return newDataset(d.ctx, numPartitions, "reduceByKey", func(p int) []Pair[K, V] {
-		return lb.get(p)
-	}).withPrepare(lb.ensure).withKeyParts(numPartitions)
+	return newSliceDataset(d.ctx, numPartitions, "reduceByKey", []*Stage{lb.stage}, lb.get).
+		withKeyParts(numPartitions)
 }
 
 // foldPairs merges a slice of pairs by key preserving first-seen key
@@ -199,23 +200,22 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], numPartitions int) 
 		numPartitions = d.ctx.DefaultPartitions()
 	}
 	lb := exchange(d, numPartitions, pairRoute[K, V](numPartitions), true)
-	ds := newDataset(d.ctx, numPartitions, "groupByKey", func(p int) []Pair[K, []V] {
-		rows := lb.get(p)
-		acc := make(map[K][]V)
-		order := make([]K, 0)
-		for _, kv := range rows {
-			if _, ok := acc[kv.Key]; !ok {
-				order = append(order, kv.Key)
+	ds := newStreamDataset(d.ctx, numPartitions, "groupByKey", []*Stage{lb.stage},
+		func(p int, emit func(Pair[K, []V])) {
+			rows := lb.get(p)
+			acc := make(map[K][]V)
+			order := make([]K, 0)
+			for _, kv := range rows {
+				if _, ok := acc[kv.Key]; !ok {
+					order = append(order, kv.Key)
+				}
+				acc[kv.Key] = append(acc[kv.Key], kv.Value)
 			}
-			acc[kv.Key] = append(acc[kv.Key], kv.Value)
-		}
-		out := make([]Pair[K, []V], len(order))
-		for i, k := range order {
-			out[i] = KV(k, acc[k])
-		}
-		return out
-	})
-	return ds.withPrepare(lb.ensure).withKeyParts(numPartitions)
+			for _, k := range order {
+				emit(KV(k, acc[k]))
+			}
+		})
+	return ds.withKeyParts(numPartitions)
 }
 
 // AggregateByKey folds values per key into an accumulator of a
@@ -266,33 +266,29 @@ type JoinedPair[A, B any] struct {
 }
 
 // Join computes the inner equi-join of two pair datasets. Both sides
-// are hash-shuffled into co-partitioned buckets and joined with an
-// in-memory hash join per bucket.
+// are hash-shuffled into co-partitioned buckets — the two map-side
+// stages are independent, so the scheduler runs them concurrently —
+// and joined with an in-memory hash join per bucket.
 func Join[K comparable, A, B any](left *Dataset[Pair[K, A]], right *Dataset[Pair[K, B]], numPartitions int) *Dataset[Pair[K, JoinedPair[A, B]]] {
 	if numPartitions <= 0 {
 		numPartitions = left.ctx.DefaultPartitions()
 	}
 	lb := exchange(left, numPartitions, pairRoute[K, A](numPartitions), true)
 	rb := exchange(right, numPartitions, pairRoute[K, B](numPartitions), true)
-	ds := newDataset(left.ctx, numPartitions, "join", func(p int) []Pair[K, JoinedPair[A, B]] {
-		ls := lb.get(p)
-		rs := rb.get(p)
-		table := make(map[K][]A, len(ls))
-		for _, kv := range ls {
-			table[kv.Key] = append(table[kv.Key], kv.Value)
-		}
-		var out []Pair[K, JoinedPair[A, B]]
-		for _, kv := range rs {
-			for _, a := range table[kv.Key] {
-				out = append(out, KV(kv.Key, JoinedPair[A, B]{Left: a, Right: kv.Value}))
+	return newStreamDataset(left.ctx, numPartitions, "join", []*Stage{lb.stage, rb.stage},
+		func(p int, emit func(Pair[K, JoinedPair[A, B]])) {
+			ls := lb.get(p)
+			rs := rb.get(p)
+			table := make(map[K][]A, len(ls))
+			for _, kv := range ls {
+				table[kv.Key] = append(table[kv.Key], kv.Value)
 			}
-		}
-		return out
-	})
-	return ds.withPrepare(func() {
-		lb.ensure()
-		rb.ensure()
-	})
+			for _, kv := range rs {
+				for _, a := range table[kv.Key] {
+					emit(KV(kv.Key, JoinedPair[A, B]{Left: a, Right: kv.Value}))
+				}
+			}
+		})
 }
 
 // CoGrouped holds, for one key, all left and right values.
@@ -302,45 +298,41 @@ type CoGrouped[A, B any] struct {
 }
 
 // CoGroup groups both datasets by key simultaneously, like Spark's
-// cogroup; keys present on either side appear in the output.
+// cogroup; keys present on either side appear in the output. As with
+// Join, the two map-side stages run concurrently.
 func CoGroup[K comparable, A, B any](left *Dataset[Pair[K, A]], right *Dataset[Pair[K, B]], numPartitions int) *Dataset[Pair[K, CoGrouped[A, B]]] {
 	if numPartitions <= 0 {
 		numPartitions = left.ctx.DefaultPartitions()
 	}
 	lb := exchange(left, numPartitions, pairRoute[K, A](numPartitions), true)
 	rb := exchange(right, numPartitions, pairRoute[K, B](numPartitions), true)
-	ds := newDataset(left.ctx, numPartitions, "cogroup", func(p int) []Pair[K, CoGrouped[A, B]] {
-		ls := lb.get(p)
-		rs := rb.get(p)
-		acc := make(map[K]*CoGrouped[A, B])
-		order := make([]K, 0)
-		get := func(k K) *CoGrouped[A, B] {
-			g, ok := acc[k]
-			if !ok {
-				g = &CoGrouped[A, B]{}
-				acc[k] = g
-				order = append(order, k)
+	return newStreamDataset(left.ctx, numPartitions, "cogroup", []*Stage{lb.stage, rb.stage},
+		func(p int, emit func(Pair[K, CoGrouped[A, B]])) {
+			ls := lb.get(p)
+			rs := rb.get(p)
+			acc := make(map[K]*CoGrouped[A, B])
+			order := make([]K, 0)
+			get := func(k K) *CoGrouped[A, B] {
+				g, ok := acc[k]
+				if !ok {
+					g = &CoGrouped[A, B]{}
+					acc[k] = g
+					order = append(order, k)
+				}
+				return g
 			}
-			return g
-		}
-		for _, kv := range ls {
-			g := get(kv.Key)
-			g.Left = append(g.Left, kv.Value)
-		}
-		for _, kv := range rs {
-			g := get(kv.Key)
-			g.Right = append(g.Right, kv.Value)
-		}
-		out := make([]Pair[K, CoGrouped[A, B]], len(order))
-		for i, k := range order {
-			out[i] = KV(k, *acc[k])
-		}
-		return out
-	})
-	return ds.withPrepare(func() {
-		lb.ensure()
-		rb.ensure()
-	})
+			for _, kv := range ls {
+				g := get(kv.Key)
+				g.Left = append(g.Left, kv.Value)
+			}
+			for _, kv := range rs {
+				g := get(kv.Key)
+				g.Right = append(g.Right, kv.Value)
+			}
+			for _, k := range order {
+				emit(KV(k, *acc[k]))
+			}
+		})
 }
 
 // PartitionByKey hash-shuffles a pair dataset so that all records of a
@@ -350,9 +342,8 @@ func PartitionByKey[K comparable, V any](d *Dataset[Pair[K, V]], numPartitions i
 		numPartitions = d.ctx.DefaultPartitions()
 	}
 	lb := exchange(d, numPartitions, pairRoute[K, V](numPartitions), true)
-	return newDataset(d.ctx, numPartitions, "partitionBy", func(p int) []Pair[K, V] {
-		return lb.get(p)
-	}).withPrepare(lb.ensure).withKeyParts(numPartitions)
+	return newSliceDataset(d.ctx, numPartitions, "partitionBy", []*Stage{lb.stage}, lb.get).
+		withKeyParts(numPartitions)
 }
 
 // CollectAsMap collects a pair dataset into a map; later duplicates of

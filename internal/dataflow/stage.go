@@ -1,0 +1,144 @@
+package dataflow
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage is a first-class node of the execution DAG: a unit of
+// scheduling whose tasks run entirely from already-materialized inputs
+// (sources, caches, upstream shuffle outputs) and end at a stage
+// boundary — a shuffle write, or results handed to the driver. Narrow
+// operators never create stages; they fuse into the stage that
+// consumes them.
+//
+// Stages carry explicit dependencies. The driver scheduler runs a
+// stage only after its dependencies, and runs *independent*
+// dependencies concurrently — both map-sides of a join overlap on the
+// shared worker pool. Stage bodies submit tasks to the pool but never
+// start other stages, preserving the no-nested-stages invariant that
+// keeps the bounded pool deadlock-free.
+type Stage struct {
+	ctx  *Context
+	id   int64
+	name string
+	deps []*Stage
+	body func(*Stage)
+
+	once    sync.Once
+	done    chan struct{}
+	failure any
+
+	// Per-stage counters, updated by the stage's tasks.
+	tasks         atomic.Int64
+	recordsIn     atomic.Int64
+	recordsOut    atomic.Int64
+	shuffledBytes atomic.Int64
+}
+
+// newStage registers a stage with the context's DAG.
+func (c *Context) newStage(name string, deps []*Stage, body func(*Stage)) *Stage {
+	return &Stage{
+		ctx:  c,
+		id:   c.stageIDs.Add(1),
+		name: name,
+		deps: deps,
+		body: body,
+		done: make(chan struct{}),
+	}
+}
+
+// ensure runs the stage exactly once: first its dependencies
+// (independent ones concurrently), then its own body. Concurrent
+// callers block until the stage completes. A failure (task retry
+// exhaustion) is recorded and re-panicked to every waiter, so actions
+// observe upstream stage failures. ensure must only be called from
+// driver-side goroutines, never from inside a task.
+func (s *Stage) ensure() {
+	s.once.Do(func() {
+		defer close(s.done)
+		defer func() {
+			if r := recover(); r != nil {
+				s.failure = r
+			}
+		}()
+		waitStages(s.deps)
+
+		c := s.ctx
+		c.metrics.noteStageStart()
+		start := time.Now()
+		defer func() {
+			wall := time.Since(start)
+			c.metrics.noteStageEnd()
+			c.metrics.stages.Add(1)
+			c.metrics.recordStage(StageMetric{
+				ID:            s.id,
+				Name:          s.name,
+				Wall:          wall,
+				Tasks:         s.tasks.Load(),
+				RecordsIn:     s.recordsIn.Load(),
+				RecordsOut:    s.recordsOut.Load(),
+				ShuffledBytes: s.shuffledBytes.Load(),
+			})
+		}()
+		s.body(s)
+	})
+	<-s.done
+	if s.failure != nil {
+		panic(s.failure)
+	}
+}
+
+// waitStages ensures every listed stage has run, launching independent
+// stages concurrently, and re-panics the first observed failure.
+func waitStages(stages []*Stage) {
+	switch len(stages) {
+	case 0:
+		return
+	case 1:
+		stages[0].ensure()
+		return
+	}
+	var wg sync.WaitGroup
+	var failure atomic.Value
+	for _, st := range stages {
+		wg.Add(1)
+		go func(st *Stage) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					failure.CompareAndSwap(nil, r)
+				}
+			}()
+			st.ensure()
+		}(st)
+	}
+	wg.Wait()
+	if f := failure.Load(); f != nil {
+		panic(f)
+	}
+}
+
+// mergeDeps unions two dependency lists (deduplicated by identity);
+// used by operators with several parents.
+func mergeDeps(a, b []*Stage) []*Stage {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]*Stage, len(a), len(a)+len(b))
+	copy(out, a)
+outer:
+	for _, st := range b {
+		for _, have := range out {
+			if have == st {
+				continue outer
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}

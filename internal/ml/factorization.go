@@ -12,6 +12,7 @@
 package ml
 
 import (
+	"repro/internal/dataflow"
 	"repro/internal/linalg"
 	"repro/internal/mllib"
 	"repro/internal/tiled"
@@ -80,6 +81,33 @@ func StepMLlib(r, p, q *mllib.BlockMatrix, cfg Config) (*mllib.BlockMatrix, *mll
 	pNew := p.Add(e.Multiply(q).Scale(2 * cfg.Gamma)).Add(p.Scale(-cfg.Gamma * cfg.Lambda))
 	qNew := q.Add(e.Transpose().Multiply(p).Scale(2 * cfg.Gamma)).Add(q.Scale(-cfg.Gamma * cfg.Lambda))
 	return pNew, qNew
+}
+
+// Factorize runs iters gradient-descent iterations with SAC GBJ
+// multiplications, managing the tile cache across iterations: each new
+// iterate (P', Q') is persisted and materialized, then the superseded
+// iterate is unpersisted, so the cache holds only R and the live
+// factors instead of pinning every iteration's tiles.
+func Factorize(r, p, q *tiled.Matrix, iters int, cfg Config) (*tiled.Matrix, *tiled.Matrix) {
+	if !r.Tiles.IsPersisted() {
+		r.Persist()
+		defer r.Unpersist()
+	}
+	for i := 0; i < iters; i++ {
+		np, nq := StepTiled(r, p, q, cfg)
+		np.Persist()
+		nq.Persist()
+		dataflow.Count(np.Tiles)
+		dataflow.Count(nq.Tiles)
+		if i > 0 {
+			// p and q were persisted by the previous round of this
+			// loop; the caller's original factors stay untouched.
+			p.Unpersist()
+			q.Unpersist()
+		}
+		p, q = np, nq
+	}
+	return p, q
 }
 
 // Loss returns the squared Frobenius error ||R - P Q^T||^2 of a tiled

@@ -38,6 +38,13 @@ func KMeans(x *tiled.Matrix, k int, maxIter int, tol float64) *KMeansResult {
 	if int64(k) > x.Rows {
 		panic("ml: more clusters than points")
 	}
+	// The observations are traversed once per seeding round and once
+	// per Lloyd iteration; pin them for the duration, but only release
+	// a cache this call created (a caller's Persist stays in force).
+	if !x.Tiles.IsPersisted() {
+		x.Tiles.Persist()
+		defer x.Tiles.Unpersist()
+	}
 	dims := int(x.Cols)
 	centroids := initFarthest(x, k)
 

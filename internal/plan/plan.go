@@ -190,6 +190,27 @@ func (q *Compiled) coordDetail() string {
 // Strategy exposes the selected strategy (for tests and ablations).
 func (q *Compiled) Strategy() opt.Strategy { return q.strategy }
 
+// StageReport renders the engine's per-stage execution table (wall
+// time, tasks, records in/out, shuffled bytes per stage) accumulated
+// since the last metrics reset. Run a query first; combine with
+// Explain to see both the chosen translation and how it executed.
+func (c *Catalog) StageReport() string {
+	return c.ctx.Metrics().FormatStages()
+}
+
+// ExecuteProfiled runs the query against a clean metrics slate and
+// returns the result together with the per-stage execution table, so
+// callers see which physical stages the translation produced and what
+// each cost.
+func (q *Compiled) ExecuteProfiled() (*Result, string, error) {
+	q.cat.ctx.ResetMetrics()
+	res, err := q.Execute()
+	if err != nil {
+		return nil, "", err
+	}
+	return res, q.cat.StageReport(), nil
+}
+
 // Compile desugars, analyzes, and plans a query expression against the
 // catalog. Supported top-level forms: tiled(n,m)[...], tiledvec(n)[...],
 // rdd[...], and total reductions ⊕/[...].

@@ -160,10 +160,11 @@ func (m *Matrix) ToDense() *linalg.Dense {
 // restricted to in-bounds elements.
 func (m *Matrix) Sparsify() *dataflow.Dataset[Entry] {
 	n, rows, cols := m.N, m.Rows, m.Cols
-	return dataflow.FlatMap(m.Tiles, func(b Block) []Entry {
+	// Push-native expansion: entries stream straight into the consuming
+	// sink with no per-tile entry slice.
+	return dataflow.FlatMapEmit(m.Tiles, func(b Block, emit func(Entry)) {
 		rowOff := b.Key.I * int64(n)
 		colOff := b.Key.J * int64(n)
-		var out []Entry
 		for i := 0; i < n; i++ {
 			gi := rowOff + int64(i)
 			if gi >= rows {
@@ -174,10 +175,9 @@ func (m *Matrix) Sparsify() *dataflow.Dataset[Entry] {
 				if gj >= cols {
 					break
 				}
-				out = append(out, Entry{I: gi, J: gj, V: b.Value.At(i, j)})
+				emit(Entry{I: gi, J: gj, V: b.Value.At(i, j)})
 			}
 		}
-		return out
 	})
 }
 
@@ -231,6 +231,15 @@ func (m *Matrix) fillMissing(ctx *dataflow.Context) *Matrix {
 // Persist caches the tile dataset.
 func (m *Matrix) Persist() *Matrix {
 	m.Tiles.Persist()
+	return m
+}
+
+// Unpersist drops the tile cache, releasing its bytes from the engine's
+// cached-bytes gauge; the matrix stays computable from lineage.
+// Iterative workloads unpersist superseded iterates so old tiles do not
+// pin memory.
+func (m *Matrix) Unpersist() *Matrix {
+	m.Tiles.Unpersist()
 	return m
 }
 

@@ -21,6 +21,19 @@ type Vector struct {
 // NumBlocks returns the number of blocks.
 func (v *Vector) NumBlocks() int64 { return ceilDiv(v.Size, int64(v.N)) }
 
+// Persist caches the block dataset.
+func (v *Vector) Persist() *Vector {
+	v.Blocks.Persist()
+	return v
+}
+
+// Unpersist drops the block cache; the vector stays computable from
+// lineage.
+func (v *Vector) Unpersist() *Vector {
+	v.Blocks.Unpersist()
+	return v
+}
+
 // VectorFromDense partitions a driver-side vector into blocks.
 func VectorFromDense(ctx *dataflow.Context, d *linalg.Vector, n int, numPartitions int) *Vector {
 	size := int64(d.Len())
