@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race test bench stages check
+.PHONY: all tier1 vet race test bench stages trace check
 
 all: tier1
 
@@ -29,5 +29,10 @@ bench:
 # Per-stage timing table for a GBJ multiply.
 stages:
 	$(GO) run ./cmd/sacbench -fig stages -sizes 400
+
+# Quick traced GBJ multiply; load trace.json in chrome://tracing or
+# https://ui.perfetto.dev.
+trace:
+	$(GO) run ./cmd/sacbench -trace trace.json -sizes 300
 
 check: vet tier1 race

@@ -4,7 +4,13 @@
 //
 //	sac -explain 'tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, let v = a*b, group by (i,j) ]'
 //	sac -n 500 -query 'tiledvec(n)[ (i, +/a) | ((i,j),a) <- A, group by i ]'
+//	sac -analyze 'tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, let v = a*b, group by (i,j) ]'
 //	echo 'rdd[ ((i,j), a) | ((i,j),a) <- A, i == j ]' | sac -n 8 -run-stdin
+//
+// -analyze is EXPLAIN ANALYZE: it executes the query with tracing on
+// and prints the plan, the measured per-stage table with skew
+// statistics, and the span tree. -debug serves pprof and live metrics
+// over HTTP while queries run.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 
 	"repro/internal/comp"
 	"repro/internal/core"
+	"repro/internal/debug"
 	"repro/internal/diablo"
 	"repro/internal/opt"
 	"repro/internal/plan"
@@ -27,7 +34,9 @@ func main() {
 	n := flag.Int64("n", 200, "side length of the generated square matrices A and B")
 	tile := flag.Int("tile", 100, "tile size N")
 	explain := flag.String("explain", "", "explain the plan for this query and exit")
+	analyze := flag.String("analyze", "", "run this query with tracing and print an EXPLAIN ANALYZE report")
 	query := flag.String("query", "", "run this query")
+	debugAddr := flag.String("debug", "", "serve /debug endpoints (pprof, live metrics, stage table) on this address while running")
 	runStdin := flag.Bool("run-stdin", false, "read one query per line from stdin")
 	loop := flag.Bool("loop", false, "read a DIABLO loop program from stdin, translate and run it")
 	noGBJ := flag.Bool("no-gbj", false, "disable the Section 5.4 group-by-join")
@@ -45,6 +54,16 @@ func main() {
 	s.RegisterRandMatrix("A", *n, *n, 0, 10, *seed)
 	s.RegisterRandMatrix("B", *n, *n, 0, 10, *seed+1)
 	s.RegisterScalar("n", *n)
+
+	if *debugAddr != "" {
+		srv, err := debug.Serve(*debugAddr, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sac: debug endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint: http://%s/\n", srv.Addr())
+	}
 
 	exit := 0
 	runOne := func(src string) {
@@ -128,6 +147,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(ex)
+	case *analyze != "":
+		report, err := s.Analyze(*analyze)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
 	case *query != "":
 		runOne(*query)
 	case *runStdin:

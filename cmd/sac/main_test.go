@@ -103,6 +103,39 @@ for i = 0, n-1 do
 	}
 }
 
+func TestCLIAnalyze(t *testing.T) {
+	out, err := runSac(t, "", "-n", "8", "-tile", "4",
+		"-analyze", "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, let v = a*b, group by (i,j) ]")
+	if err != nil {
+		t.Fatalf("analyze failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"plan: ", "SUMMA", // the chosen translation
+		"stages:", "taskP50", "taskP99", "skew", // annotated stage table
+		"trace:", "phase: execute", "stage: ", "task", // span tree
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIDebugEndpoint(t *testing.T) {
+	// -debug with an impossible address must fail loudly, not silently.
+	if out, err := runSac(t, "", "-n", "8", "-tile", "4", "-debug", "256.0.0.1:bad",
+		"-query", "+/[ a | ((i,j),a) <- A ]"); err == nil {
+		t.Fatalf("bad -debug address accepted:\n%s", out)
+	}
+	out, err := runSac(t, "", "-n", "8", "-tile", "4", "-debug", "127.0.0.1:0",
+		"-query", "+/[ a | ((i,j),a) <- A ]")
+	if err != nil {
+		t.Fatalf("query with -debug failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "debug endpoint: http://127.0.0.1:") {
+		t.Fatalf("missing debug endpoint banner:\n%s", out)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	if out, err := runSac(t, "", "-query", "tiled(2,2)[ broken"); err == nil {
 		t.Fatalf("expected parse failure, got:\n%s", out)

@@ -8,6 +8,8 @@
 //	sacbench -fig all -quick      # everything, small sizes
 //	sacbench -fig stages          # per-stage timing table for a GBJ multiply
 //	sacbench -fig 4b -stages      # append the stage table to any figure run
+//	sacbench -trace out.json      # Chrome trace of a GBJ multiply (Perfetto)
+//	sacbench -fig all -debug :6060  # live pprof/metrics while the run is hot
 package main
 
 import (
@@ -17,6 +19,8 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/dataflow"
+	"repro/internal/debug"
 )
 
 func main() {
@@ -28,6 +32,8 @@ func main() {
 	stages := flag.Bool("stages", false, "print a per-stage timing table for a GBJ multiply after the figures")
 	netns := flag.Float64("netns", 0, "simulated serialization/network cost in ns per shuffled byte (0 = off)")
 	sizesFlag := flag.String("sizes", "", "comma-separated matrix side lengths, overriding defaults")
+	traceOut := flag.String("trace", "", "run a traced GBJ multiply, write Chrome trace JSON to this file, and exit")
+	debugAddr := flag.String("debug", "", "serve /debug endpoints (pprof, live metrics, stage table) on this address during the run")
 	flag.Parse()
 
 	cfg := bench.Config{TileSize: *tile, Partitions: *parts, ShuffleCostNsPerByte: *netns}
@@ -51,6 +57,27 @@ func main() {
 			sizes = append(sizes, v)
 		}
 		addSizes, mulSizes, facSizes = sizes, sizes, sizes
+	}
+
+	if *debugAddr != "" {
+		srv, err := debug.Serve(*debugAddr, liveMetrics{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sacbench: debug endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint: http://%s/\n", srv.Addr())
+	}
+
+	if *traceOut != "" {
+		tr, table := bench.TracedGBJ(cfg, mulSizes[0])
+		if err := tr.WriteChromeFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "sacbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+		fmt.Printf("wrote Chrome trace to %s — load it in chrome://tracing or https://ui.perfetto.dev\n", *traceOut)
+		return
 	}
 
 	run4a := func() {
@@ -113,3 +140,9 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// liveMetrics adapts the bench package's most recent engine context to
+// the debug.Source interface.
+type liveMetrics struct{}
+
+func (liveMetrics) Metrics() dataflow.MetricsSnapshot { return bench.CurrentMetrics() }

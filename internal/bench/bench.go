@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coord"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/mllib"
 	"repro/internal/tiled"
+	"repro/internal/trace"
 )
 
 // Config sizes a benchmark run. The paper used 1000x1000 tiles on a
@@ -90,12 +92,28 @@ func (s Series) Ratios(fast, slow string) (maxRatio float64) {
 	return maxRatio
 }
 
+// currentCtx remembers the most recently created bench context so a
+// live debug endpoint (sacbench -debug) can report its metrics while a
+// run is in flight.
+var currentCtx atomic.Pointer[dataflow.Context]
+
+// CurrentMetrics snapshots the metrics of the most recently created
+// bench context (zero snapshot before the first run starts).
+func CurrentMetrics() dataflow.MetricsSnapshot {
+	if c := currentCtx.Load(); c != nil {
+		return c.Metrics()
+	}
+	return dataflow.MetricsSnapshot{}
+}
+
 func newCtx(cfg Config) *dataflow.Context {
-	return dataflow.NewContext(dataflow.Config{
+	ctx := dataflow.NewContext(dataflow.Config{
 		Parallelism:          cfg.Parallel,
 		DefaultPartitions:    cfg.Partitions,
 		ShuffleCostNsPerByte: cfg.ShuffleCostNsPerByte,
 	})
+	currentCtx.Store(ctx)
+	return ctx
 }
 
 // measure times fn and returns (seconds, bytes shuffled).
@@ -329,6 +347,36 @@ func StageBreakdown(cfg Config, n int64) string {
 		n, cfg.TileSize, cfg.Partitions)
 	out.WriteString(ctx.Metrics().FormatStages())
 	return out.String()
+}
+
+// TracedGBJ runs one SAC GBJ matrix multiplication of side n with
+// tracing enabled and returns the tracer (export with WriteChromeFile
+// for chrome://tracing / Perfetto) plus the per-stage table of just
+// that query. Task spans nest under stage spans under the query span.
+func TracedGBJ(cfg Config, n int64) (*trace.Tracer, string) {
+	ctx := newCtx(cfg)
+	a := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 1)
+	b := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 2)
+	force(ctx, a.Tiles)
+	force(ctx, b.Tiles)
+
+	tr := trace.New()
+	root := tr.Start(nil, "query: gbj-multiply")
+	root.SetAttr("n", n)
+	root.SetAttr("tile", cfg.TileSize)
+	root.SetAttr("partitions", cfg.Partitions)
+	ctx.SetTracer(tr)
+	ctx.SetTraceRoot(root)
+	before := ctx.Metrics()
+	forceBlocks(a.MultiplyGBJ(b).Tiles)
+	ctx.SetTracer(nil)
+	root.End()
+
+	var out strings.Builder
+	fmt.Fprintf(&out, "# Traced SAC GBJ multiply, n=%d, tile=%d, %d partitions\n",
+		n, cfg.TileSize, cfg.Partitions)
+	out.WriteString(ctx.Metrics().Sub(before).FormatStages())
+	return tr, out.String()
 }
 
 // force materializes a dataset and caches it so setup work is

@@ -173,6 +173,19 @@ func (s *Session) Explain(src string) (string, error) {
 	return q.Explain(), nil
 }
 
+// Analyze compiles and runs a query with tracing enabled and returns
+// the EXPLAIN ANALYZE-style report: the chosen plan annotated with the
+// measured per-stage table (wall time, records, shuffled bytes, skew)
+// and the full span tree of the execution.
+func (s *Session) Analyze(src string) (string, error) {
+	q, err := s.Compile(src)
+	if err != nil {
+		return "", err
+	}
+	_, report, err := q.Analyze()
+	return report, err
+}
+
 // EvalLocal evaluates a query with the single-node reference
 // evaluator (Sections 2-3 semantics) against local storages.
 func EvalLocal(src string, bindings map[string]comp.Value) (comp.Value, error) {

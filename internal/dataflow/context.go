@@ -30,6 +30,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // Config controls a simulated cluster.
@@ -68,6 +71,53 @@ type Context struct {
 	stageIDs atomic.Int64
 	failMu   sync.Mutex
 	failRng  *rand.Rand
+
+	// trc is the installed tracer plus the span new stages parent
+	// under. A single atomic pointer keeps the tracing-off fast path to
+	// one load-and-nil-check per stage/kernel.
+	trc atomic.Pointer[traceState]
+
+	// statMu/statFree recycle the per-stage task-sample buffers. A
+	// finished stage summarizes its samples into Dist values and returns
+	// the raw slices here, so steady-state stage execution allocates no
+	// per-stage stat storage.
+	statMu   sync.Mutex
+	statFree [][]int64
+}
+
+// getStatBuf returns a zeroed, zero-length sample buffer, reusing a
+// recycled one when available (nil when the free list is empty — growTo
+// then allocates).
+func (c *Context) getStatBuf() []int64 {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	if n := len(c.statFree); n > 0 {
+		b := c.statFree[n-1]
+		c.statFree = c.statFree[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putStatBuf zeroes and recycles a finished stage's sample buffer.
+func (c *Context) putStatBuf(b []int64) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = 0
+	}
+	c.statMu.Lock()
+	c.statFree = append(c.statFree, b[:0])
+	c.statMu.Unlock()
+}
+
+// traceState pairs a tracer with the span stages attach under (the
+// running query's execute phase).
+type traceState struct {
+	tr   *trace.Tracer
+	root *trace.Span
 }
 
 // NewContext returns a context with the given configuration,
@@ -107,6 +157,51 @@ func (c *Context) Metrics() MetricsSnapshot { return c.metrics.Snapshot() }
 // ResetMetrics zeroes the metric counters; benchmarks call this between
 // measured runs.
 func (c *Context) ResetMetrics() { c.metrics.Reset() }
+
+// SetTracer installs tr so every stage and task records spans; a nil tr
+// turns tracing off. Tracing off costs one atomic load per stage and
+// per task — no allocations, no spans.
+func (c *Context) SetTracer(tr *trace.Tracer) {
+	if tr == nil {
+		c.trc.Store(nil)
+		return
+	}
+	var root *trace.Span
+	if ts := c.trc.Load(); ts != nil && ts.tr == tr {
+		root = ts.root
+	}
+	c.trc.Store(&traceState{tr: tr, root: root})
+}
+
+// SetTraceRoot parents subsequent stage spans under root (typically the
+// query's execute-phase span). No-op when tracing is off.
+func (c *Context) SetTraceRoot(root *trace.Span) {
+	if ts := c.trc.Load(); ts != nil {
+		c.trc.Store(&traceState{tr: ts.tr, root: root})
+	}
+}
+
+// Tracer returns the installed tracer, or nil when tracing is off.
+func (c *Context) Tracer() *trace.Tracer {
+	if ts := c.trc.Load(); ts != nil {
+		return ts.tr
+	}
+	return nil
+}
+
+// StartSpan opens a span under the current trace root — tile kernels
+// use it to record compute leaves. Returns nil (a no-op span) when
+// tracing is off.
+func (c *Context) StartSpan(name string) *trace.Span {
+	ts := c.trc.Load()
+	if ts == nil {
+		return nil
+	}
+	if ts.root != nil {
+		return ts.root.StartChild(name)
+	}
+	return ts.tr.Start(nil, name)
+}
 
 // shouldFail decides (deterministically, given the seed) whether the
 // current task attempt should be failed artificially.
@@ -179,6 +274,9 @@ type capturedPanic struct{ val any }
 func (c *Context) runTasks(st *Stage, n int, body func(i int)) {
 	var wg sync.WaitGroup
 	var panicked atomic.Value
+	if st != nil {
+		st.reserveStats(n)
+	}
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		c.sem <- struct{}{}
@@ -217,10 +315,17 @@ type taskPanic struct{ val any }
 func (e taskPanic) Error() string { return fmt.Sprintf("task panicked: %v", e.val) }
 
 // tryTask runs one attempt of a task, converting injected failures into
-// errors and recording task metrics.
+// errors and recording task metrics: wall time per task (feeding the
+// stage's TaskDur distribution) and, when tracing is on, a task span
+// under the stage's span.
 func (c *Context) tryTask(st *Stage, i int, body func(i int)) (err error) {
+	var sp *trace.Span
 	defer func() {
 		if r := recover(); r != nil {
+			if sp != nil {
+				sp.SetAttr("error", fmt.Sprint(r))
+				sp.End()
+			}
 			if f, ok := r.(injectedFailure); ok {
 				err = f
 				return
@@ -231,10 +336,22 @@ func (c *Context) tryTask(st *Stage, i int, body func(i int)) (err error) {
 	if c.shouldFail() {
 		panic(injectedFailure{part: i})
 	}
-	body(i)
-	c.metrics.tasks.Add(1)
-	if st != nil {
-		st.tasks.Add(1)
+	if st == nil {
+		body(i)
+		c.metrics.tasks.Add(1)
+		return nil
 	}
+	if sp = st.span.StartChild("task"); sp != nil {
+		sp.SetAttr("partition", i)
+	}
+	start := time.Now()
+	body(i)
+	st.noteTaskDur(i, time.Since(start))
+	if sp != nil {
+		sp.SetAttr("records", st.recordsOf(i))
+		sp.End()
+	}
+	c.metrics.tasks.Add(1)
+	st.tasks.Add(1)
 	return nil
 }

@@ -2,6 +2,8 @@ package dataflow
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,6 +29,54 @@ type Metrics struct {
 	perStage []StageMetric
 }
 
+// Dist is a compact distribution summary of one per-task quantity
+// within a stage (nearest-rank percentiles over all samples).
+type Dist struct {
+	N                  int
+	Min, P50, P99, Max int64
+	// ArgMax is the task/partition index that produced Max — the
+	// suspect to look at when the distribution is lopsided.
+	ArgMax int
+}
+
+// Skew is the p99/p50 ratio, the stage's headline skew statistic
+// (0 when p50 is 0).
+func (d Dist) Skew() float64 {
+	if d.P50 == 0 {
+		return 0
+	}
+	return float64(d.P99) / float64(d.P50)
+}
+
+// summarizeDist computes a Dist over vals, where index i is task or
+// partition i. It sorts vals in place — callers recycle or discard the
+// slice afterwards, so the reorder never escapes.
+func summarizeDist(vals []int64) Dist {
+	if len(vals) == 0 {
+		return Dist{}
+	}
+	d := Dist{N: len(vals), Min: vals[0], Max: vals[0]}
+	for i, v := range vals {
+		if v < d.Min {
+			d.Min = v
+		}
+		if v > d.Max {
+			d.Max = v
+			d.ArgMax = i
+		}
+	}
+	slices.Sort(vals)
+	rank := func(p int) int64 { // nearest-rank percentile
+		idx := (len(vals)*p + 99) / 100
+		if idx < 1 {
+			idx = 1
+		}
+		return vals[idx-1]
+	}
+	d.P50, d.P99 = rank(50), rank(99)
+	return d
+}
+
 // StageMetric is the execution record of one completed stage.
 // RecordsIn counts the records that reached the stage's sink (after the
 // fused narrow-operator chain); RecordsOut counts the records the stage
@@ -35,11 +85,50 @@ type Metrics struct {
 type StageMetric struct {
 	ID            int64
 	Name          string
+	Start         time.Time
 	Wall          time.Duration
 	Tasks         int64
 	RecordsIn     int64
 	RecordsOut    int64
 	ShuffledBytes int64
+	// TaskDur summarizes per-task wall time in nanoseconds; a p99 far
+	// above p50 means one straggler task dominated the stage.
+	TaskDur Dist
+	// PartRecords summarizes input records per partition, exposing
+	// data skew independently of compute skew.
+	PartRecords Dist
+}
+
+// DefaultSkewThreshold is the task-duration p99/p50 ratio above which a
+// stage is flagged as skewed.
+const DefaultSkewThreshold = 4.0
+
+// SkewWarning reports a human-readable skew diagnosis when the stage's
+// task-duration p99/p50 exceeds threshold (<= 0 uses
+// DefaultSkewThreshold). Stages with fewer than two timed tasks cannot
+// be skewed and never warn.
+func (st StageMetric) SkewWarning(threshold float64) (string, bool) {
+	if threshold <= 0 {
+		threshold = DefaultSkewThreshold
+	}
+	if st.TaskDur.N < 2 {
+		return "", false
+	}
+	r := st.TaskDur.Skew()
+	if r <= threshold {
+		return "", false
+	}
+	w := fmt.Sprintf("skew: stage %d %s task-duration p99/p50=%.1f (p50=%s p99=%s); suspect partition %d (slowest task, %s)",
+		st.ID, st.Name, r,
+		time.Duration(st.TaskDur.P50).Round(time.Microsecond),
+		time.Duration(st.TaskDur.P99).Round(time.Microsecond),
+		st.TaskDur.ArgMax,
+		time.Duration(st.TaskDur.Max).Round(time.Microsecond))
+	if st.PartRecords.N > 0 && st.PartRecords.Skew() > threshold {
+		w += fmt.Sprintf("; hottest partition %d holds %d records (p50=%d)",
+			st.PartRecords.ArgMax, st.PartRecords.Max, st.PartRecords.P50)
+	}
+	return w, true
 }
 
 // MetricsSnapshot is an immutable copy of the counters.
@@ -52,12 +141,14 @@ type MetricsSnapshot struct {
 	ShuffledBytes    int64 // estimated payload bytes shuffled
 	CollectedRecords int64 // records returned to the driver
 	CachedBytes      int64 // estimated bytes pinned by Persist caches
-	// MaxConcurrentStages is the high-water mark of stages executing
-	// simultaneously (>= 2 proves independent shuffle map-sides, e.g.
-	// both sides of a join, overlapped).
+	// MaxConcurrentStages is the since-reset high-water mark of stages
+	// executing simultaneously (>= 2 proves independent shuffle
+	// map-sides, e.g. both sides of a join, overlapped). Sub recomputes
+	// it over just the diffed stages.
 	MaxConcurrentStages int64
 	// PerStage lists every completed stage in completion order with its
-	// wall time, task count, records in/out, and shuffled bytes.
+	// wall time, task count, records in/out, shuffled bytes, and
+	// task-duration / records-per-partition distributions.
 	PerStage []StageMetric
 }
 
@@ -125,28 +216,63 @@ func (s MetricsSnapshot) String() string {
 }
 
 // FormatStages renders the per-stage execution table: one row per
-// completed stage with wall time, tasks, records in/out, and shuffled
-// bytes.
+// completed stage with wall time, tasks, records in/out, shuffled
+// bytes, and the task-duration distribution (p50/p99/skew). Stages
+// whose skew exceeds DefaultSkewThreshold are flagged below the table
+// with the suspect partition.
 func (s MetricsSnapshot) FormatStages() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%4s  %-34s %12s %7s %12s %12s %12s\n",
-		"id", "stage", "wall", "tasks", "recordsIn", "recordsOut", "shufBytes")
+	fmt.Fprintf(&b, "%4s  %-34s %12s %7s %12s %12s %12s %10s %10s %6s\n",
+		"id", "stage", "wall", "tasks", "recordsIn", "recordsOut", "shufBytes", "taskP50", "taskP99", "skew")
 	for _, st := range s.PerStage {
 		name := st.Name
 		if len(name) > 34 {
 			name = name[:31] + "..."
 		}
-		fmt.Fprintf(&b, "%4d  %-34s %12s %7d %12d %12d %12d\n",
+		p50, p99, skew := "-", "-", "-"
+		if st.TaskDur.N > 0 {
+			p50 = time.Duration(st.TaskDur.P50).Round(time.Microsecond).String()
+			p99 = time.Duration(st.TaskDur.P99).Round(time.Microsecond).String()
+			skew = fmt.Sprintf("%.1f", st.TaskDur.Skew())
+		}
+		fmt.Fprintf(&b, "%4d  %-34s %12s %7d %12d %12d %12d %10s %10s %6s\n",
 			st.ID, name, st.Wall.Round(time.Microsecond), st.Tasks,
-			st.RecordsIn, st.RecordsOut, st.ShuffledBytes)
+			st.RecordsIn, st.RecordsOut, st.ShuffledBytes, p50, p99, skew)
+	}
+	for _, w := range s.SkewWarnings(0) {
+		fmt.Fprintf(&b, "warning: %s\n", w)
 	}
 	fmt.Fprintf(&b, "max concurrent stages: %d\n", s.MaxConcurrentStages)
 	return b.String()
 }
 
+// SkewWarnings lists the per-stage skew diagnoses whose task-duration
+// p99/p50 exceeds threshold (<= 0 uses DefaultSkewThreshold), each
+// naming the suspect partition. This is the hook skew-mitigation work
+// builds on.
+func (s MetricsSnapshot) SkewWarnings(threshold float64) []string {
+	var out []string
+	for _, st := range s.PerStage {
+		if w, ok := st.SkewWarning(threshold); ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
 // Sub returns the difference s - t, useful to meter one query when the
-// context is reused. Per-stage records and gauges are taken from s.
+// context is reused: take t before, s after, and Sub reports only the
+// work in between. PerStage keeps only the stages completed after t
+// (the first len(t.PerStage) rows are dropped), and
+// MaxConcurrentStages is recomputed over just those stages by sweeping
+// their [Start, Start+Wall] intervals — the snapshots' own field is a
+// since-reset high-water mark that may predate t. CachedBytes is a
+// live gauge and is taken from s.
 func (s MetricsSnapshot) Sub(t MetricsSnapshot) MetricsSnapshot {
+	var per []StageMetric
+	if len(s.PerStage) > len(t.PerStage) {
+		per = s.PerStage[len(t.PerStage):]
+	}
 	return MetricsSnapshot{
 		Tasks:               s.Tasks - t.Tasks,
 		TaskFailures:        s.TaskFailures - t.TaskFailures,
@@ -156,9 +282,39 @@ func (s MetricsSnapshot) Sub(t MetricsSnapshot) MetricsSnapshot {
 		ShuffledBytes:       s.ShuffledBytes - t.ShuffledBytes,
 		CollectedRecords:    s.CollectedRecords - t.CollectedRecords,
 		CachedBytes:         s.CachedBytes,
-		MaxConcurrentStages: s.MaxConcurrentStages,
-		PerStage:            s.PerStage,
+		MaxConcurrentStages: maxOverlap(per),
+		PerStage:            per,
 	}
+}
+
+// maxOverlap sweeps the stages' [Start, Start+Wall] intervals and
+// returns the largest number running at once.
+func maxOverlap(stages []StageMetric) int64 {
+	type edge struct {
+		at    time.Time
+		delta int64
+	}
+	edges := make([]edge, 0, 2*len(stages))
+	for _, st := range stages {
+		if st.Start.IsZero() {
+			continue
+		}
+		edges = append(edges, edge{st.Start, +1}, edge{st.Start.Add(st.Wall), -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if !edges[i].at.Equal(edges[j].at) {
+			return edges[i].at.Before(edges[j].at)
+		}
+		return edges[i].delta < edges[j].delta // close before open at ties
+	})
+	var cur, max int64
+	for _, e := range edges {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
 }
 
 // Sizer lets shuffled values report their payload size for shuffle-byte
@@ -173,6 +329,8 @@ func estimateSize(v any) int64 {
 		return 0
 	case Sizer:
 		return x.NumBytes()
+	case Coord:
+		return 16 // two int64 coordinates
 	case bool, int8, uint8:
 		return 1
 	case int16, uint16:

@@ -213,7 +213,7 @@ func (d *Dataset[T]) materialize() [][]T {
 		d.ctx.runTasks(st, d.parts, func(p int) {
 			out[p] = d.partition(p)
 			n := int64(len(out[p]))
-			st.recordsIn.Add(n)
+			st.noteIn(p, n)
 			st.recordsOut.Add(n)
 		})
 	})
@@ -341,7 +341,7 @@ func Count[T any](d *Dataset[T]) int64 {
 			var n int64
 			d.forEach(p, func(T) { n++ })
 			total.Add(n)
-			st.recordsIn.Add(n)
+			st.noteIn(p, n)
 		})
 	})
 	return total.Load()
@@ -364,7 +364,7 @@ func Reduce[T any](d *Dataset[T], f func(T, T) T) T {
 					partials[p] = f(partials[p], v)
 				}
 			})
-			st.recordsIn.Add(n)
+			st.noteIn(p, n)
 			if seen[p] {
 				st.recordsOut.Add(1)
 			}
@@ -402,7 +402,7 @@ func Aggregate[T, A any](d *Dataset[T], zero A, seq func(A, T) A, merge func(A, 
 				partial = seq(partial, v)
 			})
 			partials[p] = partial
-			st.recordsIn.Add(n)
+			st.noteIn(p, n)
 			st.recordsOut.Add(1)
 		})
 	})
@@ -443,7 +443,7 @@ func Repartition[T any](d *Dataset[T], numPartitions int) *Dataset[T] {
 				buckets[b].rows = append(buckets[b].rows, v)
 				buckets[b].bytes += estimateSize(v)
 			})
-			st.recordsIn.Add(int64(i))
+			st.noteIn(p, int64(i))
 			outputs[p] = buckets
 		})
 		lb.merge(st, outputs)
@@ -469,7 +469,7 @@ func Take[T any](d *Dataset[T], n int) []T {
 			part := p
 			var rows []T
 			d.ctx.runTasks(st, 1, func(int) { rows = d.partition(part) })
-			st.recordsIn.Add(int64(len(rows)))
+			st.noteIn(part, int64(len(rows)))
 			for _, v := range rows {
 				out = append(out, v)
 				if len(out) == n {

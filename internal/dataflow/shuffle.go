@@ -79,7 +79,7 @@ func exchange[T any](d *Dataset[T], numPartitions int, route func(T) int, keyed 
 			d.ctx.runTasks(st, d.parts, func(p int) {
 				buckets := make([]bucketed[T], numPartitions)
 				buckets[p].rows = d.partition(p)
-				st.recordsIn.Add(int64(len(buckets[p].rows)))
+				st.noteIn(p, int64(len(buckets[p].rows)))
 				outputs[p] = buckets
 			})
 			lb.merge(st, outputs)
@@ -97,7 +97,7 @@ func exchange[T any](d *Dataset[T], numPartitions int, route func(T) int, keyed 
 				buckets[b].rows = append(buckets[b].rows, v)
 				buckets[b].bytes += estimateSize(v)
 			})
-			st.recordsIn.Add(in)
+			st.noteIn(p, in)
 			outputs[p] = buckets
 		})
 		lb.merge(st, outputs)
@@ -150,7 +150,7 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(V, V)
 					order = append(order, kv.Key)
 				}
 			})
-			st.recordsIn.Add(in)
+			st.noteIn(p, in)
 			buckets := make([]bucketed[Pair[K, V]], numPartitions)
 			for _, k := range order {
 				kv := KV(k, acc[k])
@@ -265,6 +265,12 @@ type JoinedPair[A, B any] struct {
 	Right B
 }
 
+// NumBytes reports the combined payload so join outputs size correctly
+// when they cross a later shuffle or land in a Persist cache.
+func (j JoinedPair[A, B]) NumBytes() int64 {
+	return estimateSize(j.Left) + estimateSize(j.Right)
+}
+
 // Join computes the inner equi-join of two pair datasets. Both sides
 // are hash-shuffled into co-partitioned buckets — the two map-side
 // stages are independent, so the scheduler runs them concurrently —
@@ -295,6 +301,19 @@ func Join[K comparable, A, B any](left *Dataset[Pair[K, A]], right *Dataset[Pair
 type CoGrouped[A, B any] struct {
 	Left  []A
 	Right []B
+}
+
+// NumBytes sums both groups' payloads so cogrouped values size
+// correctly in downstream shuffle and cache accounting.
+func (g CoGrouped[A, B]) NumBytes() int64 {
+	var n int64
+	for i := range g.Left {
+		n += estimateSize(g.Left[i])
+	}
+	for i := range g.Right {
+		n += estimateSize(g.Right[i])
+	}
+	return n
 }
 
 // CoGroup groups both datasets by key simultaneously, like Spark's

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Stage is a first-class node of the execution DAG: a unit of
@@ -35,6 +37,83 @@ type Stage struct {
 	recordsIn     atomic.Int64
 	recordsOut    atomic.Int64
 	shuffledBytes atomic.Int64
+
+	// span is the stage's trace span (nil when tracing is off); tasks
+	// attach their spans under it.
+	span *trace.Span
+
+	// Per-task samples backing the stage's TaskDur / PartRecords
+	// distributions, indexed by task/partition.
+	statsMu   sync.Mutex
+	taskDurNs []int64
+	taskRecs  []int64
+}
+
+// seedStats adopts recycled sample buffers from the context's free
+// list the first time the stage records anything. Callers hold statsMu.
+func (s *Stage) seedStats() {
+	if s.taskDurNs == nil {
+		s.taskDurNs = s.ctx.getStatBuf()
+	}
+	if s.taskRecs == nil {
+		s.taskRecs = s.ctx.getStatBuf()
+	}
+}
+
+// noteIn credits n input records to the stage and to partition part's
+// tally, which feeds the records-per-partition distribution.
+func (s *Stage) noteIn(part int, n int64) {
+	s.recordsIn.Add(n)
+	s.statsMu.Lock()
+	s.seedStats()
+	s.taskRecs = growTo(s.taskRecs, part+1)
+	s.taskRecs[part] += n
+	s.statsMu.Unlock()
+}
+
+// reserveStats sizes the sample slices for n tasks up front, so the
+// per-task paths just index into them (recycled buffers when available,
+// one allocation per slice per stage otherwise).
+func (s *Stage) reserveStats(n int) {
+	s.statsMu.Lock()
+	s.seedStats()
+	s.taskDurNs = growTo(s.taskDurNs, n)
+	s.taskRecs = growTo(s.taskRecs, n)
+	s.statsMu.Unlock()
+}
+
+// growTo extends xs with zeros to length n in one allocation.
+func growTo(xs []int64, n int) []int64 {
+	if len(xs) >= n {
+		return xs
+	}
+	if cap(xs) >= n {
+		return xs[:n]
+	}
+	out := make([]int64, n)
+	copy(out, xs)
+	return out
+}
+
+// noteTaskDur records one task attempt's wall time at index i. Repeated
+// attempts on the same index (retries, per-partition driver scans)
+// accumulate.
+func (s *Stage) noteTaskDur(i int, d time.Duration) {
+	s.statsMu.Lock()
+	s.seedStats()
+	s.taskDurNs = growTo(s.taskDurNs, i+1)
+	s.taskDurNs[i] += d.Nanoseconds()
+	s.statsMu.Unlock()
+}
+
+// recordsOf reports partition i's input-record tally so far.
+func (s *Stage) recordsOf(i int) int64 {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if i < len(s.taskRecs) {
+		return s.taskRecs[i]
+	}
+	return 0
 }
 
 // newStage registers a stage with the context's DAG.
@@ -66,21 +145,50 @@ func (s *Stage) ensure() {
 		waitStages(s.deps)
 
 		c := s.ctx
+		if ts := c.trc.Load(); ts != nil {
+			s.span = ts.tr.Start(ts.root, "stage: "+s.name)
+			s.span.SetAttr("stage.id", s.id)
+		}
 		c.metrics.noteStageStart()
 		start := time.Now()
 		defer func() {
 			wall := time.Since(start)
 			c.metrics.noteStageEnd()
 			c.metrics.stages.Add(1)
-			c.metrics.recordStage(StageMetric{
+			// The stage is finished: no task can append samples anymore,
+			// so the slices are summarized without copying and then
+			// recycled for later stages.
+			s.statsMu.Lock()
+			durs, recs := s.taskDurNs, s.taskRecs
+			s.taskDurNs, s.taskRecs = nil, nil
+			s.statsMu.Unlock()
+			sm := StageMetric{
 				ID:            s.id,
 				Name:          s.name,
+				Start:         start,
 				Wall:          wall,
 				Tasks:         s.tasks.Load(),
 				RecordsIn:     s.recordsIn.Load(),
 				RecordsOut:    s.recordsOut.Load(),
 				ShuffledBytes: s.shuffledBytes.Load(),
-			})
+				TaskDur:       summarizeDist(durs),
+				PartRecords:   summarizeDist(recs),
+			}
+			c.metrics.recordStage(sm)
+			c.putStatBuf(durs)
+			c.putStatBuf(recs)
+			if sp := s.span; sp != nil {
+				sp.SetAttr("tasks", sm.Tasks)
+				sp.SetAttr("recordsIn", sm.RecordsIn)
+				sp.SetAttr("recordsOut", sm.RecordsOut)
+				if sm.ShuffledBytes > 0 {
+					sp.SetAttr("shuffledBytes", sm.ShuffledBytes)
+				}
+				if w, ok := sm.SkewWarning(0); ok {
+					sp.SetAttr("warn", w)
+				}
+				sp.End()
+			}
 		}()
 		s.body(s)
 	})

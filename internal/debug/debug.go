@@ -1,0 +1,80 @@
+// Package debug provides an opt-in HTTP endpoint for long engine runs:
+// the standard net/http/pprof profiles plus a live JSON snapshot of the
+// engine metrics and the per-stage execution table. Nothing listens
+// unless a CLI is started with its -debug flag (or Serve is called
+// directly), so the engine itself stays network-free.
+package debug
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/dataflow"
+)
+
+// Source supplies live engine metrics. *dataflow.Context satisfies it,
+// as does core.Session.
+type Source interface {
+	Metrics() dataflow.MetricsSnapshot
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the endpoint on addr (for example "localhost:6060";
+// ":0" picks a free port — read it back with Addr). Routes:
+//
+//	/debug/pprof/   the standard pprof index and profiles
+//	/debug/metrics  the current MetricsSnapshot as JSON
+//	/debug/stages   the per-stage execution table as text
+func Serve(addr string, src Source) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(src.Metrics()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/stages", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, src.Metrics().FormatStages())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>SAC engine debug</h1><ul>
+<li><a href="/debug/metrics">/debug/metrics</a> — live metrics snapshot (JSON)</li>
+<li><a href="/debug/stages">/debug/stages</a> — per-stage execution table</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiles</li>
+</ul></body></html>`)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{srv: &http.Server{Handler: mux}, ln: ln}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr reports the listening address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,74 @@
+package debug
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServe(t *testing.T) {
+	ctx := dataflow.NewContext(dataflow.Config{Parallelism: 2})
+	// Run something so the snapshot has stages to show.
+	d := dataflow.Parallelize(ctx, []int{1, 2, 3, 4, 5, 6}, 3)
+	pairs := dataflow.Map(d, func(v int) dataflow.Pair[int, int] { return dataflow.KV(v%2, v) })
+	dataflow.Collect(dataflow.ReduceByKey(pairs, func(a, b int) int { return a + b }, 2))
+
+	srv, err := Serve("127.0.0.1:0", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/debug/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/metrics status %d", code)
+	}
+	var snap dataflow.MetricsSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/metrics is not a MetricsSnapshot: %v\n%s", err, body)
+	}
+	if snap.Stages == 0 || len(snap.PerStage) == 0 {
+		t.Fatalf("snapshot shows no stages: %+v", snap)
+	}
+
+	code, body = get(t, base+"/debug/stages")
+	if code != http.StatusOK || !strings.Contains(body, "max concurrent stages") {
+		t.Fatalf("/debug/stages status %d body:\n%s", code, body)
+	}
+	if !strings.Contains(body, "shuffle(") {
+		t.Fatalf("/debug/stages missing shuffle stage row:\n%s", body)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+
+	code, body = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/debug/metrics") {
+		t.Fatalf("index page wrong: %d\n%s", code, body)
+	}
+
+	if code, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path should 404, got %d", code)
+	}
+}

@@ -210,6 +210,18 @@ func (m *BlockMatrix) Transpose() *BlockMatrix {
 	return &BlockMatrix{Rows: m.Cols, Cols: m.Rows, PerBlock: m.PerBlock, Blocks: blocks}
 }
 
+// placed is a block replicated to one grid partition for the simulated
+// MLlib multiply.
+type placed struct {
+	C    Coord
+	Tile *linalg.Dense
+}
+
+// NumBytes reports the real payload (coordinate + block data) so the
+// baseline's replication shuffle is accounted honestly, matching the
+// SAC side.
+func (p placed) NumBytes() int64 { return 16 + p.Tile.NumBytes() }
+
 // destinationGrid reproduces BlockMatrix.simulateMultiply: for each
 // left block (i,k), the set of result partitions it must reach is the
 // grid cells of the output coordinates (i, j) for all j with a right
@@ -226,10 +238,6 @@ func (m *BlockMatrix) Multiply(o *BlockMatrix) *BlockMatrix {
 	parts := m.Blocks.NumPartitions()
 	grid := NewGridPartitioner(m.BlockRows(), o.BlockCols(), parts)
 
-	type placed struct {
-		C    Coord
-		Tile *linalg.Dense
-	}
 	nOutCols := o.BlockCols()
 	nOutRows := m.BlockRows()
 

@@ -1,0 +1,129 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/opt"
+	"repro/internal/sacparser"
+)
+
+const matmulSrc = "tiled(n, n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, let v = a*b, group by (i,j) ]"
+
+// TestExecuteTraced checks the span hierarchy of a traced matmul:
+// query → plan/execute phases → stage → task, with tile-kernel leaves,
+// and that the result is both correct and forced inside the window.
+func TestExecuteTraced(t *testing.T) {
+	f := newFixture(t, 8, 8, 8, 8, 4)
+	q, err := Compile(sacparser.MustParse(matmulSrc), f.cat, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, tr, err := q.ExecuteTraced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linalg.Mul(f.da, f.db)
+	if !res.Matrix.ToDense().EqualApprox(want, 1e-9) {
+		t.Fatalf("traced execution returned a wrong product")
+	}
+
+	spans := tr.Spans()
+	byID := map[int64]string{}
+	for _, s := range spans {
+		byID[s.ID] = s.Name
+	}
+	var sawPlan, sawExec, sawStage, sawTask, sawKernel bool
+	for _, s := range spans {
+		switch {
+		case s.Name == "phase: plan":
+			sawPlan = true
+			if byID[s.ParentID] != "query" {
+				t.Fatalf("plan phase parents under %q", byID[s.ParentID])
+			}
+		case s.Name == "phase: execute":
+			sawExec = true
+			if byID[s.ParentID] != "query" {
+				t.Fatalf("execute phase parents under %q", byID[s.ParentID])
+			}
+		case strings.HasPrefix(s.Name, "stage: "):
+			sawStage = true
+			if byID[s.ParentID] != "phase: execute" {
+				t.Fatalf("stage %q parents under %q, want execute phase", s.Name, byID[s.ParentID])
+			}
+		case s.Name == "task":
+			sawTask = true
+			if !strings.HasPrefix(byID[s.ParentID], "stage: ") {
+				t.Fatalf("task parents under %q, want a stage", byID[s.ParentID])
+			}
+		case strings.HasPrefix(s.Name, "kernel: "):
+			sawKernel = true
+		}
+	}
+	if !sawPlan || !sawExec || !sawStage || !sawTask || !sawKernel {
+		t.Fatalf("missing span kinds (plan=%v exec=%v stage=%v task=%v kernel=%v):\n%s",
+			sawPlan, sawExec, sawStage, sawTask, sawKernel, tr.Tree())
+	}
+
+	// Tracing must be uninstalled afterwards.
+	if f.ctx.Tracer() != nil {
+		t.Fatalf("tracer left installed after ExecuteTraced")
+	}
+}
+
+// TestAnalyzeReport checks the EXPLAIN ANALYZE output: plan line,
+// per-stage table metered over just this query, and the span tree.
+func TestAnalyzeReport(t *testing.T) {
+	f := newFixture(t, 8, 8, 8, 8, 4)
+
+	// Earlier unrelated work on the same context must not leak into the
+	// report (exercises MetricsSnapshot.Sub).
+	warm, err := Compile(sacparser.MustParse("tiled(n, m)[ ((i,j), a + 1.0) | ((i,j),a) <- A ]"), f.cat, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := warm.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	preStages := f.ctx.Metrics().Stages
+
+	q, err := Compile(sacparser.MustParse(matmulSrc), f.cat, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, report, err := q.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matrix == nil {
+		t.Fatalf("no matrix result")
+	}
+	for _, want := range []string{
+		"plan: tiled([8 8]) <- SUMMA group-by-join",
+		"stages:",
+		"taskP99",
+		"trace:",
+		"phase: execute",
+		"stage: ",
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	// The report must be metered over only this query: its totals line
+	// shows fewer stages than the context accumulated overall.
+	var reported int64
+	if _, err := fmt.Sscanf(report[strings.Index(report, "stages="):], "stages=%d", &reported); err != nil {
+		t.Fatalf("no stages= in totals line: %v\n%s", err, report)
+	}
+	total := f.ctx.Metrics().Stages
+	if preStages == 0 || reported <= 0 || reported >= total {
+		t.Fatalf("metering wrong: report covers %d stages, context total %d (pre-query %d)",
+			reported, total, preStages)
+	}
+	if strings.Contains(report, "tile-map of A") {
+		t.Fatalf("report leaked the warm-up query's plan:\n%s", report)
+	}
+}

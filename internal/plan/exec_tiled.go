@@ -456,6 +456,17 @@ func (q *Compiled) execTileAgg(s *opt.TileAggStrategy) (*Result, error) {
 	return &Result{Vector: &tiled.Vector{Size: size, N: n, Blocks: blocks}}, nil
 }
 
+// taggedTile is a tile replicated toward a destination coordinate by
+// the Rule 19 translation, remembering its source coordinate.
+type taggedTile struct {
+	Src  tiled.Coord
+	Tile *linalg.Dense
+}
+
+// NumBytes reports the real payload (coordinate + tile data) so the
+// replication shuffle is not floored at the opaque 16-byte default.
+func (t taggedTile) NumBytes() int64 { return 16 + t.Tile.NumBytes() }
+
 // execReplicate runs the Rule 19 translation: each tile is shipped to
 // the destination tile coordinates I_f(K) induced by the affine output
 // key, the shuffled tiles are grouped by destination, and each output
@@ -498,10 +509,6 @@ func (q *Compiled) execReplicate(s *opt.ReplicateStrategy) (*Result, error) {
 	rows, cols := m.Rows, m.Cols
 	keys := s.Keys
 
-	type taggedTile struct {
-		Src  tiled.Coord
-		Tile *linalg.Dense
-	}
 	replicated := dataflow.FlatMap(m.Tiles, func(b tiled.Block) []dataflow.Pair[tiled.Coord, taggedTile] {
 		// Per-axis destination tile sets I_f(K) (the paper's index
 		// sets): each key component depends on one source axis.

@@ -9,11 +9,13 @@ package plan
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/comp"
 	"repro/internal/dataflow"
 	"repro/internal/opt"
 	"repro/internal/tiled"
+	"repro/internal/trace"
 )
 
 // Catalog binds query-visible names to distributed arrays and scalar
@@ -209,6 +211,97 @@ func (q *Compiled) ExecuteProfiled() (*Result, string, error) {
 		return nil, "", err
 	}
 	return res, q.cat.StageReport(), nil
+}
+
+// ExecuteTraced runs the query with hierarchical tracing: a query span
+// containing a plan phase (recording the chosen translation) and an
+// execute phase under which every engine stage, task, and tile kernel
+// records a span. The result is forced inside the traced window —
+// tiled results are lazy, so without forcing their stages would run
+// (untraced) at the first later action. The returned tracer renders
+// via Tree or exports via WriteChrome.
+func (q *Compiled) ExecuteTraced() (*Result, *trace.Tracer, error) {
+	tr := trace.New()
+	root := tr.Start(nil, "query")
+	root.SetAttr("builder", q.builderName())
+	defer root.End()
+	pl := root.StartChild("phase: plan")
+	pl.SetAttr("strategy", q.Explain())
+	pl.End()
+	res, err := q.ExecuteInSpan(tr, root)
+	if err != nil {
+		return nil, tr, err
+	}
+	return res, tr, nil
+}
+
+func (q *Compiled) builderName() string {
+	if q.reduce != "" {
+		return q.reduce + "/[...]"
+	}
+	if q.builder == "" {
+		return "rdd"
+	}
+	return q.builder
+}
+
+// ExecuteInSpan runs the query's execute phase as a child of parent in
+// tr, installing tr on the engine context for the duration (stages and
+// tasks attach under the phase span) and forcing lazy results so their
+// stages execute while the trace is live. The context's tracer is
+// removed again before returning.
+func (q *Compiled) ExecuteInSpan(tr *trace.Tracer, parent *trace.Span) (*Result, error) {
+	ctx := q.cat.ctx
+	ex := tr.Start(parent, "phase: execute")
+	ctx.SetTracer(tr)
+	ctx.SetTraceRoot(ex)
+	defer func() {
+		ctx.SetTracer(nil)
+		ex.End()
+	}()
+	res, err := q.Execute()
+	if err != nil {
+		return nil, err
+	}
+	forceResult(res)
+	return res, nil
+}
+
+// forceResult materializes lazy result datasets (persisting them, so
+// the work is not repeated by a later action) inside the caller's
+// traced/metered window.
+func forceResult(res *Result) {
+	switch {
+	case res.Matrix != nil:
+		res.Matrix.Tiles.Persist()
+		dataflow.Count(res.Matrix.Tiles)
+	case res.Vector != nil:
+		res.Vector.Blocks.Persist()
+		dataflow.Count(res.Vector.Blocks)
+	}
+}
+
+// Analyze is EXPLAIN ANALYZE for SAC queries: it executes the query
+// traced, meters just that execution (exercising MetricsSnapshot.Sub
+// on the reused context), and renders the chosen plan annotated with
+// the per-stage table — wall time, records, shuffled bytes,
+// task-duration p50/p99, and skew warnings naming suspect partitions —
+// followed by the full span tree.
+func (q *Compiled) Analyze() (*Result, string, error) {
+	ctx := q.cat.ctx
+	before := ctx.Metrics()
+	res, tr, err := q.ExecuteTraced()
+	if err != nil {
+		return nil, "", err
+	}
+	diff := ctx.Metrics().Sub(before)
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %s\n", q.Explain())
+	fmt.Fprintf(&b, "totals: %s\n\nstages:\n", diff)
+	b.WriteString(diff.FormatStages())
+	b.WriteString("\ntrace:\n")
+	b.WriteString(tr.Tree())
+	return res, b.String(), nil
 }
 
 // Compile desugars, analyzes, and plans a query expression against the

@@ -1,6 +1,8 @@
 package tiled
 
 import (
+	"fmt"
+
 	"repro/internal/dataflow"
 	"repro/internal/linalg"
 )
@@ -100,11 +102,18 @@ func (a *Matrix) Multiply(b *Matrix) *Matrix {
 	right := dataflow.Map(b.Tiles, func(t Block) dataflow.Pair[int64, Block] {
 		return dataflow.KV(t.Key.I, t) // keyed by k = row coordinate
 	})
+	ctx := a.Tiles.Context()
 	joined := dataflow.Join(left, right, parts)
 	products := dataflow.Map(joined, func(p dataflow.Pair[int64, dataflow.JoinedPair[Block, Block]]) Block {
 		at, bt := p.Value.Left, p.Value.Right
+		sp := ctx.StartSpan("kernel: gemm-partial")
 		c := linalg.NewDense(a.N, a.N)
 		linalg.ParGemm(c, at.Value, bt.Value)
+		if sp != nil {
+			sp.SetAttr("tile", fmt.Sprintf("(%d,%d)", at.Key.I, bt.Key.J))
+			sp.SetAttr("k", at.Key.J)
+			sp.End()
+		}
 		return dataflow.KV(Coord{I: at.Key.I, J: bt.Key.J}, c)
 	})
 	reduced := dataflow.ReduceByKey(products, func(x, y *linalg.Dense) *linalg.Dense {
@@ -214,6 +223,18 @@ func (m *Matrix) FrobeniusNorm2() float64 {
 	return dataflow.Reduce(sums, func(a, b float64) float64 { return a + b })
 }
 
+// taggedTile is a tile replicated toward a destination coordinate
+// during a non-tiling-preserving regroup, remembering where it came
+// from.
+type taggedTile struct {
+	src  Coord
+	tile *linalg.Dense
+}
+
+// NumBytes reports the real payload (coordinate + tile data) so
+// replication shuffles are not floored at the opaque 16-byte default.
+func (t taggedTile) NumBytes() int64 { return 16 + t.tile.NumBytes() }
+
 // RotateRows implements the Section 5.2 example — a query that does
 // NOT preserve tiling: row i of the result is row (i+1) mod rows of
 // the shifted layout, i.e. tiled(n,m)[ (((i+1)%n, j), v) | ((i,j),v) <- X ].
@@ -225,10 +246,6 @@ func (m *Matrix) RotateRows() *Matrix {
 	rows := m.Rows
 	parts := m.Tiles.NumPartitions()
 
-	type taggedTile struct {
-		src  Coord
-		tile *linalg.Dense
-	}
 	// Replicate each tile to the set I_f(K) of destination tile rows:
 	// { (i*N+_i+1) % rows / N | _i in [0,N) }.
 	replicated := dataflow.FlatMap(m.Tiles, func(b Block) []dataflow.Pair[Coord, taggedTile] {

@@ -1,6 +1,8 @@
 package tiled
 
 import (
+	"fmt"
+
 	"repro/internal/dataflow"
 	"repro/internal/linalg"
 )
@@ -68,18 +70,29 @@ func GroupByJoin(a, b *Matrix, spec GBJSpec) *Matrix {
 		return out
 	})
 
+	ctx := a.Tiles.Context()
 	cg := dataflow.CoGroup(as, bs, parts)
 	tiles := dataflow.Map(cg, func(g dataflow.Pair[Coord, dataflow.CoGrouped[keyedTile, keyedTile]]) Block {
+		sp := ctx.StartSpan("kernel: gbj-tile")
 		out := linalg.NewDense(n, n)
 		// Hash the smaller side by join key, probe with the other.
 		right := make(map[int64][]*linalg.Dense, len(g.Value.Right))
 		for _, kt := range g.Value.Right {
 			right[kt.K] = append(right[kt.K], kt.Tile)
 		}
+		matches := 0
 		for _, at := range g.Value.Left {
 			for _, bt := range right[at.K] {
 				spec.H(out, at.Tile, bt)
+				matches++
 			}
+		}
+		if sp != nil {
+			sp.SetAttr("tile", fmt.Sprintf("(%d,%d)", g.Key.I, g.Key.J))
+			sp.SetAttr("left", len(g.Value.Left))
+			sp.SetAttr("right", len(g.Value.Right))
+			sp.SetAttr("matches", matches)
+			sp.End()
 		}
 		return dataflow.KV(g.Key, out)
 	})

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildSample records a query → phase → stage → task hierarchy with
+// two overlapping stages, mimicking the engine's concurrent stage
+// scheduler, on a deterministic clock.
+func buildSample() *Tracer {
+	tr := NewAt(fakeClock())
+	root := tr.Start(nil, "query")
+	root.SetAttr("plan", "A*B")
+	pl := root.StartChild("phase: plan")
+	pl.SetAttr("strategy", "group-by-join")
+	pl.End()
+	ex := root.StartChild("phase: execute")
+	s1 := ex.StartChild("stage: shuffle(A)")
+	s2 := ex.StartChild("stage: shuffle(B)") // starts before s1 ends: overlaps
+	t1 := s1.StartChild("task")
+	t1.SetAttr("partition", 0)
+	t1.End()
+	s1.End()
+	t2 := s2.StartChild("task")
+	t2.SetAttr("partition", 1)
+	t2.End()
+	s2.End()
+	ex.End()
+	root.End()
+	return tr
+}
+
+// TestChromeGolden checks the exporter byte-for-byte against a checked
+// in golden file (regenerate with `go test ./internal/trace -update`).
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSample().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden (run with -update to regenerate)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeValidAndNested decodes the export as generic JSON and
+// checks the trace_event invariants Perfetto relies on: every span has
+// a complete event, parents fully contain children in time, and events
+// sharing a tid never overlap (that is what makes nesting render).
+func TestChromeValidAndNested(t *testing.T) {
+	tr := buildSample()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int64          `json:"pid"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter wrote invalid JSON: %v", err)
+	}
+	spans := tr.Spans()
+	if len(doc.TraceEvents) != len(spans) {
+		t.Fatalf("got %d events for %d spans", len(doc.TraceEvents), len(spans))
+	}
+	type ev = struct {
+		start, end float64
+		tid        int64
+		parent     int64
+	}
+	byID := make(map[int64]ev)
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want complete event X", e.Name, e.Ph)
+		}
+		if e.Dur < 0 || e.Ts < 0 {
+			t.Fatalf("event %q has negative time: ts=%v dur=%v", e.Name, e.Ts, e.Dur)
+		}
+		id := int64(e.Args["span"].(float64))
+		byID[id] = ev{start: e.Ts, end: e.Ts + e.Dur, tid: e.Tid, parent: int64(e.Args["parent"].(float64))}
+	}
+	// Parent/child nesting: each child's interval must sit inside its
+	// parent's, matching the recorded span DAG.
+	for _, s := range spans {
+		if s.ParentID == 0 {
+			continue
+		}
+		c, p := byID[s.ID], byID[s.ParentID]
+		if c.start < p.start || c.end > p.end {
+			t.Fatalf("span %d [%v,%v] escapes parent %d [%v,%v]", s.ID, c.start, c.end, s.ParentID, p.start, p.end)
+		}
+	}
+	// No two events on one tid may overlap unless one contains the
+	// other (Chrome renders containment as nesting, overlap is bogus).
+	ids := make([]int64, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	for _, a := range ids {
+		for _, b := range ids {
+			if a >= b || byID[a].tid != byID[b].tid {
+				continue
+			}
+			ea, eb := byID[a], byID[b]
+			contained := (ea.start <= eb.start && eb.end <= ea.end) || (eb.start <= ea.start && ea.end <= eb.end)
+			disjoint := ea.end <= eb.start || eb.end <= ea.start
+			if !contained && !disjoint {
+				t.Fatalf("spans %d and %d partially overlap on tid %d", a, b, ea.tid)
+			}
+		}
+	}
+	// The two overlapping stages must have landed on different tids.
+	var stageTids []int64
+	for _, s := range spans {
+		if s.Name == "stage: shuffle(A)" || s.Name == "stage: shuffle(B)" {
+			stageTids = append(stageTids, byID[s.ID].tid)
+		}
+	}
+	if len(stageTids) != 2 || stageTids[0] == stageTids[1] {
+		t.Fatalf("overlapping stages should get distinct tids, got %v", stageTids)
+	}
+}
+
+func TestChromeEmptyTracer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is invalid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Fatalf("traceEvents should be an array, got %T", doc["traceEvents"])
+	}
+}

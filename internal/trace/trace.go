@@ -1,0 +1,202 @@
+// Package trace implements hierarchical query tracing for the SAC
+// engine: spans with explicit parent links and attributes, recorded by
+// a Tracer and exported either as a human-readable span tree or as
+// Chrome trace_event JSON loadable in chrome://tracing and Perfetto.
+//
+// The span hierarchy mirrors query execution:
+//
+//	query → phase (plan / execute) → stage → task
+//
+// with tile kernels (SUMMA / group-by-join multiplies) recording leaf
+// spans of their own.
+//
+// The API is nil-tolerant end to end: a nil *Tracer hands out nil
+// *Spans, and every Span method is a no-op on a nil receiver, so
+// instrumented code pays only a pointer check when tracing is off.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value attribute attached to a span (plan-node name,
+// partition id, record counts, byte counts, ...).
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed operation in the query hierarchy. IDs are assigned
+// by the Tracer; ParentID 0 marks a root span.
+type Span struct {
+	tr       *Tracer
+	ID       int64
+	ParentID int64
+	Name     string
+	Start    time.Time
+
+	mu    sync.Mutex
+	end   time.Time
+	attrs []Attr
+}
+
+// Tracer records spans. All methods are safe for concurrent use, and
+// all are no-ops on a nil receiver.
+type Tracer struct {
+	mu     sync.Mutex
+	nextID int64
+	spans  []*Span
+	now    func() time.Time
+}
+
+// New returns a Tracer that stamps spans with the wall clock.
+func New() *Tracer { return NewAt(time.Now) }
+
+// NewAt returns a Tracer with an injected clock, so tests can produce
+// deterministic traces.
+func NewAt(now func() time.Time) *Tracer { return &Tracer{now: now} }
+
+// Start opens a span under parent (nil parent makes a root span). On a
+// nil Tracer it returns nil, which every Span method tolerates.
+func (t *Tracer) Start(parent *Span, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	s := &Span{tr: t, ID: t.nextID, Name: name, Start: t.now()}
+	if parent != nil {
+		s.ParentID = parent.ID
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Spans returns a snapshot of all spans recorded so far, in creation
+// order.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	return out
+}
+
+// StartChild opens a child span on the same tracer; nil-safe.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.Start(s, name)
+}
+
+// SetAttr attaches an attribute; nil-safe, returns s for chaining.
+func (s *Span) SetAttr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+	return s
+}
+
+// End closes the span; nil-safe and idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = s.tr.now()
+	}
+	s.mu.Unlock()
+}
+
+// Duration reports the span's elapsed time, or 0 if it never ended.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return 0
+	}
+	return s.end.Sub(s.Start)
+}
+
+// Attrs returns a copy of the span's attributes in insertion order.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+func (s *Span) endTime() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end
+}
+
+// Tree renders the recorded spans as an indented hierarchy with
+// durations and attributes — the human-readable exporter.
+func (t *Tracer) Tree() string {
+	if t == nil {
+		return ""
+	}
+	spans := t.Spans()
+	children := make(map[int64][]*Span)
+	for _, s := range spans {
+		children[s.ParentID] = append(children[s.ParentID], s)
+	}
+	for _, kids := range children {
+		sort.SliceStable(kids, func(i, j int) bool {
+			if !kids[i].Start.Equal(kids[j].Start) {
+				return kids[i].Start.Before(kids[j].Start)
+			}
+			return kids[i].ID < kids[j].ID
+		})
+	}
+	var b strings.Builder
+	var walk func(s *Span, prefix, childPrefix string)
+	walk = func(s *Span, prefix, childPrefix string) {
+		b.WriteString(prefix)
+		b.WriteString(s.Name)
+		if d := s.Duration(); d > 0 {
+			fmt.Fprintf(&b, " (%s)", d.Round(time.Microsecond))
+		} else if s.endTime().IsZero() {
+			b.WriteString(" (unfinished)")
+		}
+		for _, a := range s.Attrs() {
+			if str, ok := a.Value.(string); ok {
+				fmt.Fprintf(&b, " %s=%q", a.Key, str)
+			} else {
+				fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+			}
+		}
+		b.WriteByte('\n')
+		kids := children[s.ID]
+		for i, k := range kids {
+			if i == len(kids)-1 {
+				walk(k, childPrefix+"└─ ", childPrefix+"   ")
+			} else {
+				walk(k, childPrefix+"├─ ", childPrefix+"│  ")
+			}
+		}
+	}
+	for _, root := range children[0] {
+		walk(root, "", "")
+	}
+	return b.String()
+}

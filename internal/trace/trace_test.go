@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a deterministic clock advancing 1ms per call.
+func fakeClock() func() time.Time {
+	base := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start(nil, "root")
+	if s != nil {
+		t.Fatalf("nil tracer must hand out nil spans, got %v", s)
+	}
+	// Every method on a nil span must be a no-op, not a panic.
+	s.SetAttr("k", 1)
+	s.End()
+	if c := s.StartChild("child"); c != nil {
+		t.Fatalf("nil span StartChild = %v, want nil", c)
+	}
+	if d := s.Duration(); d != 0 {
+		t.Fatalf("nil span Duration = %v, want 0", d)
+	}
+	if a := s.Attrs(); a != nil {
+		t.Fatalf("nil span Attrs = %v, want nil", a)
+	}
+	if out := tr.Tree(); out != "" {
+		t.Fatalf("nil tracer Tree = %q, want empty", out)
+	}
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer Spans = %v, want nil", got)
+	}
+}
+
+func TestSpanHierarchyAndAttrs(t *testing.T) {
+	tr := NewAt(fakeClock())
+	root := tr.Start(nil, "query")
+	root.SetAttr("plan", "A*B")
+	stage := root.StartChild("stage: shuffle")
+	task := stage.StartChild("task").SetAttr("partition", 3)
+	task.End()
+	stage.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[1].ParentID != spans[0].ID || spans[2].ParentID != spans[1].ID {
+		t.Fatalf("parent links wrong: %+v", spans)
+	}
+	if spans[0].Duration() <= 0 || spans[2].Duration() <= 0 {
+		t.Fatalf("durations not recorded")
+	}
+	if a := spans[2].Attrs(); len(a) != 1 || a[0].Key != "partition" || a[0].Value != 3 {
+		t.Fatalf("attrs = %v", a)
+	}
+
+	// End is idempotent: a second End must not move the end time.
+	d := task.Duration()
+	task.End()
+	if task.Duration() != d {
+		t.Fatalf("second End moved the end time")
+	}
+}
+
+func TestTree(t *testing.T) {
+	tr := NewAt(fakeClock())
+	root := tr.Start(nil, "query")
+	root.SetAttr("plan", "sum(A*B)")
+	s1 := root.StartChild("stage: map")
+	s1.End()
+	s2 := root.StartChild("stage: shuffle")
+	t1 := s2.StartChild("task").SetAttr("partition", 0)
+	t1.End()
+	s2.End()
+	root.End()
+
+	out := tr.Tree()
+	for _, want := range []string{
+		"query",
+		`plan="sum(A*B)"`,
+		"├─ stage: map",
+		"└─ stage: shuffle",
+		"   └─ task",
+		"partition=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Tree output missing %q:\n%s", want, out)
+		}
+	}
+	// The unfinished marker should not appear: every span ended.
+	if strings.Contains(out, "unfinished") {
+		t.Fatalf("Tree flags finished spans as unfinished:\n%s", out)
+	}
+}
+
+func TestTreeUnfinishedSpan(t *testing.T) {
+	tr := NewAt(fakeClock())
+	tr.Start(nil, "query") // never ended
+	if out := tr.Tree(); !strings.Contains(out, "unfinished") {
+		t.Fatalf("Tree should mark never-ended spans:\n%s", out)
+	}
+}
