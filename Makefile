@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race test bench stages trace check
+.PHONY: all tier1 vet race test bench bench-kernels stages trace check
 
 all: tier1
 
@@ -25,6 +25,12 @@ test: tier1 race
 # Narrow-chain fusion benchmarks with allocation counts.
 bench:
 	$(GO) test -run '^$$' -bench 'NarrowChain|Fig4B' -benchmem -benchtime 10x .
+
+# Local GEMM kernel GFLOP/s table (naive/ikj/blocked/blocked-par) plus
+# Go benchmark numbers with allocation counts for the pooled GBJ path.
+bench-kernels:
+	$(GO) run ./cmd/sacbench -fig kernels
+	$(GO) test -run '^$$' -bench 'Kernels_' -benchmem -benchtime 2x .
 
 # Per-stage timing table for a GBJ multiply.
 stages:

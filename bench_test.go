@@ -11,6 +11,7 @@ package repro_bench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/dataflow"
@@ -241,7 +242,7 @@ func BenchmarkKernel_Gemm_ikj(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Zero()
-		linalg.Gemm(c, x, y)
+		linalg.GemmIKJ(c, x, y)
 	}
 }
 
@@ -273,6 +274,92 @@ func BenchmarkKernel_TileAdd(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		linalg.AddInPlace(x, y)
+	}
+}
+
+// --- BenchmarkKernels: blocked, packed GEMM vs the unblocked
+// baselines, GFLOP/s reported per size (acceptance: blocked >= 2x ikj
+// on 250..1000 square tiles) ---
+
+var kernelSizes = []int{250, 500, 1000}
+
+// benchGemmSized times run on n-square operands and reports achieved
+// GFLOP/s (2n^3 flops per multiply).
+func benchGemmSized(b *testing.B, n int, run func(c, x, y *linalg.Dense)) {
+	b.Helper()
+	x := linalg.RandDense(n, n, 0, 1, 1)
+	y := linalg.RandDense(n, n, 0, 1, 2)
+	c := linalg.NewDense(n, n)
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		run(c, x, y)
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(flops*float64(b.N)/s/1e9, "GFLOP/s")
+	}
+}
+
+func BenchmarkKernels_GemmBlocked(b *testing.B) {
+	for _, n := range kernelSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGemmSized(b, n, linalg.Gemm)
+		})
+	}
+}
+
+func BenchmarkKernels_GemmBlockedPar(b *testing.B) {
+	par := runtime.GOMAXPROCS(0)
+	for _, n := range kernelSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGemmSized(b, n, func(c, x, y *linalg.Dense) {
+				linalg.GemmBudget(c, x, y, par)
+			})
+		})
+	}
+}
+
+func BenchmarkKernels_GemmIKJ(b *testing.B) {
+	for _, n := range kernelSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGemmSized(b, n, linalg.GemmIKJ)
+		})
+	}
+}
+
+func BenchmarkKernels_GemmTransA(b *testing.B) {
+	for _, n := range kernelSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGemmSized(b, n, linalg.GemmTransA)
+		})
+	}
+}
+
+func BenchmarkKernels_GemmTransB(b *testing.B) {
+	for _, n := range kernelSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGemmSized(b, n, linalg.GemmTransB)
+		})
+	}
+}
+
+// BenchmarkKernels_GBJMultiplyPooled measures the distributed GBJ
+// multiply with tile pooling active; -benchmem shows allocs/op
+// dropping as drained tiles are recycled across iterations.
+func BenchmarkKernels_GBJMultiplyPooled(b *testing.B) {
+	ctx := benchCtx()
+	x, y := tiledPair(ctx, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MultiplyGBJ(y).Drain()
+	}
+	b.StopTimer()
+	st := ctx.TilePool().Stats()
+	if gets := st.Hits + st.Misses; gets > 0 {
+		b.ReportMetric(100*float64(st.Hits)/float64(gets), "pool-hit-%")
 	}
 }
 

@@ -5,6 +5,7 @@
 //	sacbench -fig 4b -tile 100    # multiplication series
 //	sacbench -fig 4c -k 200       # factorization series
 //	sacbench -fig ablation        # Rule 13 / storage / tile-size ablations
+//	sacbench -fig kernels         # local GEMM kernel GFLOP/s table
 //	sacbench -fig all -quick      # everything, small sizes
 //	sacbench -fig stages          # per-stage timing table for a GBJ multiply
 //	sacbench -fig 4b -stages      # append the stage table to any figure run
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 4a, 4b, 4c, ablation, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 4a, 4b, 4c, ablation, kernels, all")
 	tile := flag.Int("tile", 100, "tile size N (the paper used 1000)")
 	parts := flag.Int("parts", 8, "dataset partitions (the paper had 8 executors)")
 	k := flag.Int64("k", 100, "factorization rank k (the paper used 1000)")
@@ -102,6 +103,9 @@ func main() {
 	runStages := func() {
 		fmt.Println(bench.StageBreakdown(cfg, mulSizes[len(mulSizes)-1]))
 	}
+	runKernels := func() {
+		fmt.Println(bench.Kernels(cfg, bench.KernelSizes(*quick)))
+	}
 	runAblation := func() {
 		fmt.Println(bench.AblationReduceByKey(cfg, mulSizes[:min(2, len(mulSizes))]).Format())
 		fmt.Println(bench.AblationCoordinate(cfg, []int64{100, 150}).Format())
@@ -117,6 +121,8 @@ func main() {
 		run4c()
 	case "ablation":
 		runAblation()
+	case "kernels":
+		runKernels()
 	case "stages":
 		runStages()
 		return

@@ -85,6 +85,18 @@ func TestBenchFig4CTiny(t *testing.T) {
 	}
 }
 
+func TestBenchKernelsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements")
+	}
+	out := runBench(t, "-fig", "kernels", "-quick", "-tile", "25", "-parts", "4")
+	for _, want := range []string{"Local GEMM kernels", "blocked-par", "tile pool", "gets reused"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestBenchTrace(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real measurements")

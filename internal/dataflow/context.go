@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/linalg"
 	"repro/internal/trace"
 )
 
@@ -83,6 +84,11 @@ type Context struct {
 	// per-stage stat storage.
 	statMu   sync.Mutex
 	statFree [][]int64
+
+	// tilePool recycles output/accumulator tiles across the context's
+	// tiled kernels (see linalg.Pool for the ownership contract). Its
+	// hit/miss/return gauges surface in MetricsSnapshot.
+	tilePool linalg.Pool
 }
 
 // getStatBuf returns a zeroed, zero-length sample buffer, reusing a
@@ -151,12 +157,46 @@ func (c *Context) Conf() Config { return c.conf }
 // DefaultPartitions returns the default partition count.
 func (c *Context) DefaultPartitions() int { return c.conf.DefaultPartitions }
 
-// Metrics returns a snapshot of the accumulated engine metrics.
-func (c *Context) Metrics() MetricsSnapshot { return c.metrics.Snapshot() }
+// Metrics returns a snapshot of the accumulated engine metrics,
+// including the tile pool's reuse gauges.
+func (c *Context) Metrics() MetricsSnapshot {
+	s := c.metrics.Snapshot()
+	ps := c.tilePool.Stats()
+	s.PoolHits, s.PoolMisses, s.PoolReturns = ps.Hits, ps.Misses, ps.Returns
+	return s
+}
 
-// ResetMetrics zeroes the metric counters; benchmarks call this between
-// measured runs.
-func (c *Context) ResetMetrics() { c.metrics.Reset() }
+// ResetMetrics zeroes the metric counters and the tile pool's gauges
+// (pooled tiles stay pooled); benchmarks call this between measured
+// runs.
+func (c *Context) ResetMetrics() {
+	c.metrics.Reset()
+	c.tilePool.ResetStats()
+}
+
+// TilePool returns the context's tile-buffer pool. Kernels Get output
+// and accumulator tiles from it and Put back tiles they exclusively
+// own (dead partial products, drained caches), so iterative workloads
+// stop allocating a fresh N×N tile per output coordinate.
+func (c *Context) TilePool() *linalg.Pool { return &c.tilePool }
+
+// KernelBudget reports how many goroutines an in-tile kernel may spawn
+// right now: the parallelism left over after the stage pool's running
+// tasks are accounted for. With partitions >= cores every slot is busy
+// and kernels run sequentially (budget 1); when a stage has fewer
+// partitions than cores, the idle cores go to row/panel-parallel
+// kernels instead of oversubscribing the machine.
+func (c *Context) KernelBudget() int {
+	busy := len(c.sem)
+	if busy < 1 {
+		busy = 1
+	}
+	budget := c.conf.Parallelism / busy
+	if budget < 1 {
+		return 1
+	}
+	return budget
+}
 
 // SetTracer installs tr so every stage and task records spans; a nil tr
 // turns tracing off. Tracing off costs one atomic load per stage and

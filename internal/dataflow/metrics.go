@@ -141,6 +141,13 @@ type MetricsSnapshot struct {
 	ShuffledBytes    int64 // estimated payload bytes shuffled
 	CollectedRecords int64 // records returned to the driver
 	CachedBytes      int64 // estimated bytes pinned by Persist caches
+	// PoolHits / PoolMisses / PoolReturns are the context tile pool's
+	// reuse gauges: Get calls served from the pool, Get calls that
+	// allocated, and tiles handed back. A miss-heavy multiply is
+	// allocating a fresh tile per output coordinate.
+	PoolHits    int64
+	PoolMisses  int64
+	PoolReturns int64
 	// MaxConcurrentStages is the since-reset high-water mark of stages
 	// executing simultaneously (>= 2 proves independent shuffle
 	// map-sides, e.g. both sides of a join, overlapped). Sub recomputes
@@ -243,6 +250,10 @@ func (s MetricsSnapshot) FormatStages() string {
 		fmt.Fprintf(&b, "warning: %s\n", w)
 	}
 	fmt.Fprintf(&b, "max concurrent stages: %d\n", s.MaxConcurrentStages)
+	if gets := s.PoolHits + s.PoolMisses; gets > 0 {
+		fmt.Fprintf(&b, "tile pool: %d/%d gets reused (%.0f%%), %d returned\n",
+			s.PoolHits, gets, 100*float64(s.PoolHits)/float64(gets), s.PoolReturns)
+	}
 	return b.String()
 }
 
@@ -282,6 +293,9 @@ func (s MetricsSnapshot) Sub(t MetricsSnapshot) MetricsSnapshot {
 		ShuffledBytes:       s.ShuffledBytes - t.ShuffledBytes,
 		CollectedRecords:    s.CollectedRecords - t.CollectedRecords,
 		CachedBytes:         s.CachedBytes,
+		PoolHits:            s.PoolHits - t.PoolHits,
+		PoolMisses:          s.PoolMisses - t.PoolMisses,
+		PoolReturns:         s.PoolReturns - t.PoolReturns,
 		MaxConcurrentStages: maxOverlap(per),
 		PerStage:            per,
 	}

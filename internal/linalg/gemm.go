@@ -5,9 +5,10 @@ import (
 	"sync"
 )
 
-// Gemm computes C += A * B on dense row-major matrices using the
-// cache-friendly i-k-j loop order, which is the loop the paper's
-// group-by translation derives for tile multiplication:
+// Gemm computes C += A * B on dense row-major matrices. Tiles large
+// enough to spill cache route through the blocked, packed Goto-style
+// kernel (gemm_blocked.go); small tiles use the i-k-j loop that the
+// paper's group-by translation derives for tile multiplication:
 //
 //	V(i*N+j) += A(i*N+k) * B(k*N+j)
 //
@@ -16,10 +17,57 @@ func Gemm(c, a, b *Dense) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(ErrShape)
 	}
+	gemmDispatch(c, a, b, false, false, 1)
+}
+
+// GemmBudget is Gemm with an explicit worker budget: par <= 1 runs
+// serially, par > 1 splits the row dimension over up to par goroutines
+// sharing the packed B slab. Engine call sites pass
+// dataflow.Context.KernelBudget so in-tile parallelism only kicks in
+// when the stage pool has idle cores.
+func GemmBudget(c, a, b *Dense, par int) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	gemmDispatch(c, a, b, false, false, par)
+}
+
+// gemmDispatch routes a shape-checked multiply to the blocked kernel
+// or, below the packing-payoff threshold, to the simple loops.
+func gemmDispatch(c, a, b *Dense, transA, transB bool, par int) {
+	m, n := c.Rows, c.Cols
+	k := a.Cols
+	if transA {
+		k = a.Rows
+	}
+	if m*n*k >= blockedMinFlops {
+		gemmBlocked(c, a, b, transA, transB, par)
+		return
+	}
+	switch {
+	case transA:
+		gemmTransASmall(c, a, b)
+	case transB:
+		gemmTransBSmall(c, a, b)
+	default:
+		gemmRows(c, a, b, 0, a.Rows)
+	}
+}
+
+// GemmIKJ computes C += A*B with the unblocked i-k-j loop — the kernel
+// the paper's translation produces before local-kernel optimization.
+// Kept exported as the benchmark baseline for the blocked kernel.
+func GemmIKJ(c, a, b *Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(ErrShape)
+	}
 	gemmRows(c, a, b, 0, a.Rows)
 }
 
-// gemmRows computes rows [r0,r1) of C += A*B.
+// gemmRows computes rows [r0,r1) of C += A*B with the i-k-j order. The
+// dense path is branch-free: zero-skipping moved to the sparse/CSR
+// kernels, where skipping pays; on dense tiles the per-element branch
+// mispredicts and starves the inner loop.
 func gemmRows(c, a, b *Dense, r0, r1 int) {
 	l, m := a.Cols, b.Cols
 	for i := r0; i < r1; i++ {
@@ -27,9 +75,6 @@ func gemmRows(c, a, b *Dense, r0, r1 int) {
 		arow := a.Data[i*l : (i+1)*l]
 		for k := 0; k < l; k++ {
 			aik := arow[k]
-			if aik == 0 {
-				continue
-			}
 			brow := b.Data[k*m : (k+1)*m]
 			for j, bkj := range brow {
 				crow[j] += aik * bkj
@@ -55,14 +100,12 @@ func GemmNaive(c, a, b *Dense) {
 	}
 }
 
-// ParGemm computes C += A*B with row blocks distributed over goroutines,
+// ParGemm computes C += A*B with the full GOMAXPROCS worker budget,
 // standing in for the per-tile multicore parallelism (.par) in the
-// paper's generated Spark code.
+// paper's generated Spark code. Inside engine tasks prefer GemmBudget
+// with Context.KernelBudget, which accounts for stage-pool occupancy.
 func ParGemm(c, a, b *Dense) {
-	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
-		panic(ErrShape)
-	}
-	parRows(a.Rows, func(r0, r1 int) { gemmRows(c, a, b, r0, r1) })
+	GemmBudget(c, a, b, runtime.GOMAXPROCS(0))
 }
 
 // Mul returns A*B as a new matrix using the serial kernel.
@@ -79,15 +122,21 @@ func ParMul(a, b *Dense) *Dense {
 	return c
 }
 
+// parMinWork is the element-op volume below which parRows runs inline:
+// goroutine spawn plus WaitGroup rendezvous costs on the order of
+// microseconds, which dwarfs the loop body for small tiles.
+const parMinWork = 1 << 15
+
 // parRows splits [0,n) into contiguous chunks, one per worker, and runs
-// body on each chunk concurrently. With n < 2 or a single CPU it runs
-// inline.
-func parRows(n int, body func(r0, r1 int)) {
+// body on each chunk concurrently. work is the caller's estimate of
+// total element operations; below parMinWork (or with n < 2 or a single
+// CPU) it runs inline.
+func parRows(n int, work int, body func(r0, r1 int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	if workers <= 1 || work < parMinWork {
 		body(0, n)
 		return
 	}
@@ -122,12 +171,13 @@ func AddInPlace(a, b *Dense) *Dense {
 // AddDense returns A + B as a new matrix.
 func AddDense(a, b *Dense) *Dense { return AddInPlace(a.Clone(), b) }
 
-// ParAddInPlace is AddInPlace with row-sliced goroutine parallelism.
+// ParAddInPlace is AddInPlace with row-sliced goroutine parallelism;
+// small tiles run inline (see parRows).
 func ParAddInPlace(a, b *Dense) *Dense {
 	if !a.SameShape(b) {
 		panic(ErrShape)
 	}
-	parRows(a.Rows, func(r0, r1 int) {
+	parRows(a.Rows, len(a.Data), func(r0, r1 int) {
 		for i := r0 * a.Cols; i < r1*a.Cols; i++ {
 			a.Data[i] += b.Data[i]
 		}
@@ -183,18 +233,27 @@ func AXPYInPlace(a *Dense, s float64, b *Dense) *Dense {
 	return a
 }
 
-// GemmTransA computes C += A^T * B without materializing A^T.
+// GemmTransA computes C += A^T * B without materializing A^T: the
+// blocked kernel packs A's panels transposed, so the macro and micro
+// kernels are identical to the untransposed case.
 func GemmTransA(c, a, b *Dense) {
+	GemmTransABudget(c, a, b, 1)
+}
+
+// GemmTransABudget is GemmTransA with an explicit worker budget.
+func GemmTransABudget(c, a, b *Dense, par int) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic(ErrShape)
 	}
+	gemmDispatch(c, a, b, true, false, par)
+}
+
+// gemmTransASmall is the unblocked k-i-j fallback for tiny shapes.
+func gemmTransASmall(c, a, b *Dense) {
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
 		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
 		for i, aki := range arow {
-			if aki == 0 {
-				continue
-			}
 			crow := c.Data[i*c.Cols : (i+1)*c.Cols]
 			for j, bkj := range brow {
 				crow[j] += aki * bkj
@@ -203,11 +262,22 @@ func GemmTransA(c, a, b *Dense) {
 	}
 }
 
-// GemmTransB computes C += A * B^T without materializing B^T.
+// GemmTransB computes C += A * B^T without materializing B^T: the
+// blocked kernel packs B's panels transposed (see GemmTransA).
 func GemmTransB(c, a, b *Dense) {
+	GemmTransBBudget(c, a, b, 1)
+}
+
+// GemmTransBBudget is GemmTransB with an explicit worker budget.
+func GemmTransBBudget(c, a, b *Dense, par int) {
 	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
 		panic(ErrShape)
 	}
+	gemmDispatch(c, a, b, false, true, par)
+}
+
+// gemmTransBSmall is the unblocked dot-product fallback for tiny shapes.
+func gemmTransBSmall(c, a, b *Dense) {
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		crow := c.Data[i*c.Cols : (i+1)*c.Cols]

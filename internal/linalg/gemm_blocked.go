@@ -1,0 +1,278 @@
+package linalg
+
+// Goto/BLIS-style blocked GEMM.
+//
+// The kernel decomposes C += op(A)·op(B) into three levels of cache
+// blocking: the n dimension is split into Nc-wide column slabs (L3),
+// the k dimension into Kc-deep panels (packed B stays L2/L3 resident),
+// and the m dimension into Mc-tall panels (packed A stays L1/L2
+// resident). Inside a macro-tile, a microM×microN register-tiled
+// micro-kernel walks the packed panels: an AVX2+FMA assembly kernel on
+// amd64 hardware that supports it (see gemm_kernel_amd64.s), a
+// portable unrolled Go loop otherwise.
+//
+// Packing rewrites the operand panels into the exact order the
+// micro-kernel streams them:
+//
+//	packed A: column-major micro-panels of microM rows —
+//	          ap[i0*kc + p*microM + i] = op(A)[ic+i0+i][pc+p]
+//	packed B: row-major micro-panels of microN columns —
+//	          bp[j0*kc + p*microN + j] = op(B)[pc+p][jc+j0+j]
+//
+// Fringe panels (shape not a multiple of the micro-tile) are packed
+// zero-padded, so the micro-kernel never branches on shape; fringe
+// results are accumulated into C through a small scratch tile that
+// masks the padded lanes. Transposed operands (GemmTransA/GemmTransB)
+// are handled entirely in packing — the macro and micro kernels are
+// orientation-blind.
+//
+// Parallelism: the caller passes a worker budget (see GemmBudget and
+// dataflow.Context.KernelBudget). Workers split the m dimension into
+// Mc-aligned chunks sharing the packed B slab; each packs its own A
+// panel, and the C row ranges are disjoint, so no synchronization is
+// needed beyond the final WaitGroup.
+
+import "sync"
+
+// Micro-tile (register blocking) and cache blocking parameters. The
+// 4×8 micro-tile holds the C accumulators in eight 4-wide vector
+// registers on AVX2. Float64 working-set targets: packed A panel
+// Mc×Kc = 256 KiB (L2), packed B slab Kc×Nc = 1 MiB (L3 slice),
+// micro-panel pair Kc×(microM+microN) = 24 KiB (L1).
+const (
+	microM = 4   // micro-kernel rows held in registers
+	microN = 8   // micro-kernel columns held in registers
+	blockM = 128 // Mc: rows per packed A panel
+	blockK = 256 // Kc: shared dimension per packing round
+	blockN = 512 // Nc: columns per packed B slab
+)
+
+// blockedMinFlops is the m·n·k volume below which packing overhead
+// exceeds its cache benefit and the simple i-k-j loop wins; measured
+// crossover is near 32³ on amd64.
+const blockedMinFlops = 32 * 32 * 32
+
+// packBufA / packBufB recycle packing scratch across calls. Buffers are
+// fixed at the maximum panel footprint, so any (mc, kc, nc) slice fits.
+var packBufA = sync.Pool{
+	New: func() any {
+		b := make([]float64, blockM*blockK)
+		return &b
+	},
+}
+
+var packBufB = sync.Pool{
+	New: func() any {
+		b := make([]float64, blockK*blockN)
+		return &b
+	},
+}
+
+// gemmBlocked computes C += op(A)·op(B) with op chosen by transA /
+// transB, using at most par concurrent workers. Shapes are validated by
+// the exported wrappers.
+func gemmBlocked(c, a, b *Dense, transA, transB bool, par int) {
+	m, n := c.Rows, c.Cols
+	k := a.Cols
+	if transA {
+		k = a.Rows
+	}
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	bpPtr := packBufB.Get().(*[]float64)
+	bp := *bpPtr
+	defer packBufB.Put(bpPtr)
+	for jc := 0; jc < n; jc += blockN {
+		ncEff := min(blockN, n-jc)
+		for pc := 0; pc < k; pc += blockK {
+			kcEff := min(blockK, k-pc)
+			if transB {
+				packBTrans(bp, b, pc, jc, kcEff, ncEff)
+			} else {
+				packBNormal(bp, b, pc, jc, kcEff, ncEff)
+			}
+			runRowPanels(m, par, func(ic0, ic1 int) {
+				apPtr := packBufA.Get().(*[]float64)
+				ap := *apPtr
+				for ic := ic0; ic < ic1; ic += blockM {
+					mcEff := min(blockM, m-ic)
+					if transA {
+						packATrans(ap, a, ic, pc, mcEff, kcEff)
+					} else {
+						packANormal(ap, a, ic, pc, mcEff, kcEff)
+					}
+					macroKernel(c, ap, bp, ic, jc, mcEff, ncEff, kcEff)
+				}
+				packBufA.Put(apPtr)
+			})
+		}
+	}
+}
+
+// runRowPanels partitions the row range [0, m) into Mc-aligned chunks
+// and runs body on up to par of them concurrently. Alignment keeps each
+// worker's ic loop on Mc boundaries so every panel except the global
+// fringe is full-height.
+func runRowPanels(m, par int, body func(ic0, ic1 int)) {
+	chunks := (m + blockM - 1) / blockM
+	if par > chunks {
+		par = chunks
+	}
+	if par <= 1 {
+		body(0, m)
+		return
+	}
+	per := (chunks + par - 1) / par
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		ic0 := w * per * blockM
+		if ic0 >= m {
+			break
+		}
+		ic1 := min(ic0+per*blockM, m)
+		wg.Add(1)
+		go func(ic0, ic1 int) {
+			defer wg.Done()
+			body(ic0, ic1)
+		}(ic0, ic1)
+	}
+	wg.Wait()
+}
+
+// packANormal packs the mc×kc panel of A at (ic, pc) into ap as
+// column-major micro-panels of microM rows, zero-padding the row
+// fringe.
+func packANormal(ap []float64, a *Dense, ic, pc, mc, kc int) {
+	la := a.Cols
+	for i0 := 0; i0 < mc; i0 += microM {
+		panel := ap[i0*kc:]
+		rows := min(microM, mc-i0)
+		for r := 0; r < rows; r++ {
+			src := a.Data[(ic+i0+r)*la+pc : (ic+i0+r)*la+pc+kc]
+			for p, v := range src {
+				panel[p*microM+r] = v
+			}
+		}
+		for r := rows; r < microM; r++ {
+			for p := 0; p < kc; p++ {
+				panel[p*microM+r] = 0
+			}
+		}
+	}
+}
+
+// packATrans packs the mc×kc panel of Aᵀ at (ic, pc) into ap in the
+// same layout as packANormal; A itself is k×m, so the panel reads rows
+// of A as columns of op(A).
+func packATrans(ap []float64, a *Dense, ic, pc, mc, kc int) {
+	la := a.Cols
+	for i0 := 0; i0 < mc; i0 += microM {
+		panel := ap[i0*kc:]
+		rows := min(microM, mc-i0)
+		for p := 0; p < kc; p++ {
+			src := a.Data[(pc+p)*la+ic+i0 : (pc+p)*la+ic+i0+rows]
+			dst := panel[p*microM : p*microM+microM]
+			for r, v := range src {
+				dst[r] = v
+			}
+			for r := rows; r < microM; r++ {
+				dst[r] = 0
+			}
+		}
+	}
+}
+
+// packBNormal packs the kc×nc panel of B at (pc, jc) into bp as
+// row-major micro-panels of microN columns, zero-padding the column
+// fringe.
+func packBNormal(bp []float64, b *Dense, pc, jc, kc, nc int) {
+	lb := b.Cols
+	for j0 := 0; j0 < nc; j0 += microN {
+		panel := bp[j0*kc:]
+		cols := min(microN, nc-j0)
+		for p := 0; p < kc; p++ {
+			src := b.Data[(pc+p)*lb+jc+j0 : (pc+p)*lb+jc+j0+cols]
+			dst := panel[p*microN : p*microN+microN]
+			for j, v := range src {
+				dst[j] = v
+			}
+			for j := cols; j < microN; j++ {
+				dst[j] = 0
+			}
+		}
+	}
+}
+
+// packBTrans packs the kc×nc panel of Bᵀ at (pc, jc) into bp in the
+// same layout as packBNormal; B itself is n×k, so the panel reads rows
+// of B as columns of op(B).
+func packBTrans(bp []float64, b *Dense, pc, jc, kc, nc int) {
+	lb := b.Cols
+	for j0 := 0; j0 < nc; j0 += microN {
+		panel := bp[j0*kc:]
+		cols := min(microN, nc-j0)
+		for c := 0; c < cols; c++ {
+			src := b.Data[(jc+j0+c)*lb+pc : (jc+j0+c)*lb+pc+kc]
+			for p, v := range src {
+				panel[p*microN+c] = v
+			}
+		}
+		for c := cols; c < microN; c++ {
+			for p := 0; p < kc; p++ {
+				panel[p*microN+c] = 0
+			}
+		}
+	}
+}
+
+// macroKernel multiplies the packed mc×kc A panel by the packed kc×nc B
+// slab, accumulating into C at offset (ic, jc). Full micro-tiles go to
+// the vector kernel when the CPU supports it; fringes and non-SIMD
+// hosts use the portable kernel over zero-padded panels.
+func macroKernel(c *Dense, ap, bp []float64, ic, jc, mc, nc, kc int) {
+	ldc := c.Cols
+	for j0 := 0; j0 < nc; j0 += microN {
+		nr := min(microN, nc-j0)
+		bpanel := bp[j0*kc:]
+		for i0 := 0; i0 < mc; i0 += microM {
+			mr := min(microM, mc-i0)
+			apanel := ap[i0*kc:]
+			coff := (ic+i0)*ldc + jc + j0
+			if useFMAKernel && mr == microM && nr == microN {
+				microKernel4x8FMA(kc, &apanel[0], &bpanel[0], &c.Data[coff], ldc)
+			} else {
+				microKernelGeneric(kc, mr, nr, apanel, bpanel, c.Data[coff:], ldc)
+			}
+		}
+	}
+}
+
+// microKernelGeneric computes an mr×nr (≤ microM×microN) tile of
+// C += A·B from packed micro-panels in portable Go. The panels are
+// zero-padded, so it always runs the full micro-tile arithmetic into a
+// scratch tile and then accumulates only the valid region into C.
+func microKernelGeneric(kc, mr, nr int, ap, bp, c []float64, ldc int) {
+	var acc [microM * microN]float64
+	for p := 0; p < kc; p++ {
+		av := ap[p*microM : p*microM+microM : p*microM+microM]
+		bv := bp[p*microN : p*microN+microN : p*microN+microN]
+		for i := 0; i < microM; i++ {
+			ai := av[i]
+			row := acc[i*microN : i*microN+microN : i*microN+microN]
+			row[0] += ai * bv[0]
+			row[1] += ai * bv[1]
+			row[2] += ai * bv[2]
+			row[3] += ai * bv[3]
+			row[4] += ai * bv[4]
+			row[5] += ai * bv[5]
+			row[6] += ai * bv[6]
+			row[7] += ai * bv[7]
+		}
+	}
+	for i := 0; i < mr; i++ {
+		for j := 0; j < nr; j++ {
+			c[i*ldc+j] += acc[i*microN+j]
+		}
+	}
+}

@@ -1,0 +1,48 @@
+//go:build amd64 && !purego
+
+package linalg
+
+// useFMAKernel reports whether the AVX2+FMA micro-kernel may run on
+// this CPU. The Go baseline for amd64 (GOAMD64=v1) only guarantees
+// SSE2, so the vector kernel is gated on runtime CPUID/XGETBV checks:
+// the CPU must advertise AVX, AVX2, and FMA, and the OS must have
+// enabled YMM state saving (XCR0 bits 1 and 2).
+var useFMAKernel = detectFMAKernel()
+
+func detectFMAKernel() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if ecx1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 { // SSE and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// cpuidex executes CPUID with the given EAX/ECX inputs.
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register XCR0.
+func xgetbv0() (eax, edx uint32)
+
+// microKernel4x8FMA computes a full microM×microN tile of C += A·B
+// from packed micro-panels using AVX2 FMA: the 4×8 accumulator block
+// lives in eight YMM registers across the whole k loop, and C is
+// touched once at the end. ldc is C's row stride in elements. Only
+// call when useFMAKernel is true and kc > 0.
+//
+//go:noescape
+func microKernel4x8FMA(kc int, ap, bp, c *float64, ldc int)

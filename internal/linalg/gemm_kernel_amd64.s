@@ -1,0 +1,103 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func microKernel4x8FMA(kc int, ap, bp, c *float64, ldc int)
+//
+// Registers:
+//	CX  kc loop counter
+//	SI  ap (packed A micro-panel: kc steps of 4 doubles)
+//	BX  bp (packed B micro-panel: kc steps of 8 doubles)
+//	DI  c  (top-left of the 4×8 output tile)
+//	DX  ldc in bytes
+//	Y0..Y7   C accumulators: Y(2i) = row i cols 0..3, Y(2i+1) = cols 4..7
+//	Y8, Y9   current B row halves
+//	Y10      broadcast A element
+TEXT ·microKernel4x8FMA(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), DX
+	SHLQ $3, DX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	TESTQ CX, CX
+	JZ    accumulate
+
+loop:
+	VMOVUPD (BX), Y8
+	VMOVUPD 32(BX), Y9
+
+	VBROADCASTSD (SI), Y10
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+
+	VBROADCASTSD 8(SI), Y10
+	VFMADD231PD  Y8, Y10, Y2
+	VFMADD231PD  Y9, Y10, Y3
+
+	VBROADCASTSD 16(SI), Y10
+	VFMADD231PD  Y8, Y10, Y4
+	VFMADD231PD  Y9, Y10, Y5
+
+	VBROADCASTSD 24(SI), Y10
+	VFMADD231PD  Y8, Y10, Y6
+	VFMADD231PD  Y9, Y10, Y7
+
+	ADDQ $32, SI
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  loop
+
+accumulate:
+	// C rows are ldc bytes apart; add the accumulators in.
+	VADDPD  (DI), Y0, Y0
+	VMOVUPD Y0, (DI)
+	VADDPD  32(DI), Y1, Y1
+	VMOVUPD Y1, 32(DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y2, Y2
+	VMOVUPD Y2, (DI)
+	VADDPD  32(DI), Y3, Y3
+	VMOVUPD Y3, 32(DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y4, Y4
+	VMOVUPD Y4, (DI)
+	VADDPD  32(DI), Y5, Y5
+	VMOVUPD Y5, 32(DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y6, Y6
+	VMOVUPD Y6, (DI)
+	VADDPD  32(DI), Y7, Y7
+	VMOVUPD Y7, 32(DI)
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,13 @@
+//go:build !amd64 || purego
+
+package linalg
+
+// useFMAKernel is false off amd64 (or under the purego tag); every
+// micro-tile runs through microKernelGeneric.
+const useFMAKernel = false
+
+// microKernel4x8FMA is never called when useFMAKernel is false; the
+// stub keeps the macro kernel portable.
+func microKernel4x8FMA(kc int, ap, bp, c *float64, ldc int) {
+	panic("linalg: vector micro-kernel unavailable on this platform")
+}

@@ -86,8 +86,10 @@ func StepMLlib(r, p, q *mllib.BlockMatrix, cfg Config) (*mllib.BlockMatrix, *mll
 // Factorize runs iters gradient-descent iterations with SAC GBJ
 // multiplications, managing the tile cache across iterations: each new
 // iterate (P', Q') is persisted and materialized, then the superseded
-// iterate is unpersisted, so the cache holds only R and the live
-// factors instead of pinning every iteration's tiles.
+// iterate is recycled — its cached tiles go back to the context tile
+// pool and the cache entry is dropped — so the cache holds only R and
+// the live factors instead of pinning every iteration's tiles, and the
+// next iteration's kernels allocate nothing.
 func Factorize(r, p, q *tiled.Matrix, iters int, cfg Config) (*tiled.Matrix, *tiled.Matrix) {
 	if !r.Tiles.IsPersisted() {
 		r.Persist()
@@ -101,9 +103,12 @@ func Factorize(r, p, q *tiled.Matrix, iters int, cfg Config) (*tiled.Matrix, *ti
 		dataflow.Count(nq.Tiles)
 		if i > 0 {
 			// p and q were persisted by the previous round of this
-			// loop; the caller's original factors stay untouched.
-			p.Unpersist()
-			q.Unpersist()
+			// loop and their tiles are owned solely by that round's
+			// lineage (AXPY clones; np/nq are already materialized),
+			// so the superseded factors can be recycled into the tile
+			// pool. The caller's original factors stay untouched.
+			p.Recycle()
+			q.Recycle()
 		}
 		p, q = np, nq
 	}

@@ -5,11 +5,14 @@
 // local products and reduceByKey.
 //
 // Substitution note: the paper ran MLlib on the pure-JVM Breeze
-// implementation (no native BLAS). Its local multiply kernel is a
-// generic triple loop without the cache-blocked i-k-j order of the SAC
-// generated code, modeled here by linalg.GemmNaive, and it does not use
-// in-tile multicore parallelism (Breeze gemm is single-threaded per
-// task), so per-tile kernels here are serial.
+// implementation (no native BLAS). Breeze's local gemm is a competent
+// single-threaded kernel, so the baseline uses the same blocked local
+// kernel as the SAC side but pinned to a budget of 1 goroutine
+// (linalg.GemmBudget(..., 1)): the comparison in Figure 4.B measures
+// the dataflow plans (replication shuffle vs group-by-join), not an
+// artificial kernel gap. Partial-product tiles are drawn from the
+// context tile pool and the dead reduce operand is returned, mirroring
+// the SAC executor.
 package mllib
 
 import (
@@ -266,6 +269,7 @@ func (m *BlockMatrix) Multiply(o *BlockMatrix) *BlockMatrix {
 		return out
 	})
 
+	pool := m.Blocks.Context().TilePool()
 	cg := dataflow.CoGroup(left, right, grid.NumPartitions())
 	products := dataflow.FlatMap(cg, func(g dataflow.Pair[int, dataflow.CoGrouped[placed, placed]]) []Block {
 		// Index right blocks by their row coordinate k.
@@ -280,15 +284,18 @@ func (m *BlockMatrix) Multiply(o *BlockMatrix) *BlockMatrix {
 				if grid.Partition(dest) != g.Key {
 					continue // this copy is not responsible for dest
 				}
-				c := linalg.NewDense(m.PerBlock, m.PerBlock)
-				linalg.GemmNaive(c, l.Tile, r.Tile) // pure-JVM Breeze stand-in
+				c := pool.Get(m.PerBlock, m.PerBlock)
+				// Single-threaded Breeze stand-in: blocked kernel, budget 1.
+				linalg.GemmBudget(c, l.Tile, r.Tile, 1)
 				out = append(out, dataflow.KV(dest, c))
 			}
 		}
 		return out
 	})
 	reduced := dataflow.ReduceByKey(products, func(a, b *linalg.Dense) *linalg.Dense {
-		return linalg.AddInPlace(a, b)
+		linalg.AddInPlace(a, b)
+		pool.Put(b)
+		return a
 	}, grid.NumPartitions())
 	return &BlockMatrix{Rows: m.Rows, Cols: o.Cols, PerBlock: m.PerBlock, Blocks: reduced}
 }

@@ -237,12 +237,18 @@ func (q *Compiled) execGroupByJoin(s *opt.GroupByJoinStrategy) (*Result, error) 
 			KX: func(c tiled.Coord) int64 { return c.J },
 			GY: func(c tiled.Coord) int64 { return c.J },
 			KY: func(c tiled.Coord) int64 { return c.I },
-			H:  contract,
+			H: func(out, x, y *linalg.Dense, _ int) {
+				// Interpreted kernel: serial regardless of budget.
+				contract(out, x, y)
+			},
 		})
 		return &Result{Matrix: out}, nil
 	}
-	// Join + reduceByKey with the interpreted kernel.
+	// Join + reduceByKey with the interpreted kernel. Partial-product
+	// tiles come from the context's tile pool and the dead reduce
+	// operand goes back (same ownership argument as tiled.Multiply).
 	parts := a.Tiles.NumPartitions()
+	pool := a.Tiles.Context().TilePool()
 	left := dataflow.Map(a.Tiles, func(t tiled.Block) dataflow.Pair[int64, tiled.Block] {
 		return dataflow.KV(t.Key.J, t)
 	})
@@ -252,20 +258,22 @@ func (q *Compiled) execGroupByJoin(s *opt.GroupByJoinStrategy) (*Result, error) 
 	joined := dataflow.Join(left, right, parts)
 	products := dataflow.Map(joined, func(p dataflow.Pair[int64, dataflow.JoinedPair[tiled.Block, tiled.Block]]) tiled.Block {
 		at, bt := p.Value.Left, p.Value.Right
-		c := linalg.NewDense(a.N, a.N)
+		c := pool.Get(a.N, a.N)
 		contract(c, at.Value, bt.Value)
 		return dataflow.KV(tiled.Coord{I: at.Key.I, J: bt.Key.J}, c)
 	})
 	var reduced *dataflow.Dataset[tiled.Block]
 	if s.UseReduceBy {
 		reduced = dataflow.ReduceByKey(products, func(x, y *linalg.Dense) *linalg.Dense {
-			return linalg.AddInPlace(x, y)
+			linalg.AddInPlace(x, y)
+			pool.Put(y)
+			return x
 		}, parts)
 	} else {
 		grouped := dataflow.GroupByKey(products, parts)
 		reduced = dataflow.Map(grouped, func(g dataflow.Pair[tiled.Coord, []*linalg.Dense]) tiled.Block {
-			acc := g.Value[0].Clone()
-			for _, t := range g.Value[1:] {
+			acc := pool.Get(a.N, a.N)
+			for _, t := range g.Value {
 				linalg.AddInPlace(acc, t)
 			}
 			return dataflow.KV(g.Key, acc)

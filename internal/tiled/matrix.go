@@ -243,6 +243,49 @@ func (m *Matrix) Unpersist() *Matrix {
 	return m
 }
 
+// Recycle hands a persisted matrix's tiles back to the context's tile
+// pool and drops the cache: the cached blocks are collected (a cache
+// hit, no recompute), the cache is released, and each tile is returned
+// for reuse. Iterative workloads call it on superseded iterates so the
+// next iteration's kernels allocate nothing.
+//
+// Ownership: the caller must be done with the matrix — after Recycle
+// its tiles may be zeroed and rewritten by any kernel on the same
+// context. Only call it when this matrix exclusively owns its tiles
+// (results of multiply/GBJ kernels do; views sharing tiles with
+// another live matrix do not). Unpersisted matrices just drop through
+// to Unpersist, since their tiles were never materialized here.
+func (m *Matrix) Recycle() {
+	pool := m.Tiles.Context().TilePool()
+	if !m.Tiles.IsPersisted() {
+		m.Tiles.Unpersist()
+		return
+	}
+	blocks := dataflow.Collect(m.Tiles) // served from the cache
+	m.Tiles.Unpersist()
+	for _, b := range blocks {
+		pool.Put(b.Value)
+	}
+}
+
+// Drain forces the matrix (one action over its tiles) and immediately
+// recycles the result tiles into the context's tile pool. Benchmarks
+// and iterative drivers use it to evaluate a throwaway result without
+// leaking one tile allocation per output coordinate. The same
+// ownership caveat as Recycle applies; persisted matrices only count
+// their tiles, since the cache keeps them live.
+func (m *Matrix) Drain() int64 {
+	if m.Tiles.IsPersisted() {
+		return dataflow.Count(m.Tiles)
+	}
+	pool := m.Tiles.Context().TilePool()
+	blocks := dataflow.Collect(m.Tiles)
+	for _, b := range blocks {
+		pool.Put(b.Value)
+	}
+	return int64(len(blocks))
+}
+
 // RandMatrix generates a tiled matrix with uniform random values in
 // [lo, hi), deterministically from seed, without materializing the
 // matrix on the driver (each tile derives its own PRNG stream).

@@ -2,9 +2,12 @@ package tiled
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"repro/internal/dataflow"
 	"repro/internal/linalg"
+	"repro/internal/trace"
 )
 
 // This file implements the Section 5 operator translations:
@@ -103,23 +106,53 @@ func (a *Matrix) Multiply(b *Matrix) *Matrix {
 		return dataflow.KV(t.Key.I, t) // keyed by k = row coordinate
 	})
 	ctx := a.Tiles.Context()
+	pool := ctx.TilePool()
 	joined := dataflow.Join(left, right, parts)
 	products := dataflow.Map(joined, func(p dataflow.Pair[int64, dataflow.JoinedPair[Block, Block]]) Block {
 		at, bt := p.Value.Left, p.Value.Right
 		sp := ctx.StartSpan("kernel: gemm-partial")
-		c := linalg.NewDense(a.N, a.N)
-		linalg.ParGemm(c, at.Value, bt.Value)
+		var start time.Time
+		if sp != nil {
+			start = time.Now()
+		}
+		c, hit := pool.TryGet(a.N, a.N)
+		linalg.GemmBudget(c, at.Value, bt.Value, ctx.KernelBudget())
 		if sp != nil {
 			sp.SetAttr("tile", fmt.Sprintf("(%d,%d)", at.Key.I, bt.Key.J))
 			sp.SetAttr("k", at.Key.J)
+			setKernelAttrs(sp, gemmFlops(a.N, 1), time.Since(start), hit)
 			sp.End()
 		}
 		return dataflow.KV(Coord{I: at.Key.I, J: bt.Key.J}, c)
 	})
+	// The combiner consumes its second argument exactly once (map-side
+	// combine and the one-time reduce fold), so the dead partial goes
+	// back to the pool; the accumulator escapes as the result tile.
 	reduced := dataflow.ReduceByKey(products, func(x, y *linalg.Dense) *linalg.Dense {
-		return linalg.AddInPlace(x, y)
+		linalg.AddInPlace(x, y)
+		pool.Put(y)
+		return x
 	}, parts)
 	return &Matrix{Rows: a.Rows, Cols: b.Cols, N: a.N, Tiles: reduced}
+}
+
+// gemmFlops is the flop count of matches n×n tile multiplies.
+func gemmFlops(n int, matches int) float64 {
+	return 2 * float64(matches) * float64(n) * float64(n) * float64(n)
+}
+
+// setKernelAttrs records a kernel span's achieved GFLOP/s and whether
+// its output tile was served from the tile pool; sac -analyze and the
+// Perfetto export surface both per tile.
+func setKernelAttrs(sp *trace.Span, flops float64, elapsed time.Duration, poolHit bool) {
+	if s := elapsed.Seconds(); s > 0 {
+		sp.SetAttr("GFLOP/s", math.Round(flops/s/1e7)/100)
+	}
+	if poolHit {
+		sp.SetAttr("pool", "hit")
+	} else {
+		sp.SetAttr("pool", "miss")
+	}
 }
 
 // MultiplyGroupByKey is the unoptimized translation that uses
@@ -137,17 +170,22 @@ func (a *Matrix) MultiplyGroupByKey(b *Matrix) *Matrix {
 	right := dataflow.Map(b.Tiles, func(t Block) dataflow.Pair[int64, Block] {
 		return dataflow.KV(t.Key.I, t)
 	})
+	ctx := a.Tiles.Context()
+	pool := ctx.TilePool()
 	joined := dataflow.Join(left, right, parts)
 	products := dataflow.Map(joined, func(p dataflow.Pair[int64, dataflow.JoinedPair[Block, Block]]) Block {
 		at, bt := p.Value.Left, p.Value.Right
-		c := linalg.NewDense(a.N, a.N)
-		linalg.ParGemm(c, at.Value, bt.Value)
+		c := pool.Get(a.N, a.N)
+		linalg.GemmBudget(c, at.Value, bt.Value, ctx.KernelBudget())
 		return dataflow.KV(Coord{I: at.Key.I, J: bt.Key.J}, c)
 	})
 	grouped := dataflow.GroupByKey(products, parts)
+	// The grouped tiles live in materialized shuffle buckets that are
+	// re-served to every later action, so they cannot be recycled here;
+	// only the accumulator comes from the pool.
 	summed := dataflow.Map(grouped, func(g dataflow.Pair[Coord, []*linalg.Dense]) Block {
-		acc := g.Value[0].Clone()
-		for _, t := range g.Value[1:] {
+		acc := pool.Get(a.N, a.N)
+		for _, t := range g.Value {
 			linalg.AddInPlace(acc, t)
 		}
 		return dataflow.KV(g.Key, acc)

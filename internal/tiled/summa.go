@@ -2,6 +2,7 @@ package tiled
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dataflow"
 	"repro/internal/linalg"
@@ -42,8 +43,12 @@ type GBJSpec struct {
 	GX, KX func(c Coord) int64
 	// GY/KY project a B-tile coordinate to its group and join key.
 	GY, KY func(c Coord) int64
-	// H accumulates the contribution of a matching tile pair into out.
-	H func(out, a, b *linalg.Dense)
+	// H accumulates the contribution of a matching tile pair into out;
+	// par is the kernel's goroutine budget (Context.KernelBudget).
+	H func(out, a, b *linalg.Dense, par int)
+	// FlopsPerMatch, when positive, is the flop count of one H call;
+	// kernel spans use it to report achieved GFLOP/s.
+	FlopsPerMatch float64
 }
 
 // GroupByJoin runs the generic GBJ operator on two tiled matrices.
@@ -71,10 +76,19 @@ func GroupByJoin(a, b *Matrix, spec GBJSpec) *Matrix {
 	})
 
 	ctx := a.Tiles.Context()
+	pool := ctx.TilePool()
 	cg := dataflow.CoGroup(as, bs, parts)
 	tiles := dataflow.Map(cg, func(g dataflow.Pair[Coord, dataflow.CoGrouped[keyedTile, keyedTile]]) Block {
 		sp := ctx.StartSpan("kernel: gbj-tile")
-		out := linalg.NewDense(n, n)
+		var start time.Time
+		if sp != nil {
+			start = time.Now()
+		}
+		// The output tile escapes into the result dataset, so it is
+		// drawn from the pool but never Put back here; recycling happens
+		// when the result matrix is drained (Matrix.Recycle / Drain).
+		out, hit := pool.TryGet(n, n)
+		par := ctx.KernelBudget()
 		// Hash the smaller side by join key, probe with the other.
 		right := make(map[int64][]*linalg.Dense, len(g.Value.Right))
 		for _, kt := range g.Value.Right {
@@ -83,7 +97,7 @@ func GroupByJoin(a, b *Matrix, spec GBJSpec) *Matrix {
 		matches := 0
 		for _, at := range g.Value.Left {
 			for _, bt := range right[at.K] {
-				spec.H(out, at.Tile, bt)
+				spec.H(out, at.Tile, bt, par)
 				matches++
 			}
 		}
@@ -92,6 +106,9 @@ func GroupByJoin(a, b *Matrix, spec GBJSpec) *Matrix {
 			sp.SetAttr("left", len(g.Value.Left))
 			sp.SetAttr("right", len(g.Value.Right))
 			sp.SetAttr("matches", matches)
+			if spec.FlopsPerMatch > 0 {
+				setKernelAttrs(sp, spec.FlopsPerMatch*float64(matches), time.Since(start), hit)
+			}
 			sp.End()
 		}
 		return dataflow.KV(g.Key, out)
@@ -112,9 +129,10 @@ func (a *Matrix) MultiplyGBJ(b *Matrix) *Matrix {
 		KX: func(c Coord) int64 { return c.J },
 		GY: func(c Coord) int64 { return c.J },
 		KY: func(c Coord) int64 { return c.I },
-		H: func(out, x, y *linalg.Dense) {
-			linalg.ParGemm(out, x, y)
+		H: func(out, x, y *linalg.Dense, par int) {
+			linalg.GemmBudget(out, x, y, par)
 		},
+		FlopsPerMatch: gemmFlops(a.N, 1),
 	})
 }
 
@@ -132,9 +150,10 @@ func (a *Matrix) MultiplyTransAGBJ(b *Matrix) *Matrix {
 		KX: func(c Coord) int64 { return c.I }, // join on A row
 		GY: func(c Coord) int64 { return c.J },
 		KY: func(c Coord) int64 { return c.I },
-		H: func(out, x, y *linalg.Dense) {
-			linalg.GemmTransA(out, x, y)
+		H: func(out, x, y *linalg.Dense, par int) {
+			linalg.GemmTransABudget(out, x, y, par)
 		},
+		FlopsPerMatch: gemmFlops(a.N, 1),
 	})
 }
 
@@ -152,8 +171,9 @@ func (a *Matrix) MultiplyTransBGBJ(b *Matrix) *Matrix {
 		KX: func(c Coord) int64 { return c.J },
 		GY: func(c Coord) int64 { return c.I }, // output col group = B row
 		KY: func(c Coord) int64 { return c.J }, // join on B col
-		H: func(out, x, y *linalg.Dense) {
-			linalg.GemmTransB(out, x, y)
+		H: func(out, x, y *linalg.Dense, par int) {
+			linalg.GemmTransBBudget(out, x, y, par)
 		},
+		FlopsPerMatch: gemmFlops(a.N, 1),
 	})
 }
