@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race test bench bench-kernels stages trace check
+.PHONY: all tier1 vet race test bench bench-kernels bench-spill spill-test stages trace check
 
 all: tier1
 
@@ -31,6 +31,16 @@ bench:
 bench-kernels:
 	$(GO) run ./cmd/sacbench -fig kernels
 	$(GO) test -run '^$$' -bench 'Kernels_' -benchmem -benchtime 2x .
+
+# Out-of-core test gate: the end-to-end spill tests under a tight
+# process-wide budget (what the CI spill job runs).
+spill-test:
+	SAC_MEMORY_BUDGET=64MiB $(GO) test ./... -run OutOfCore
+
+# Figure 4.B under a memory budget: the tables grow spilled-bytes and
+# merge-pass columns showing the out-of-core subsystem at work.
+bench-spill:
+	$(GO) run ./cmd/sacbench -fig 4b -sizes 300,400 -mem 2MiB
 
 # Per-stage timing table for a GBJ multiply.
 stages:

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/debug"
 	"repro/internal/diablo"
+	"repro/internal/memory"
 	"repro/internal/opt"
 	"repro/internal/plan"
 	"repro/internal/tiled"
@@ -42,10 +43,21 @@ func main() {
 	noGBJ := flag.Bool("no-gbj", false, "disable the Section 5.4 group-by-join")
 	noRBK := flag.Bool("no-reducebykey", false, "disable Rule 13 (use groupByKey)")
 	seed := flag.Int64("seed", 1, "random seed for the generated matrices")
+	mem := flag.String("mem", "", "engine memory budget (e.g. 64MiB); shuffles and caches beyond it spill to disk. Default: $SAC_MEMORY_BUDGET, else unlimited")
 	flag.Parse()
 
+	budget := memory.BudgetFromEnv(0)
+	if *mem != "" {
+		var err error
+		if budget, err = memory.ParseBytes(*mem); err != nil {
+			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	s := core.NewSession(core.Config{
-		TileSize: *tile,
+		TileSize:     *tile,
+		MemoryBudget: budget,
 		Optimizations: opt.Options{
 			DisableGBJ:         *noGBJ,
 			DisableReduceByKey: *noRBK,
@@ -165,6 +177,13 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	// Remove the session's spill directory (os.Exit skips defers).
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "sac: close: %v\n", err)
+		if exit == 0 {
+			exit = 1
+		}
 	}
 	os.Exit(exit)
 }

@@ -10,6 +10,7 @@
 //	sacbench -fig stages          # per-stage timing table for a GBJ multiply
 //	sacbench -fig 4b -stages      # append the stage table to any figure run
 //	sacbench -trace out.json      # Chrome trace of a GBJ multiply (Perfetto)
+//	sacbench -fig 4b -mem 64MiB   # out-of-core run: spill columns appear in the tables
 //	sacbench -fig all -debug :6060  # live pprof/metrics while the run is hot
 package main
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/dataflow"
 	"repro/internal/debug"
+	"repro/internal/memory"
 )
 
 func main() {
@@ -32,12 +34,26 @@ func main() {
 	quick := flag.Bool("quick", false, "use small sizes for a fast smoke run")
 	stages := flag.Bool("stages", false, "print a per-stage timing table for a GBJ multiply after the figures")
 	netns := flag.Float64("netns", 0, "simulated serialization/network cost in ns per shuffled byte (0 = off)")
+	mem := flag.String("mem", "", "engine memory budget (e.g. 64MiB); work beyond it spills to disk and the tables gain spill columns. Default: $SAC_MEMORY_BUDGET, else unlimited")
 	sizesFlag := flag.String("sizes", "", "comma-separated matrix side lengths, overriding defaults")
 	traceOut := flag.String("trace", "", "run a traced GBJ multiply, write Chrome trace JSON to this file, and exit")
 	debugAddr := flag.String("debug", "", "serve /debug endpoints (pprof, live metrics, stage table) on this address during the run")
 	flag.Parse()
 
-	cfg := bench.Config{TileSize: *tile, Partitions: *parts, ShuffleCostNsPerByte: *netns}
+	budget := memory.BudgetFromEnv(0)
+	if *mem != "" {
+		var err error
+		if budget, err = memory.ParseBytes(*mem); err != nil {
+			fmt.Fprintf(os.Stderr, "sacbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if budget > 0 {
+		fmt.Printf("memory budget: %s (spilling to disk beyond it)\n", memory.FormatBytes(budget))
+	}
+
+	cfg := bench.Config{TileSize: *tile, Partitions: *parts, ShuffleCostNsPerByte: *netns,
+		MemoryBudget: budget}
 
 	addSizes := []int64{400, 800, 1200, 1600, 2000}
 	mulSizes := []int64{200, 400, 600, 800}

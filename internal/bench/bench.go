@@ -33,6 +33,10 @@ type Config struct {
 	// shuffled byte (0 = in-process pointer passing). See
 	// dataflow.Config.ShuffleCostNsPerByte.
 	ShuffleCostNsPerByte float64
+	// MemoryBudget bounds tracked engine memory per measured context;
+	// shuffles and caches beyond it spill to disk and the figure tables
+	// grow spilled-bytes / merge-pass columns. <= 0 disables spilling.
+	MemoryBudget int64
 }
 
 // DefaultConfig returns laptop-scale settings.
@@ -41,10 +45,30 @@ func DefaultConfig() Config {
 }
 
 // Point is one measurement: a problem size and per-system metrics.
+// Spilled and Merges stay zero unless the run had a memory budget.
 type Point struct {
 	Elements int64 // total matrix elements, the paper's x-axis
 	Seconds  map[string]float64
 	Shuffled map[string]int64
+	Spilled  map[string]int64
+	Merges   map[string]int64
+}
+
+func newPoint(elements int64) Point {
+	return Point{Elements: elements,
+		Seconds:  map[string]float64{},
+		Shuffled: map[string]int64{},
+		Spilled:  map[string]int64{},
+		Merges:   map[string]int64{},
+	}
+}
+
+// record stores one system's measurement into the point.
+func (p Point) record(sys string, sec float64, m dataflow.MetricsSnapshot) {
+	p.Seconds[sys] = sec
+	p.Shuffled[sys] = m.ShuffledBytes
+	p.Spilled[sys] = m.SpilledBytes
+	p.Merges[sys] = m.MergePasses
 }
 
 // Series is one figure's data.
@@ -55,8 +79,17 @@ type Series struct {
 }
 
 // Format renders the series as an aligned text table mirroring the
-// figure's data.
+// figure's data. Spilled-bytes and merge-pass columns appear only when
+// some run actually spilled, so unbudgeted tables keep their shape.
 func (s Series) Format() string {
+	spilled := false
+	for _, p := range s.Points {
+		for _, sys := range s.Systems {
+			if p.Spilled[sys] > 0 || p.Merges[sys] > 0 {
+				spilled = true
+			}
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "# %s\n", s.Name)
 	fmt.Fprintf(&b, "%-14s", "elements")
@@ -66,6 +99,14 @@ func (s Series) Format() string {
 	for _, sys := range s.Systems {
 		fmt.Fprintf(&b, "%18s", sys+"(shufMB)")
 	}
+	if spilled {
+		for _, sys := range s.Systems {
+			fmt.Fprintf(&b, "%19s", sys+"(spillMB)")
+		}
+		for _, sys := range s.Systems {
+			fmt.Fprintf(&b, "%17s", sys+"(merges)")
+		}
+	}
 	b.WriteByte('\n')
 	for _, p := range s.Points {
 		fmt.Fprintf(&b, "%-14d", p.Elements)
@@ -74,6 +115,14 @@ func (s Series) Format() string {
 		}
 		for _, sys := range s.Systems {
 			fmt.Fprintf(&b, "%18.1f", float64(p.Shuffled[sys])/(1<<20))
+		}
+		if spilled {
+			for _, sys := range s.Systems {
+				fmt.Fprintf(&b, "%19.1f", float64(p.Spilled[sys])/(1<<20))
+			}
+			for _, sys := range s.Systems {
+				fmt.Fprintf(&b, "%17d", p.Merges[sys])
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -111,17 +160,22 @@ func newCtx(cfg Config) *dataflow.Context {
 		Parallelism:          cfg.Parallel,
 		DefaultPartitions:    cfg.Partitions,
 		ShuffleCostNsPerByte: cfg.ShuffleCostNsPerByte,
+		MemoryBudget:         cfg.MemoryBudget,
 	})
 	currentCtx.Store(ctx)
 	return ctx
 }
 
-// measure times fn and returns (seconds, bytes shuffled).
-func measure(ctx *dataflow.Context, fn func()) (float64, int64) {
+// closeCtx releases a measured context's spill directory; errors only
+// matter for leaked temp space, so they are ignored here.
+func closeCtx(ctx *dataflow.Context) { _ = ctx.Close() }
+
+// measure times fn and returns (seconds, the metrics the run accrued).
+func measure(ctx *dataflow.Context, fn func()) (float64, dataflow.MetricsSnapshot) {
 	ctx.ResetMetrics()
 	start := time.Now()
 	fn()
-	return time.Since(start).Seconds(), ctx.Metrics().ShuffledBytes
+	return time.Since(start).Seconds(), ctx.Metrics()
 }
 
 // Fig4A reproduces matrix addition: MLlib (cogroup + serial kernel)
@@ -131,8 +185,7 @@ func Fig4A(cfg Config, sizes []int64) Series {
 	s := Series{Name: "Figure 4.A — Matrix Addition (total time vs elements)",
 		Systems: []string{"MLlib", "SAC"}}
 	for _, n := range sizes {
-		p := Point{Elements: n * n,
-			Seconds: map[string]float64{}, Shuffled: map[string]int64{}}
+		p := newPoint(n * n)
 
 		{
 			ctx := newCtx(cfg)
@@ -140,8 +193,9 @@ func Fig4A(cfg Config, sizes []int64) Series {
 			b := mllib.RandBlockMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 2)
 			force(ctx, a.Blocks)
 			force(ctx, b.Blocks)
-			sec, bytes := measure(ctx, func() { forceBlocks(a.Add(b).Blocks) })
-			p.Seconds["MLlib"], p.Shuffled["MLlib"] = sec, bytes
+			sec, m := measure(ctx, func() { forceBlocks(a.Add(b).Blocks) })
+			p.record("MLlib", sec, m)
+			closeCtx(ctx)
 		}
 		{
 			ctx := newCtx(cfg)
@@ -149,8 +203,9 @@ func Fig4A(cfg Config, sizes []int64) Series {
 			b := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 2)
 			force(ctx, a.Tiles)
 			force(ctx, b.Tiles)
-			sec, bytes := measure(ctx, func() { forceBlocks(a.Add(b).Tiles) })
-			p.Seconds["SAC"], p.Shuffled["SAC"] = sec, bytes
+			sec, m := measure(ctx, func() { forceBlocks(a.Add(b).Tiles) })
+			p.record("SAC", sec, m)
+			closeCtx(ctx)
 		}
 		s.Points = append(s.Points, p)
 	}
@@ -164,8 +219,7 @@ func Fig4B(cfg Config, sizes []int64) Series {
 	s := Series{Name: "Figure 4.B — Matrix Multiplication (total time vs elements)",
 		Systems: []string{"MLlib", "SAC", "SAC GBJ"}}
 	for _, n := range sizes {
-		p := Point{Elements: n * n,
-			Seconds: map[string]float64{}, Shuffled: map[string]int64{}}
+		p := newPoint(n * n)
 
 		{
 			ctx := newCtx(cfg)
@@ -173,8 +227,9 @@ func Fig4B(cfg Config, sizes []int64) Series {
 			b := mllib.RandBlockMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 2)
 			force(ctx, a.Blocks)
 			force(ctx, b.Blocks)
-			sec, bytes := measure(ctx, func() { forceBlocks(a.Multiply(b).Blocks) })
-			p.Seconds["MLlib"], p.Shuffled["MLlib"] = sec, bytes
+			sec, m := measure(ctx, func() { forceBlocks(a.Multiply(b).Blocks) })
+			p.record("MLlib", sec, m)
+			closeCtx(ctx)
 		}
 		{
 			ctx := newCtx(cfg)
@@ -182,8 +237,9 @@ func Fig4B(cfg Config, sizes []int64) Series {
 			b := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 2)
 			force(ctx, a.Tiles)
 			force(ctx, b.Tiles)
-			sec, bytes := measure(ctx, func() { forceBlocks(a.MultiplyGroupByKey(b).Tiles) })
-			p.Seconds["SAC"], p.Shuffled["SAC"] = sec, bytes
+			sec, m := measure(ctx, func() { forceBlocks(a.MultiplyGroupByKey(b).Tiles) })
+			p.record("SAC", sec, m)
+			closeCtx(ctx)
 		}
 		{
 			ctx := newCtx(cfg)
@@ -191,8 +247,9 @@ func Fig4B(cfg Config, sizes []int64) Series {
 			b := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 2)
 			force(ctx, a.Tiles)
 			force(ctx, b.Tiles)
-			sec, bytes := measure(ctx, func() { forceBlocks(a.MultiplyGBJ(b).Tiles) })
-			p.Seconds["SAC GBJ"], p.Shuffled["SAC GBJ"] = sec, bytes
+			sec, m := measure(ctx, func() { forceBlocks(a.MultiplyGBJ(b).Tiles) })
+			p.record("SAC GBJ", sec, m)
+			closeCtx(ctx)
 		}
 		s.Points = append(s.Points, p)
 	}
@@ -207,8 +264,7 @@ func Fig4C(cfg Config, sizes []int64, k int64) Series {
 		Systems: []string{"MLlib", "SAC GBJ"}}
 	gd := ml.PaperConfig()
 	for _, n := range sizes {
-		p := Point{Elements: n * n,
-			Seconds: map[string]float64{}, Shuffled: map[string]int64{}}
+		p := newPoint(n * n)
 		r := linalg.RandSparseCOO(int(n), int(n), 0.1, 5, 7).ToDense()
 
 		{
@@ -219,12 +275,13 @@ func Fig4C(cfg Config, sizes []int64, k int64) Series {
 			force(ctx, br.Blocks)
 			force(ctx, bp.Blocks)
 			force(ctx, bq.Blocks)
-			sec, bytes := measure(ctx, func() {
+			sec, m := measure(ctx, func() {
 				np, nq := ml.StepMLlib(br, bp, bq, gd)
 				forceBlocks(np.Blocks)
 				forceBlocks(nq.Blocks)
 			})
-			p.Seconds["MLlib"], p.Shuffled["MLlib"] = sec, bytes
+			p.record("MLlib", sec, m)
+			closeCtx(ctx)
 		}
 		{
 			ctx := newCtx(cfg)
@@ -234,12 +291,13 @@ func Fig4C(cfg Config, sizes []int64, k int64) Series {
 			force(ctx, tr.Tiles)
 			force(ctx, tp.Tiles)
 			force(ctx, tq.Tiles)
-			sec, bytes := measure(ctx, func() {
+			sec, m := measure(ctx, func() {
 				np, nq := ml.StepTiled(tr, tp, tq, gd)
 				forceBlocks(np.Tiles)
 				forceBlocks(nq.Tiles)
 			})
-			p.Seconds["SAC GBJ"], p.Shuffled["SAC GBJ"] = sec, bytes
+			p.record("SAC GBJ", sec, m)
+			closeCtx(ctx)
 		}
 		s.Points = append(s.Points, p)
 	}
@@ -254,7 +312,7 @@ func AblationTileSize(cfg Config, n int64, tileSizes []int) Series {
 	for _, ts := range tileSizes {
 		s.Systems = append(s.Systems, fmt.Sprintf("N=%d", ts))
 	}
-	p := Point{Elements: n * n, Seconds: map[string]float64{}, Shuffled: map[string]int64{}}
+	p := newPoint(n * n)
 	for _, ts := range tileSizes {
 		ctx := newCtx(cfg)
 		a := tiled.RandMatrix(ctx, n, n, ts, cfg.Partitions, 0, 10, 1)
@@ -262,8 +320,9 @@ func AblationTileSize(cfg Config, n int64, tileSizes []int) Series {
 		force(ctx, a.Tiles)
 		force(ctx, b.Tiles)
 		name := fmt.Sprintf("N=%d", ts)
-		sec, bytes := measure(ctx, func() { forceBlocks(a.MultiplyGBJ(b).Tiles) })
-		p.Seconds[name], p.Shuffled[name] = sec, bytes
+		sec, m := measure(ctx, func() { forceBlocks(a.MultiplyGBJ(b).Tiles) })
+		p.record(name, sec, m)
+		closeCtx(ctx)
 	}
 	s.Points = []Point{p}
 	return s
@@ -275,7 +334,7 @@ func AblationReduceByKey(cfg Config, sizes []int64) Series {
 	s := Series{Name: "Ablation — Rule 13: reduceByKey vs groupByKey multiply",
 		Systems: []string{"reduceByKey", "groupByKey"}}
 	for _, n := range sizes {
-		p := Point{Elements: n * n, Seconds: map[string]float64{}, Shuffled: map[string]int64{}}
+		p := newPoint(n * n)
 		for _, variant := range s.Systems {
 			ctx := newCtx(cfg)
 			a := tiled.RandMatrix(ctx, n, n, cfg.TileSize, cfg.Partitions, 0, 10, 1)
@@ -288,8 +347,9 @@ func AblationReduceByKey(cfg Config, sizes []int64) Series {
 			} else {
 				fn = func() { forceBlocks(a.MultiplyGroupByKey(b).Tiles) }
 			}
-			sec, bytes := measure(ctx, fn)
-			p.Seconds[variant], p.Shuffled[variant] = sec, bytes
+			sec, m := measure(ctx, fn)
+			p.record(variant, sec, m)
+			closeCtx(ctx)
 		}
 		s.Points = append(s.Points, p)
 	}
@@ -303,7 +363,7 @@ func AblationCoordinate(cfg Config, sizes []int64) Series {
 	s := Series{Name: "Ablation — storage: tiled GBJ vs coordinate format multiply",
 		Systems: []string{"tiled", "coordinate"}}
 	for _, n := range sizes {
-		p := Point{Elements: n * n, Seconds: map[string]float64{}, Shuffled: map[string]int64{}}
+		p := newPoint(n * n)
 		da := linalg.RandDense(int(n), int(n), 0, 10, 1)
 		db := linalg.RandDense(int(n), int(n), 0, 10, 2)
 		{
@@ -312,15 +372,17 @@ func AblationCoordinate(cfg Config, sizes []int64) Series {
 			b := tiled.FromDense(ctx, db, cfg.TileSize, cfg.Partitions)
 			force(ctx, a.Tiles)
 			force(ctx, b.Tiles)
-			sec, bytes := measure(ctx, func() { forceBlocks(a.MultiplyGBJ(b).Tiles) })
-			p.Seconds["tiled"], p.Shuffled["tiled"] = sec, bytes
+			sec, m := measure(ctx, func() { forceBlocks(a.MultiplyGBJ(b).Tiles) })
+			p.record("tiled", sec, m)
+			closeCtx(ctx)
 		}
 		{
 			ctx := newCtx(cfg)
 			a := coord.FromDense(ctx, da, cfg.Partitions)
 			b := coord.FromDense(ctx, db, cfg.Partitions)
-			sec, bytes := measure(ctx, func() { dataflow.Count(a.Multiply(b).Entries) })
-			p.Seconds["coordinate"], p.Shuffled["coordinate"] = sec, bytes
+			sec, m := measure(ctx, func() { dataflow.Count(a.Multiply(b).Entries) })
+			p.record("coordinate", sec, m)
+			closeCtx(ctx)
 		}
 		s.Points = append(s.Points, p)
 	}
@@ -346,6 +408,7 @@ func StageBreakdown(cfg Config, n int64) string {
 	fmt.Fprintf(&out, "# Per-stage breakdown — SAC GBJ multiply, n=%d, tile=%d, %d partitions\n",
 		n, cfg.TileSize, cfg.Partitions)
 	out.WriteString(ctx.Metrics().FormatStages())
+	closeCtx(ctx)
 	return out.String()
 }
 
@@ -376,6 +439,7 @@ func TracedGBJ(cfg Config, n int64) (*trace.Tracer, string) {
 	fmt.Fprintf(&out, "# Traced SAC GBJ multiply, n=%d, tile=%d, %d partitions\n",
 		n, cfg.TileSize, cfg.Partitions)
 	out.WriteString(ctx.Metrics().Sub(before).FormatStages())
+	closeCtx(ctx)
 	return tr, out.String()
 }
 

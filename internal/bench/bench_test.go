@@ -119,3 +119,34 @@ func TestAblationTileSize(t *testing.T) {
 		t.Fatalf("ablation shape %+v", s)
 	}
 }
+
+// TestOutOfCoreFigureReportsSpill runs one Figure 4.B point under a
+// small memory budget and checks the spill counters reach the figure
+// table (satellite of the out-of-core subsystem: benchmark evidence of
+// spilling must be visible, not just internal).
+func TestOutOfCoreFigureReportsSpill(t *testing.T) {
+	cfg := Config{TileSize: 50, Partitions: 8, MemoryBudget: 1 << 20}
+	s := Fig4B(cfg, []int64{200})
+	p := s.Points[0]
+	var spilled int64
+	for _, sys := range s.Systems {
+		spilled += p.Spilled[sys]
+	}
+	if spilled == 0 {
+		t.Fatalf("budgeted figure run spilled nothing: %+v", p.Spilled)
+	}
+	table := s.Format()
+	if !strings.Contains(table, "spillMB") || !strings.Contains(table, "merges") {
+		t.Fatalf("figure table missing spill columns:\n%s", table)
+	}
+}
+
+// TestUnbudgetedFigureTableShape pins the unbudgeted table to its
+// original columns: no spill noise when the subsystem is idle.
+func TestUnbudgetedFigureTableShape(t *testing.T) {
+	s := Fig4A(Config{TileSize: 50, Partitions: 4}, []int64{100})
+	table := s.Format()
+	if strings.Contains(table, "spillMB") || strings.Contains(table, "merges") {
+		t.Fatalf("unbudgeted table grew spill columns:\n%s", table)
+	}
+}

@@ -25,27 +25,59 @@ type Matrix struct {
 	Entries    *dataflow.Dataset[Entry]
 }
 
-// FromDense distributes all elements of a dense matrix (including
-// zeros, matching the paper's dense coordinate representation).
-func FromDense(ctx *dataflow.Context, d *linalg.Dense, numPartitions int) *Matrix {
-	entries := make([]Entry, 0, d.Rows*d.Cols)
-	for i := 0; i < d.Rows; i++ {
-		for j := 0; j < d.Cols; j++ {
-			entries = append(entries, dataflow.KV(Key{I: int64(i), J: int64(j)}, d.At(i, j)))
-		}
+// clampParts mirrors Parallelize's partition-count rules for the
+// Generate-based constructors below: default when unset, never more
+// partitions than rows, and at least one partition even when empty.
+func clampParts(ctx *dataflow.Context, numPartitions, n int) int {
+	if numPartitions <= 0 {
+		numPartitions = ctx.DefaultPartitions()
 	}
-	return &Matrix{Rows: int64(d.Rows), Cols: int64(d.Cols),
-		Entries: dataflow.Parallelize(ctx, entries, numPartitions)}
+	if numPartitions > n && n > 0 {
+		numPartitions = n
+	}
+	if n == 0 {
+		numPartitions = 1
+	}
+	return numPartitions
 }
 
-// FromCOO distributes only the stored entries of a sparse matrix.
+// FromDense distributes all elements of a dense matrix (including
+// zeros, matching the paper's dense coordinate representation). The
+// entries are produced per partition by tasks, not materialized as one
+// driver-side slice: a coordinate array holds an Entry per element, an
+// order of magnitude more driver memory than the dense source, which
+// defeats the out-of-core budget before the first stage runs.
+func FromDense(ctx *dataflow.Context, d *linalg.Dense, numPartitions int) *Matrix {
+	n := d.Rows * d.Cols
+	numPartitions = clampParts(ctx, numPartitions, n)
+	parts := numPartitions
+	entries := dataflow.Generate(ctx, parts, func(p int) []Entry {
+		lo, hi := p*n/parts, (p+1)*n/parts
+		out := make([]Entry, 0, hi-lo)
+		for idx := lo; idx < hi; idx++ {
+			i, j := idx/d.Cols, idx%d.Cols
+			out = append(out, dataflow.KV(Key{I: int64(i), J: int64(j)}, d.At(i, j)))
+		}
+		return out
+	})
+	return &Matrix{Rows: int64(d.Rows), Cols: int64(d.Cols), Entries: entries}
+}
+
+// FromCOO distributes only the stored entries of a sparse matrix,
+// converting each task's slice of the stored entries on demand.
 func FromCOO(ctx *dataflow.Context, c *linalg.COO, numPartitions int) *Matrix {
-	entries := make([]Entry, 0, c.NNZ())
-	for _, e := range c.Entries {
-		entries = append(entries, dataflow.KV(Key{I: int64(e.I), J: int64(e.J)}, e.V))
-	}
-	return &Matrix{Rows: int64(c.Rows), Cols: int64(c.Cols),
-		Entries: dataflow.Parallelize(ctx, entries, numPartitions)}
+	n := c.NNZ()
+	numPartitions = clampParts(ctx, numPartitions, n)
+	parts := numPartitions
+	entries := dataflow.Generate(ctx, parts, func(p int) []Entry {
+		lo, hi := p*n/parts, (p+1)*n/parts
+		out := make([]Entry, 0, hi-lo)
+		for _, e := range c.Entries[lo:hi] {
+			out = append(out, dataflow.KV(Key{I: int64(e.I), J: int64(e.J)}, e.V))
+		}
+		return out
+	})
+	return &Matrix{Rows: int64(c.Rows), Cols: int64(c.Cols), Entries: entries}
 }
 
 // ToDense collects the entries into a dense matrix, summing

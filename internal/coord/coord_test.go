@@ -97,3 +97,43 @@ func TestCoordShufflesMoreThanTiled(t *testing.T) {
 		t.Fatalf("coordinate multiply should shuffle at least every element of both inputs, got %d", coordRecords)
 	}
 }
+
+// TestCoordFromDensePartitioning pins the Generate-based constructor
+// to Parallelize's partition rules: clamped counts, balanced row-major
+// slices, and no lost or duplicated elements.
+func TestCoordFromDensePartitioning(t *testing.T) {
+	ctx := dataflow.NewLocalContext()
+	d := linalg.RandDense(7, 3, -1, 1, 11)
+	m := FromDense(ctx, d, 100) // more partitions than elements: clamp to 21
+	if got := m.Entries.NumPartitions(); got != 21 {
+		t.Fatalf("partitions = %d, want clamp to element count 21", got)
+	}
+	if !m.ToDense().Equal(d) {
+		t.Fatal("clamped round trip")
+	}
+	if got := FromDense(ctx, linalg.NewDense(0, 0), 4).Entries.NumPartitions(); got != 1 {
+		t.Fatalf("empty matrix should collapse to 1 partition, got %d", got)
+	}
+}
+
+// TestOutOfCoreCoordMultiply runs the element-wise multiply translation
+// under a budget small enough that its (notoriously heavy) shuffles
+// spill, checking the coordinate-entry codecs end to end.
+func TestOutOfCoreCoordMultiply(t *testing.T) {
+	const budget = 256 << 10
+	ctx := dataflow.NewContext(dataflow.Config{
+		Parallelism:       4,
+		DefaultPartitions: 8,
+		MemoryBudget:      budget,
+	})
+	defer ctx.Close()
+	da := linalg.RandDense(64, 64, -1, 1, 12)
+	db := linalg.RandDense(64, 64, -1, 1, 13)
+	got := FromDense(ctx, da, 8).Multiply(FromDense(ctx, db, 8)).ToDense()
+	if !got.EqualApprox(linalg.Mul(da, db), 1e-9) {
+		t.Fatal("out-of-core coordinate multiply diverges from local result")
+	}
+	if s := ctx.Metrics(); s.SpilledBytes == 0 || s.MergePasses == 0 {
+		t.Fatalf("element-wise multiply over budget did not spill: %+v", s)
+	}
+}

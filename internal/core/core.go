@@ -41,6 +41,14 @@ type Config struct {
 	FailureRate float64
 	// FailureSeed seeds failure injection.
 	FailureSeed int64
+	// MemoryBudget bounds tracked engine memory (shuffle buckets and
+	// Persist caches); work beyond it spills to disk. <= 0 disables
+	// the budget. The SAC_MEMORY_BUDGET environment variable supplies
+	// it when callers use memory.BudgetFromEnv.
+	MemoryBudget int64
+	// SpillDir overrides where spill run files are written (default: a
+	// fresh directory under os.TempDir, removed on Close).
+	SpillDir string
 }
 
 // Session is the top-level handle; safe for sequential use.
@@ -60,9 +68,15 @@ func NewSession(conf Config) *Session {
 		DefaultPartitions: conf.Partitions,
 		FailureRate:       conf.FailureRate,
 		FailureSeed:       conf.FailureSeed,
+		MemoryBudget:      conf.MemoryBudget,
+		SpillDir:          conf.SpillDir,
 	})
 	return &Session{conf: conf, ctx: ctx, cat: plan.NewCatalog(ctx)}
 }
+
+// Close releases session resources (spill files, if any). Queries must
+// not run after Close.
+func (s *Session) Close() error { return s.ctx.Close() }
 
 // Engine exposes the underlying dataflow context (metrics, etc.).
 func (s *Session) Engine() *dataflow.Context { return s.ctx }

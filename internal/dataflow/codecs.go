@@ -1,0 +1,115 @@
+package dataflow
+
+// Spill codecs for the engine's hot shuffle row types. Anything not
+// registered here falls back to spill's gob codec, which is correct
+// but re-encodes type information per record; the types below dominate
+// shuffle and cache traffic, so they get compact hand-rolled encodings.
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/spill"
+)
+
+// CoordCodec spills 2-D tile/element coordinates as two varints.
+type CoordCodec struct{}
+
+func (CoordCodec) Encode(w *spill.Writer, v Coord) {
+	w.Varint(v.I)
+	w.Varint(v.J)
+}
+
+func (CoordCodec) Decode(r *spill.Reader) Coord {
+	return Coord{I: r.Varint(), J: r.Varint()}
+}
+
+// DenseCodec spills dense tiles: a presence flag, the dimensions, and
+// the raw IEEE bits of the payload.
+type DenseCodec struct{}
+
+func (DenseCodec) Encode(w *spill.Writer, v *linalg.Dense) {
+	if v == nil {
+		w.Uvarint(0)
+		return
+	}
+	w.Uvarint(1)
+	w.Varint(int64(v.Rows))
+	w.Varint(int64(v.Cols))
+	w.F64s(v.Data)
+}
+
+func (DenseCodec) Decode(r *spill.Reader) *linalg.Dense {
+	if r.Uvarint() == 0 {
+		return nil
+	}
+	rows, cols := int(r.Varint()), int(r.Varint())
+	data := r.F64s()
+	if r.Err() != nil {
+		return nil
+	}
+	if rows < 0 || cols < 0 || len(data) != rows*cols {
+		r.Fail(fmt.Errorf("dataflow: tile codec: %dx%d header with %d elements", rows, cols, len(data)))
+		return nil
+	}
+	return &linalg.Dense{Rows: rows, Cols: cols, Data: data}
+}
+
+// VectorCodec spills dense vector blocks.
+type VectorCodec struct{}
+
+func (VectorCodec) Encode(w *spill.Writer, v *linalg.Vector) {
+	if v == nil {
+		w.Uvarint(0)
+		return
+	}
+	w.Uvarint(1)
+	w.F64s(v.Data)
+}
+
+func (VectorCodec) Decode(r *spill.Reader) *linalg.Vector {
+	if r.Uvarint() == 0 {
+		return nil
+	}
+	return &linalg.Vector{Data: r.F64s()}
+}
+
+// pairCodec composes key and value codecs into a Pair codec.
+type pairCodec[K comparable, V any] struct {
+	kc spill.Codec[K]
+	vc spill.Codec[V]
+}
+
+func (c pairCodec[K, V]) Encode(w *spill.Writer, p Pair[K, V]) {
+	c.kc.Encode(w, p.Key)
+	c.vc.Encode(w, p.Value)
+}
+
+func (c pairCodec[K, V]) Decode(r *spill.Reader) Pair[K, V] {
+	k := c.kc.Decode(r)
+	return Pair[K, V]{Key: k, Value: c.vc.Decode(r)}
+}
+
+// PairCodec builds a codec for Pair[K, V] from its component codecs,
+// so downstream packages can register codecs for their own pair rows.
+func PairCodec[K comparable, V any](kc spill.Codec[K], vc spill.Codec[V]) spill.Codec[Pair[K, V]] {
+	return pairCodec[K, V]{kc: kc, vc: vc}
+}
+
+func init() {
+	spill.Register[Coord](CoordCodec{})
+	spill.Register[*linalg.Dense](DenseCodec{})
+	spill.Register[*linalg.Vector](VectorCodec{})
+	// Tile blocks (tiled.Block / mllib.Block), the k-keyed blocks of the
+	// tiled multiply join, and vector blocks.
+	blockCodec := PairCodec[Coord, *linalg.Dense](CoordCodec{}, DenseCodec{})
+	spill.Register(blockCodec)
+	spill.Register(PairCodec[int64, Pair[Coord, *linalg.Dense]](spill.Int64Codec{}, blockCodec))
+	spill.Register(PairCodec[int64, *linalg.Vector](spill.Int64Codec{}, VectorCodec{}))
+	// Coordinate-format entries and their keyed intermediates.
+	spill.Register(PairCodec[Coord, float64](CoordCodec{}, spill.Float64Codec{}))
+	spill.Register(PairCodec[int64, float64](spill.Int64Codec{}, spill.Float64Codec{}))
+	spill.Register(PairCodec[int64, Pair[Coord, float64]](spill.Int64Codec{},
+		PairCodec[Coord, float64](CoordCodec{}, spill.Float64Codec{})))
+	spill.Register(PairCodec[int64, int64](spill.Int64Codec{}, spill.Int64Codec{}))
+}

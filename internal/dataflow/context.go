@@ -27,12 +27,14 @@ package dataflow
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/linalg"
+	"repro/internal/memory"
 	"repro/internal/trace"
 )
 
@@ -61,6 +63,17 @@ type Config struct {
 	// cluster with JVM serialization corresponds to roughly 1-5
 	// ns/byte end to end.
 	ShuffleCostNsPerByte float64
+	// MemoryBudget, when positive, bounds the tracked bytes the
+	// engine's shuffle buffers and Persist caches may pin in memory.
+	// Past the budget, shuffle buckets spill to sorted run files that
+	// are external-merged on read, and caches evict to disk. 0 means
+	// unlimited: the out-of-core layer costs one nil check. Both CLIs
+	// seed it from the SAC_MEMORY_BUDGET environment variable.
+	MemoryBudget int64
+	// SpillDir is the directory for spill run files. Empty means a
+	// fresh directory under the OS temp dir, created on first spill
+	// and removed by Close.
+	SpillDir string
 }
 
 // Context is the entry point to the engine, analogous to SparkContext.
@@ -89,6 +102,16 @@ type Context struct {
 	// tiled kernels (see linalg.Pool for the ownership contract). Its
 	// hit/miss/return gauges surface in MetricsSnapshot.
 	tilePool linalg.Pool
+
+	// mem is the budgeted memory manager behind out-of-core execution;
+	// nil means unlimited (every reservation grants instantly). The
+	// spill directory is created lazily on first spill.
+	mem       *memory.Manager
+	spillOnce sync.Once
+	spillPath string
+	spillMade bool
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // getStatBuf returns a zeroed, zero-length sample buffer, reusing a
@@ -141,11 +164,48 @@ func NewContext(conf Config) *Context {
 	ctx := &Context{
 		conf: conf,
 		sem:  make(chan struct{}, conf.Parallelism),
+		mem:  memory.New(conf.MemoryBudget),
 	}
 	if conf.FailureRate > 0 {
 		ctx.failRng = rand.New(rand.NewSource(conf.FailureSeed))
 	}
 	return ctx
+}
+
+// Memory returns the context's memory manager; nil means no budget is
+// set (every method of a nil manager is a granting no-op).
+func (c *Context) Memory() *memory.Manager { return c.mem }
+
+// spillDir lazily creates and returns the directory spill run files go
+// to.
+func (c *Context) spillDir() string {
+	c.spillOnce.Do(func() {
+		dir := c.conf.SpillDir
+		if dir == "" {
+			d, err := os.MkdirTemp("", "sac-spill-")
+			if err != nil {
+				panic(fmt.Errorf("dataflow: create spill dir: %w", err))
+			}
+			dir, c.spillMade = d, true
+		} else if err := os.MkdirAll(dir, 0o755); err != nil {
+			panic(fmt.Errorf("dataflow: create spill dir: %w", err))
+		}
+		c.spillPath = dir
+	})
+	return c.spillPath
+}
+
+// Close releases the context's disk resources: the spill directory and
+// every run file in it, when the context created the directory itself.
+// A configured SpillDir is left in place (the caller owns it). Close is
+// idempotent and safe on contexts that never spilled.
+func (c *Context) Close() error {
+	c.closeOnce.Do(func() {
+		if c.spillMade && c.spillPath != "" {
+			c.closeErr = os.RemoveAll(c.spillPath)
+		}
+	})
+	return c.closeErr
 }
 
 // NewLocalContext returns a context with default local configuration.
@@ -163,15 +223,20 @@ func (c *Context) Metrics() MetricsSnapshot {
 	s := c.metrics.Snapshot()
 	ps := c.tilePool.Stats()
 	s.PoolHits, s.PoolMisses, s.PoolReturns = ps.Hits, ps.Misses, ps.Returns
+	ms := c.mem.Stats()
+	s.MemoryBudget, s.MemoryUsed, s.MemoryPeak = ms.Budget, ms.Used, ms.Peak
+	s.BudgetWaits, s.MemoryOvercommits = ms.Waits, ms.Overcommits
 	return s
 }
 
-// ResetMetrics zeroes the metric counters and the tile pool's gauges
-// (pooled tiles stay pooled); benchmarks call this between measured
+// ResetMetrics zeroes the metric counters, the tile pool's gauges
+// (pooled tiles stay pooled), and the memory manager's peak gauge
+// (reservations stay reserved); benchmarks call this between measured
 // runs.
 func (c *Context) ResetMetrics() {
 	c.metrics.Reset()
 	c.tilePool.ResetStats()
+	c.mem.ResetPeak()
 }
 
 // TilePool returns the context's tile-buffer pool. Kernels Get output

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/memory"
 )
 
 // Metrics accumulates engine counters. All fields are updated atomically
@@ -21,6 +23,14 @@ type Metrics struct {
 	shuffledBytes    atomic.Int64
 	collectedRecords atomic.Int64
 	cachedBytes      atomic.Int64
+
+	// Out-of-core counters: rows/bytes written to spill run files (by
+	// shuffle buffers and evicted caches), run files created, and
+	// external merge passes performed on read.
+	spilledBytes   atomic.Int64
+	spilledRecords atomic.Int64
+	spillFiles     atomic.Int64
+	mergePasses    atomic.Int64
 
 	stagesInFlight atomic.Int64
 	maxInFlight    atomic.Int64
@@ -148,6 +158,25 @@ type MetricsSnapshot struct {
 	PoolHits    int64
 	PoolMisses  int64
 	PoolReturns int64
+	// SpilledBytes / SpilledRecords / SpillFiles count data written to
+	// spill run files when the memory budget forced shuffle buffers or
+	// Persist caches to disk; MergePasses counts external k-way merges
+	// performed when spilled partitions were read back. All zero when
+	// no budget is set — the out-of-core layer is idle.
+	SpilledBytes   int64
+	SpilledRecords int64
+	SpillFiles     int64
+	MergePasses    int64
+	// BudgetWaits counts Reserve calls that had to block for other
+	// holders to release; MemoryOvercommits counts grants issued over
+	// budget to preserve liveness (stall grants and oversized single
+	// requests). MemoryBudget/MemoryUsed/MemoryPeak are the manager's
+	// live gauges (0 when unlimited).
+	BudgetWaits       int64
+	MemoryOvercommits int64
+	MemoryBudget      int64
+	MemoryUsed        int64
+	MemoryPeak        int64
 	// MaxConcurrentStages is the since-reset high-water mark of stages
 	// executing simultaneously (>= 2 proves independent shuffle
 	// map-sides, e.g. both sides of a join, overlapped). Sub recomputes
@@ -181,6 +210,14 @@ func (m *Metrics) recordStage(s StageMetric) {
 	m.stageMu.Unlock()
 }
 
+// noteSpill credits one spill event: bytes and rows written across
+// files new run files.
+func (m *Metrics) noteSpill(bytes, rows, files int64) {
+	m.spilledBytes.Add(bytes)
+	m.spilledRecords.Add(rows)
+	m.spillFiles.Add(files)
+}
+
 // Snapshot copies the counters.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.stageMu.Lock()
@@ -195,6 +232,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ShuffledBytes:       m.shuffledBytes.Load(),
 		CollectedRecords:    m.collectedRecords.Load(),
 		CachedBytes:         m.cachedBytes.Load(),
+		SpilledBytes:        m.spilledBytes.Load(),
+		SpilledRecords:      m.spilledRecords.Load(),
+		SpillFiles:          m.spillFiles.Load(),
+		MergePasses:         m.mergePasses.Load(),
 		MaxConcurrentStages: m.maxInFlight.Load(),
 		PerStage:            perStage,
 	}
@@ -210,6 +251,10 @@ func (m *Metrics) Reset() {
 	m.shuffledRecords.Store(0)
 	m.shuffledBytes.Store(0)
 	m.collectedRecords.Store(0)
+	m.spilledBytes.Store(0)
+	m.spilledRecords.Store(0)
+	m.spillFiles.Store(0)
+	m.mergePasses.Store(0)
 	m.maxInFlight.Store(0)
 	m.stageMu.Lock()
 	m.perStage = nil
@@ -218,8 +263,13 @@ func (m *Metrics) Reset() {
 
 // String formats the snapshot as a single diagnostics line.
 func (s MetricsSnapshot) String() string {
-	return fmt.Sprintf("tasks=%d failures=%d stages=%d shuffles=%d shuffledRecords=%d shuffledBytes=%d",
+	out := fmt.Sprintf("tasks=%d failures=%d stages=%d shuffles=%d shuffledRecords=%d shuffledBytes=%d",
 		s.Tasks, s.TaskFailures, s.Stages, s.Shuffles, s.ShuffledRecords, s.ShuffledBytes)
+	if s.SpilledBytes > 0 || s.SpillFiles > 0 {
+		out += fmt.Sprintf(" spilledBytes=%d spillFiles=%d mergePasses=%d",
+			s.SpilledBytes, s.SpillFiles, s.MergePasses)
+	}
+	return out
 }
 
 // FormatStages renders the per-stage execution table: one row per
@@ -253,6 +303,16 @@ func (s MetricsSnapshot) FormatStages() string {
 	if gets := s.PoolHits + s.PoolMisses; gets > 0 {
 		fmt.Fprintf(&b, "tile pool: %d/%d gets reused (%.0f%%), %d returned\n",
 			s.PoolHits, gets, 100*float64(s.PoolHits)/float64(gets), s.PoolReturns)
+	}
+	if s.SpillFiles > 0 || s.SpilledBytes > 0 {
+		fmt.Fprintf(&b, "spill: %s in %d files (%d rows), %d merge passes, %d budget waits\n",
+			memory.FormatBytes(s.SpilledBytes), s.SpillFiles, s.SpilledRecords,
+			s.MergePasses, s.BudgetWaits)
+	}
+	if s.MemoryBudget > 0 {
+		fmt.Fprintf(&b, "memory: budget %s, used %s, peak %s, %d overcommits\n",
+			memory.FormatBytes(s.MemoryBudget), memory.FormatBytes(s.MemoryUsed),
+			memory.FormatBytes(s.MemoryPeak), s.MemoryOvercommits)
 	}
 	return b.String()
 }
@@ -293,6 +353,15 @@ func (s MetricsSnapshot) Sub(t MetricsSnapshot) MetricsSnapshot {
 		ShuffledBytes:       s.ShuffledBytes - t.ShuffledBytes,
 		CollectedRecords:    s.CollectedRecords - t.CollectedRecords,
 		CachedBytes:         s.CachedBytes,
+		SpilledBytes:        s.SpilledBytes - t.SpilledBytes,
+		SpilledRecords:      s.SpilledRecords - t.SpilledRecords,
+		SpillFiles:          s.SpillFiles - t.SpillFiles,
+		MergePasses:         s.MergePasses - t.MergePasses,
+		BudgetWaits:         s.BudgetWaits - t.BudgetWaits,
+		MemoryOvercommits:   s.MemoryOvercommits - t.MemoryOvercommits,
+		MemoryBudget:        s.MemoryBudget,
+		MemoryUsed:          s.MemoryUsed,
+		MemoryPeak:          s.MemoryPeak,
 		PoolHits:            s.PoolHits - t.PoolHits,
 		PoolMisses:          s.PoolMisses - t.PoolMisses,
 		PoolReturns:         s.PoolReturns - t.PoolReturns,

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/spill"
 )
 
 // Dataset is an immutable, lazily evaluated, partitioned collection —
@@ -45,8 +47,16 @@ type Dataset[T any] struct {
 	// cachedBytes tracks this dataset's contribution to the context's
 	// cached-bytes gauge, so Unpersist can release exactly that much.
 	cachedBytes int64
-	persist     bool
-	name        string
+	// Out-of-core cache state (memory-budgeted contexts only): disk
+	// runs for evicted partitions, the per-partition budget
+	// reservations backing d.cached, and the eviction hook's
+	// registration (see oocore.go).
+	cachedDisk []spill.Run[T]
+	cachedResv []int64
+	unregEvict func()
+	evictOnce  sync.Once
+	persist    bool
+	name       string
 	// keyParts, when nonzero, records that the elements are Pairs
 	// hash-partitioned by key into exactly this many partitions
 	// (partition p holds the keys with partitionOf(k, keyParts) == p).
@@ -123,11 +133,30 @@ func (d *Dataset[T]) IsPersisted() bool {
 // can still be recomputed from lineage afterwards.
 func (d *Dataset[T]) Unpersist() *Dataset[T] {
 	d.cacheMu.Lock()
-	defer d.cacheMu.Unlock()
 	d.persist = false
 	d.cached = nil
+	var resv int64
+	for p := range d.cachedResv {
+		resv += d.cachedResv[p]
+		d.cachedResv[p] = 0
+	}
+	for p := range d.cachedDisk {
+		d.cachedDisk[p].Remove()
+	}
+	d.cachedDisk = nil
 	d.ctx.metrics.cachedBytes.Add(-d.cachedBytes)
 	d.cachedBytes = 0
+	unreg := d.unregEvict
+	d.unregEvict = nil
+	d.cacheMu.Unlock()
+	// Outside cacheMu: unregistration takes the manager's evictor lock
+	// and Release wakes budget waiters; neither may nest under cacheMu.
+	if unreg != nil {
+		unreg()
+	}
+	if resv > 0 {
+		d.ctx.mem.Release(resv)
+	}
 	return d
 }
 
@@ -162,6 +191,11 @@ func (d *Dataset[T]) partition(p int) []T {
 		d.cacheMu.Unlock()
 		return rows
 	}
+	if d.cachedDisk != nil && d.cachedDisk[p].Path != "" {
+		run := d.cachedDisk[p]
+		d.cacheMu.Unlock()
+		return readCachedRun(run)
+	}
 	persist := d.persist
 	d.cacheMu.Unlock()
 
@@ -172,19 +206,7 @@ func (d *Dataset[T]) partition(p int) []T {
 		d.each(p, func(v T) { rows = append(rows, v) })
 	}
 	if persist {
-		d.cacheMu.Lock()
-		if d.cached == nil {
-			d.cached = make([][]T, d.parts)
-		}
-		if d.cached[p] == nil {
-			d.cached[p] = rows
-			b := sliceBytes(rows)
-			d.cachedBytes += b
-			d.ctx.metrics.cachedBytes.Add(b)
-		} else {
-			rows = d.cached[p]
-		}
-		d.cacheMu.Unlock()
+		rows = d.cacheStore(p, rows)
 	}
 	return rows
 }
@@ -431,22 +453,18 @@ func Repartition[T any](d *Dataset[T], numPartitions int) *Dataset[T] {
 	if numPartitions <= 0 {
 		numPartitions = d.ctx.DefaultPartitions()
 	}
-	lb := &lazyBuckets[T]{ctx: d.ctx, parts: numPartitions}
-	lb.stage = d.ctx.newStage("shuffle(repartition)", d.deps, func(st *Stage) {
-		outputs := make([][]bucketed[T], d.parts)
-		d.ctx.runTasks(st, d.parts, func(p int) {
-			buckets := make([]bucketed[T], numPartitions)
+	lb := (&lazyBuckets[T]{ctx: d.ctx, parts: numPartitions}).
+		withSpill("shuffle(repartition)", zeroOrd[T])
+	lb.stage = d.ctx.newStage(lb.name, d.deps, func(st *Stage) {
+		lb.runMapSide(st, d.parts, func(p int, tb *taskBuckets[T]) int64 {
 			i := 0
 			d.forEach(p, func(v T) {
 				b := (p + i) % numPartitions
 				i++
-				buckets[b].rows = append(buckets[b].rows, v)
-				buckets[b].bytes += estimateSize(v)
+				tb.add(b, v, estimateSize(v))
 			})
-			st.noteIn(p, int64(i))
-			outputs[p] = buckets
+			return int64(i)
 		})
-		lb.merge(st, outputs)
 	})
 	return newSliceDataset(d.ctx, numPartitions, "repartition", []*Stage{lb.stage}, lb.get)
 }

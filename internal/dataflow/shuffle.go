@@ -15,6 +15,7 @@ type lazyBuckets[T any] struct {
 	ctx     *Context
 	parts   int
 	stage   *Stage
+	name    string
 	buckets [][]T
 	// post, when set, transforms each bucket exactly once during
 	// materialization. ReduceByKey folds here because combine
@@ -25,6 +26,9 @@ type lazyBuckets[T any] struct {
 	// narrow marks a co-partitioned read that moves no data; it is
 	// excluded from the shuffle metrics.
 	narrow bool
+	// spill, when non-nil (context has a memory budget), lets the
+	// buckets overflow to sorted run files; see oocore.go.
+	spill *spillState[T]
 }
 
 // merge concatenates the per-parent bucket outputs into reduce
@@ -57,9 +61,13 @@ func (s *lazyBuckets[T]) merge(st *Stage, outputs [][]bucketed[T]) {
 
 // get reads one reduce partition. The stage must have run (it is a
 // dependency of every downstream dataset); tasks never trigger it.
+// Budgeted partitions with spilled runs external-merge them first.
 func (s *lazyBuckets[T]) get(p int) []T {
 	if s.buckets == nil {
 		panic("dataflow: shuffle read before its stage ran")
+	}
+	if s.spill != nil {
+		return s.getSpilled(p)
 	}
 	return s.buckets[p]
 }
@@ -69,12 +77,14 @@ func (s *lazyBuckets[T]) get(p int) []T {
 // bucket-write sink. keyed marks the route as hash-by-key: when d is
 // already hash-partitioned by key into numPartitions partitions, the
 // exchange degrades to an in-place narrow read (like Spark's
-// partitioner-aware joins).
-func exchange[T any](d *Dataset[T], numPartitions int, route func(T) int, keyed bool) *lazyBuckets[T] {
+// partitioner-aware joins). ord is the spill sort key used when a
+// memory budget forces the buckets out of core.
+func exchange[T any](d *Dataset[T], numPartitions int, route func(T) int, ord func(T) uint64, keyed bool) *lazyBuckets[T] {
 	lb := &lazyBuckets[T]{ctx: d.ctx, parts: numPartitions}
 	if keyed && d.keyParts == numPartitions {
 		lb.narrow = true
-		lb.stage = d.ctx.newStage("narrow-read("+d.name+")", d.deps, func(st *Stage) {
+		lb.name = "narrow-read(" + d.name + ")"
+		lb.stage = d.ctx.newStage(lb.name, d.deps, func(st *Stage) {
 			outputs := make([][]bucketed[T], d.parts)
 			d.ctx.runTasks(st, d.parts, func(p int) {
 				buckets := make([]bucketed[T], numPartitions)
@@ -86,21 +96,16 @@ func exchange[T any](d *Dataset[T], numPartitions int, route func(T) int, keyed 
 		})
 		return lb
 	}
-	lb.stage = d.ctx.newStage("shuffle("+d.name+")", d.deps, func(st *Stage) {
-		outputs := make([][]bucketed[T], d.parts)
-		d.ctx.runTasks(st, d.parts, func(p int) {
-			buckets := make([]bucketed[T], numPartitions)
+	lb.withSpill("shuffle("+d.name+")", ord)
+	lb.stage = d.ctx.newStage(lb.name, d.deps, func(st *Stage) {
+		lb.runMapSide(st, d.parts, func(p int, tb *taskBuckets[T]) int64 {
 			var in int64
 			d.forEach(p, func(v T) {
 				in++
-				b := route(v)
-				buckets[b].rows = append(buckets[b].rows, v)
-				buckets[b].bytes += estimateSize(v)
+				tb.add(route(v), v, estimateSize(v))
 			})
-			st.noteIn(p, in)
-			outputs[p] = buckets
+			return in
 		})
-		lb.merge(st, outputs)
 	})
 	return lb
 }
@@ -133,13 +138,34 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(V, V)
 	if numPartitions <= 0 {
 		numPartitions = d.ctx.DefaultPartitions()
 	}
-	lb := &lazyBuckets[Pair[K, V]]{ctx: d.ctx, parts: numPartitions}
-	lb.stage = d.ctx.newStage("shuffle(reduceByKey)", d.deps, func(st *Stage) {
-		outputs := make([][]bucketed[Pair[K, V]], d.parts)
-		d.ctx.runTasks(st, d.parts, func(p int) {
-			// Map-side combine.
+	lb := (&lazyBuckets[Pair[K, V]]{ctx: d.ctx, parts: numPartitions}).
+		withSpill("shuffle(reduceByKey)", pairOrd[K, V])
+	// Reduce side: fold the shuffled partials per key, exactly once
+	// (combine may mutate its first argument). Installed before the
+	// stage body so the budgeted path can fold run-free partitions at
+	// stage end and spilled ones during their merged read.
+	lb.post = func(rows []Pair[K, V]) []Pair[K, V] {
+		return foldPairs(rows, combine)
+	}
+	flushAt := combinerFlushBytes(d.ctx)
+	lb.stage = d.ctx.newStage(lb.name, d.deps, func(st *Stage) {
+		lb.runMapSide(st, d.parts, func(p int, tb *taskBuckets[Pair[K, V]]) int64 {
+			// Map-side combine; under a memory budget the accumulator
+			// flushes to the buckets whenever its working set exceeds
+			// the per-task allowance, trading shuffle volume for a
+			// bounded map-side footprint.
 			acc := make(map[K]V)
 			order := make([]K, 0)
+			var accBytes int64
+			flush := func() {
+				for _, k := range order {
+					kv := KV(k, acc[k])
+					tb.add(partitionOf(k, numPartitions), kv, kv.NumBytes())
+				}
+				acc = make(map[K]V)
+				order = order[:0]
+				accBytes = 0
+			}
 			var in int64
 			d.forEach(p, func(kv Pair[K, V]) {
 				in++
@@ -148,25 +174,16 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(V, V)
 				} else {
 					acc[kv.Key] = kv.Value
 					order = append(order, kv.Key)
+					accBytes += kv.NumBytes()
+					if accBytes >= flushAt {
+						flush()
+					}
 				}
 			})
-			st.noteIn(p, in)
-			buckets := make([]bucketed[Pair[K, V]], numPartitions)
-			for _, k := range order {
-				kv := KV(k, acc[k])
-				b := partitionOf(k, numPartitions)
-				buckets[b].rows = append(buckets[b].rows, kv)
-				buckets[b].bytes += kv.NumBytes()
-			}
-			outputs[p] = buckets
+			flush()
+			return in
 		})
-		lb.merge(st, outputs)
 	})
-	// Reduce side: fold the shuffled partials per key, exactly once
-	// (combine may mutate its first argument).
-	lb.post = func(rows []Pair[K, V]) []Pair[K, V] {
-		return foldPairs(rows, combine)
-	}
 	return newSliceDataset(d.ctx, numPartitions, "reduceByKey", []*Stage{lb.stage}, lb.get).
 		withKeyParts(numPartitions)
 }
@@ -199,9 +216,17 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], numPartitions int) 
 	if numPartitions <= 0 {
 		numPartitions = d.ctx.DefaultPartitions()
 	}
-	lb := exchange(d, numPartitions, pairRoute[K, V](numPartitions), true)
+	lb := exchange(d, numPartitions, pairRoute[K, V](numPartitions), pairOrd[K, V], true)
 	ds := newStreamDataset(d.ctx, numPartitions, "groupByKey", []*Stage{lb.stage},
 		func(p int, emit func(Pair[K, []V])) {
+			if lb.spill != nil {
+				// Budgeted: stream maximal equal-hash groups off the
+				// external merge — every record of a key arrives inside
+				// one group, so grouping is group-local and the whole
+				// partition never materializes at once.
+				lb.eachHashGroup(p, func(g []Pair[K, V]) { emitGroups(g, emit) })
+				return
+			}
 			rows := lb.get(p)
 			acc := make(map[K][]V)
 			order := make([]K, 0)
@@ -216,6 +241,44 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], numPartitions int) 
 			}
 		})
 	return ds.withKeyParts(numPartitions)
+}
+
+// emitGroups turns one maximal equal-hash group of pairs into grouped
+// records. Hash collisions mean distinct keys can share a group, so the
+// general case still splits by exact key; the overwhelmingly common
+// single-key group takes the copy-only fast paths. The input slice is
+// reused by the merge and never retained.
+func emitGroups[K comparable, V any](g []Pair[K, V], emit func(Pair[K, []V])) {
+	if len(g) == 1 {
+		emit(KV(g[0].Key, []V{g[0].Value}))
+		return
+	}
+	oneKey := true
+	for _, kv := range g[1:] {
+		if kv.Key != g[0].Key {
+			oneKey = false
+			break
+		}
+	}
+	if oneKey {
+		vs := make([]V, len(g))
+		for i, kv := range g {
+			vs[i] = kv.Value
+		}
+		emit(KV(g[0].Key, vs))
+		return
+	}
+	acc := make(map[K][]V, 2)
+	order := make([]K, 0, 2)
+	for _, kv := range g {
+		if _, ok := acc[kv.Key]; !ok {
+			order = append(order, kv.Key)
+		}
+		acc[kv.Key] = append(acc[kv.Key], kv.Value)
+	}
+	for _, k := range order {
+		emit(KV(k, acc[k]))
+	}
 }
 
 // AggregateByKey folds values per key into an accumulator of a
@@ -279,8 +342,8 @@ func Join[K comparable, A, B any](left *Dataset[Pair[K, A]], right *Dataset[Pair
 	if numPartitions <= 0 {
 		numPartitions = left.ctx.DefaultPartitions()
 	}
-	lb := exchange(left, numPartitions, pairRoute[K, A](numPartitions), true)
-	rb := exchange(right, numPartitions, pairRoute[K, B](numPartitions), true)
+	lb := exchange(left, numPartitions, pairRoute[K, A](numPartitions), pairOrd[K, A], true)
+	rb := exchange(right, numPartitions, pairRoute[K, B](numPartitions), pairOrd[K, B], true)
 	return newStreamDataset(left.ctx, numPartitions, "join", []*Stage{lb.stage, rb.stage},
 		func(p int, emit func(Pair[K, JoinedPair[A, B]])) {
 			ls := lb.get(p)
@@ -323,8 +386,8 @@ func CoGroup[K comparable, A, B any](left *Dataset[Pair[K, A]], right *Dataset[P
 	if numPartitions <= 0 {
 		numPartitions = left.ctx.DefaultPartitions()
 	}
-	lb := exchange(left, numPartitions, pairRoute[K, A](numPartitions), true)
-	rb := exchange(right, numPartitions, pairRoute[K, B](numPartitions), true)
+	lb := exchange(left, numPartitions, pairRoute[K, A](numPartitions), pairOrd[K, A], true)
+	rb := exchange(right, numPartitions, pairRoute[K, B](numPartitions), pairOrd[K, B], true)
 	return newStreamDataset(left.ctx, numPartitions, "cogroup", []*Stage{lb.stage, rb.stage},
 		func(p int, emit func(Pair[K, CoGrouped[A, B]])) {
 			ls := lb.get(p)
@@ -360,7 +423,7 @@ func PartitionByKey[K comparable, V any](d *Dataset[Pair[K, V]], numPartitions i
 	if numPartitions <= 0 {
 		numPartitions = d.ctx.DefaultPartitions()
 	}
-	lb := exchange(d, numPartitions, pairRoute[K, V](numPartitions), true)
+	lb := exchange(d, numPartitions, pairRoute[K, V](numPartitions), pairOrd[K, V], true)
 	return newSliceDataset(d.ctx, numPartitions, "partitionBy", []*Stage{lb.stage}, lb.get).
 		withKeyParts(numPartitions)
 }

@@ -21,6 +21,27 @@ type Source interface {
 	Metrics() dataflow.MetricsSnapshot
 }
 
+// memorySnapshot is the /debug/memory document: the budget manager's
+// live gauges plus the cumulative spill counters, carved out of the
+// full metrics snapshot so a watcher polling for memory pressure does
+// not have to parse per-stage tables.
+type memorySnapshot struct {
+	Budget      int64         `json:"budget"`
+	Used        int64         `json:"used"`
+	Peak        int64         `json:"peak"`
+	Waits       int64         `json:"waits"`
+	Overcommits int64         `json:"overcommits"`
+	CachedBytes int64         `json:"cached_bytes"`
+	Spilled     spillSnapshot `json:"spilled"`
+}
+
+type spillSnapshot struct {
+	Bytes       int64 `json:"bytes"`
+	Records     int64 `json:"records"`
+	Files       int64 `json:"files"`
+	MergePasses int64 `json:"merge_passes"`
+}
+
 // Server is a running debug endpoint.
 type Server struct {
 	srv *http.Server
@@ -33,6 +54,7 @@ type Server struct {
 //	/debug/pprof/   the standard pprof index and profiles
 //	/debug/metrics  the current MetricsSnapshot as JSON
 //	/debug/stages   the per-stage execution table as text
+//	/debug/memory   memory budget and spill gauges as JSON
 func Serve(addr string, src Source) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -52,6 +74,28 @@ func Serve(addr string, src Source) (*Server, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, src.Metrics().FormatStages())
 	})
+	mux.HandleFunc("/debug/memory", func(w http.ResponseWriter, r *http.Request) {
+		m := src.Metrics()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(memorySnapshot{
+			Budget:      m.MemoryBudget,
+			Used:        m.MemoryUsed,
+			Peak:        m.MemoryPeak,
+			Waits:       m.BudgetWaits,
+			Overcommits: m.MemoryOvercommits,
+			CachedBytes: m.CachedBytes,
+			Spilled: spillSnapshot{
+				Bytes:       m.SpilledBytes,
+				Records:     m.SpilledRecords,
+				Files:       m.SpillFiles,
+				MergePasses: m.MergePasses,
+			},
+		}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -61,6 +105,7 @@ func Serve(addr string, src Source) (*Server, error) {
 		fmt.Fprint(w, `<html><body><h1>SAC engine debug</h1><ul>
 <li><a href="/debug/metrics">/debug/metrics</a> — live metrics snapshot (JSON)</li>
 <li><a href="/debug/stages">/debug/stages</a> — per-stage execution table</li>
+<li><a href="/debug/memory">/debug/memory</a> — memory budget and spill gauges (JSON)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiles</li>
 </ul></body></html>`)
 	})

@@ -72,3 +72,47 @@ func TestServe(t *testing.T) {
 		t.Fatalf("unknown path should 404, got %d", code)
 	}
 }
+
+// TestServeMemory runs a budgeted shuffle big enough to spill and
+// checks that /debug/memory reports the live budget gauge and the
+// spill counters.
+func TestServeMemory(t *testing.T) {
+	const budget = 1 << 20
+	ctx := dataflow.NewContext(dataflow.Config{Parallelism: 4, MemoryBudget: budget})
+	defer ctx.Close()
+	d := dataflow.Generate(ctx, 16, func(p int) []int64 {
+		rows := make([]int64, 16384)
+		for i := range rows {
+			rows[i] = int64(p*len(rows) + i)
+		}
+		return rows
+	})
+	pairs := dataflow.Map(d, func(v int64) dataflow.Pair[int64, int64] {
+		return dataflow.KV(v%100003, v)
+	})
+	dataflow.Count(dataflow.GroupByKey(pairs, 8))
+
+	srv, err := Serve("127.0.0.1:0", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, "http://"+srv.Addr()+"/debug/memory")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/memory status %d", code)
+	}
+	var snap memorySnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/memory is not a memorySnapshot: %v\n%s", err, body)
+	}
+	if snap.Budget != budget {
+		t.Fatalf("budget gauge %d, want %d\n%s", snap.Budget, budget, body)
+	}
+	if snap.Spilled.Bytes == 0 || snap.Spilled.Files == 0 {
+		t.Fatalf("working set over budget but /debug/memory shows no spill:\n%s", body)
+	}
+	if snap.Peak == 0 {
+		t.Fatalf("peak gauge should be nonzero after a budgeted run:\n%s", body)
+	}
+}

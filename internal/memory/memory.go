@@ -1,0 +1,356 @@
+// Package memory implements the process-wide budgeted memory manager
+// behind the engine's out-of-core execution: consumers (shuffle
+// buffers, Persist caches, merged shuffle reads) reserve tracked bytes
+// against a configurable budget and either get the grant, get denied
+// (and spill to disk), or wait for other holders to release.
+//
+// The API is nil-tolerant like the trace package: a nil *Manager means
+// "unlimited, no accounting" and every method degenerates to a nil
+// check, so the spill layer costs nothing when no budget is set.
+//
+// Liveness: a single in-process "cluster" can deadlock if every task
+// holds a reservation and waits for the others, so Reserve never
+// blocks forever. A waiter that sees no releases for a stall interval
+// is granted anyway and counted as an overcommit; the acceptance
+// contract is therefore "tracked peak <= budget + bounded slack", not
+// a hard ceiling.
+package memory
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EnvBudget is the environment variable both CLIs (and the out-of-core
+// test suite) read for a default budget.
+const EnvBudget = "SAC_MEMORY_BUDGET"
+
+// DefaultStall is how long a blocked Reserve waits without observing
+// any release before it is granted as an overcommit. It is several
+// times a typical spill-merge duration, so waiters normally get their
+// grant from a release and the valve only opens when progress truly
+// stalls (e.g. every evictable byte is pinned by running tasks).
+const DefaultStall = 250 * time.Millisecond
+
+// Evictor frees up to need tracked bytes (by spilling cached data to
+// disk) and returns how many bytes it released. Evictors must not call
+// back into Reserve.
+type Evictor func(need int64) (freed int64)
+
+// Manager tracks reserved bytes against a budget. A nil Manager is the
+// unlimited manager: grants everything, records nothing.
+type Manager struct {
+	budget int64
+	stall  time.Duration
+
+	mu          sync.Mutex
+	used        int64
+	peak        int64
+	waits       int64
+	overcommits int64
+	releaseCh   chan struct{} // closed and replaced on every Release
+
+	evictMu  sync.Mutex
+	evictors map[int]Evictor
+	nextEv   int
+}
+
+// New returns a manager enforcing the given budget in bytes. A
+// non-positive budget means unlimited: New returns nil, which every
+// method tolerates.
+func New(budget int64) *Manager {
+	if budget <= 0 {
+		return nil
+	}
+	return &Manager{budget: budget, stall: DefaultStall, releaseCh: make(chan struct{})}
+}
+
+// SetStall overrides the stall-grant interval (tests use a short one).
+func (m *Manager) SetStall(d time.Duration) {
+	if m == nil || d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.stall = d
+	m.mu.Unlock()
+}
+
+// Budget returns the configured budget (0 = unlimited).
+func (m *Manager) Budget() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.budget
+}
+
+// Used returns the currently reserved bytes.
+func (m *Manager) Used() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Peak returns the high-water mark of reserved bytes.
+func (m *Manager) Peak() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// Waits returns how many Reserve calls had to block.
+func (m *Manager) Waits() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.waits
+}
+
+// Overcommits returns how many grants exceeded the budget (stall
+// grants and oversized single requests).
+func (m *Manager) Overcommits() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.overcommits
+}
+
+// ResetPeak sets the high-water mark back to the current usage;
+// benchmarks call it between measured runs.
+func (m *Manager) ResetPeak() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.peak = m.used
+	m.mu.Unlock()
+}
+
+// TryReserve grants n bytes if they fit under the budget and reports
+// whether it did. It never blocks, never evicts, and always succeeds on
+// the nil (unlimited) manager.
+func (m *Manager) TryReserve(n int64) bool {
+	if m == nil || n <= 0 {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.used+n > m.budget {
+		return false
+	}
+	m.grantLocked(n, false)
+	return true
+}
+
+// grantLocked books n reserved bytes. Callers hold mu.
+func (m *Manager) grantLocked(n int64, overcommit bool) {
+	m.used += n
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	if overcommit {
+		m.overcommits++
+	}
+}
+
+// Reserve grants n bytes, in order of preference: immediately, after
+// running the registered evictors, or after waiting for other holders
+// to release. A waiter that observes no release within the stall
+// interval — or whose request alone exceeds the whole budget — is
+// granted as an overcommit so a single-process pipeline can never
+// deadlock on its own budget.
+func (m *Manager) Reserve(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	if m.TryReserve(n) {
+		return
+	}
+	m.Evict(n)
+	if m.TryReserve(n) {
+		return
+	}
+	m.mu.Lock()
+	m.waits++
+	for {
+		if m.used+n <= m.budget {
+			m.grantLocked(n, false)
+			m.mu.Unlock()
+			return
+		}
+		if m.used == 0 || n > m.budget {
+			// Nothing to wait for, or the request can never fit.
+			m.grantLocked(n, true)
+			m.mu.Unlock()
+			return
+		}
+		ch, stall := m.releaseCh, m.stall
+		m.mu.Unlock()
+		timer := time.NewTimer(stall)
+		select {
+		case <-ch:
+			timer.Stop()
+			m.mu.Lock()
+		case <-timer.C:
+			// One more eviction attempt before opening the valve:
+			// memory may have become evictable since the first try.
+			m.Evict(n)
+			m.mu.Lock()
+			if m.used+n > m.budget {
+				// Stalled: grant over budget rather than deadlock.
+				m.grantLocked(n, true)
+				m.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// Release returns n reserved bytes and wakes blocked reservers.
+func (m *Manager) Release(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.used -= n
+	if m.used < 0 {
+		m.used = 0
+	}
+	close(m.releaseCh)
+	m.releaseCh = make(chan struct{})
+	m.mu.Unlock()
+}
+
+// RegisterEvictor adds an eviction callback (a spillable cache) and
+// returns its unregister function.
+func (m *Manager) RegisterEvictor(e Evictor) (unregister func()) {
+	if m == nil {
+		return func() {}
+	}
+	m.evictMu.Lock()
+	if m.evictors == nil {
+		m.evictors = make(map[int]Evictor)
+	}
+	id := m.nextEv
+	m.nextEv++
+	m.evictors[id] = e
+	m.evictMu.Unlock()
+	return func() {
+		m.evictMu.Lock()
+		delete(m.evictors, id)
+		m.evictMu.Unlock()
+	}
+}
+
+// Evict asks the registered evictors to free at least need bytes,
+// stopping early once enough was released; it returns the total freed.
+func (m *Manager) Evict(need int64) int64 {
+	if m == nil || need <= 0 {
+		return 0
+	}
+	m.evictMu.Lock()
+	evs := make([]Evictor, 0, len(m.evictors))
+	for _, e := range m.evictors {
+		evs = append(evs, e)
+	}
+	m.evictMu.Unlock()
+	var freed int64
+	for _, e := range evs {
+		freed += e(need - freed)
+		if freed >= need {
+			break
+		}
+	}
+	return freed
+}
+
+// Stats is a gauge snapshot for metrics and the debug endpoint.
+type Stats struct {
+	Budget, Used, Peak, Waits, Overcommits int64
+}
+
+// Stats snapshots the manager's gauges (all zero on nil).
+func (m *Manager) Stats() Stats {
+	if m == nil {
+		return Stats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Budget: m.budget, Used: m.used, Peak: m.peak,
+		Waits: m.waits, Overcommits: m.overcommits}
+}
+
+// ParseBytes parses a human byte size: a plain integer is bytes, and
+// the suffixes K/M/G/T (optionally as KB/KiB etc., case-insensitive)
+// are binary multiples of 1024, Spark-style ("64MiB", "64m" and "64MB"
+// all mean 64 * 2^20).
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	if t == "" {
+		return 0, fmt.Errorf("memory: empty size")
+	}
+	t = strings.TrimSuffix(t, "b")
+	t = strings.TrimSuffix(t, "i")
+	var mult int64 = 1
+	if n := len(t); n > 0 {
+		switch t[n-1] {
+		case 'k':
+			mult = 1 << 10
+		case 'm':
+			mult = 1 << 20
+		case 'g':
+			mult = 1 << 30
+		case 't':
+			mult = 1 << 40
+		}
+		if mult > 1 {
+			t = strings.TrimSpace(t[:n-1])
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("memory: bad size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// FormatBytes renders n as a compact binary size ("64.0MiB").
+func FormatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for v := n / unit; v >= unit; v /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGT"[exp])
+}
+
+// BudgetFromEnv returns the budget named by SAC_MEMORY_BUDGET, or def
+// when the variable is unset or unparsable.
+func BudgetFromEnv(def int64) int64 {
+	s := os.Getenv(EnvBudget)
+	if s == "" {
+		return def
+	}
+	v, err := ParseBytes(s)
+	if err != nil {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,226 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilManagerIsUnlimited(t *testing.T) {
+	var m *Manager
+	if !m.TryReserve(1 << 40) {
+		t.Fatal("nil manager denied a reservation")
+	}
+	m.Reserve(1 << 40)
+	m.Release(1 << 40)
+	if m.Budget() != 0 || m.Used() != 0 || m.Peak() != 0 {
+		t.Fatal("nil manager reported nonzero gauges")
+	}
+	if s := m.Stats(); s != (Stats{}) {
+		t.Fatalf("nil manager stats = %+v", s)
+	}
+	if New(0) != nil || New(-1) != nil {
+		t.Fatal("non-positive budget should yield the nil manager")
+	}
+}
+
+func TestTryReserveDeniesOverBudget(t *testing.T) {
+	m := New(100)
+	if !m.TryReserve(60) {
+		t.Fatal("first reserve denied")
+	}
+	if m.TryReserve(60) {
+		t.Fatal("over-budget reserve granted")
+	}
+	if !m.TryReserve(40) {
+		t.Fatal("exact-fit reserve denied")
+	}
+	if got := m.Used(); got != 100 {
+		t.Fatalf("used = %d, want 100", got)
+	}
+	m.Release(100)
+	if got := m.Used(); got != 0 {
+		t.Fatalf("used after release = %d, want 0", got)
+	}
+	if got := m.Peak(); got != 100 {
+		t.Fatalf("peak = %d, want 100", got)
+	}
+}
+
+func TestReserveWaitsForRelease(t *testing.T) {
+	m := New(100)
+	m.SetStall(10 * time.Second) // force the wait path, not the stall grant
+	m.Reserve(80)
+	done := make(chan struct{})
+	go func() {
+		m.Reserve(50) // must wait: 80+50 > 100
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Reserve returned before a release made room")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Release(80)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Reserve did not wake after release")
+	}
+	if m.Waits() == 0 {
+		t.Fatal("blocked Reserve not counted as a wait")
+	}
+	if m.Overcommits() != 0 {
+		t.Fatalf("overcommits = %d, want 0", m.Overcommits())
+	}
+}
+
+func TestReserveStallGrantAvoidsDeadlock(t *testing.T) {
+	m := New(100)
+	m.SetStall(5 * time.Millisecond)
+	m.Reserve(90)
+	done := make(chan struct{})
+	go func() {
+		m.Reserve(50) // nobody will release; stall grant must fire
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled Reserve never granted")
+	}
+	if m.Overcommits() == 0 {
+		t.Fatal("stall grant not counted as overcommit")
+	}
+	if m.Used() != 140 {
+		t.Fatalf("used = %d, want 140", m.Used())
+	}
+}
+
+func TestOversizedRequestGrantsImmediately(t *testing.T) {
+	m := New(100)
+	m.SetStall(10 * time.Second)
+	start := time.Now()
+	m.Reserve(500) // larger than the whole budget: cannot ever fit
+	if time.Since(start) > time.Second {
+		t.Fatal("oversized request blocked")
+	}
+	if m.Overcommits() == 0 {
+		t.Fatal("oversized grant not counted as overcommit")
+	}
+}
+
+func TestEvictorsRunOnPressure(t *testing.T) {
+	m := New(100)
+	var evicted int64
+	var mu sync.Mutex
+	unreg := m.RegisterEvictor(func(need int64) int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		evicted += need
+		m.Release(need) // simulate a cache spilling to disk
+		return need
+	})
+	m.Reserve(100)
+	m.Reserve(30) // pressure: evictor must free 30
+	mu.Lock()
+	ev := evicted
+	mu.Unlock()
+	if ev < 30 {
+		t.Fatalf("evicted = %d, want >= 30", ev)
+	}
+	unreg()
+	if m.Evict(10) != 0 {
+		t.Fatal("unregistered evictor still ran")
+	}
+}
+
+func TestResetPeak(t *testing.T) {
+	m := New(100)
+	m.Reserve(80)
+	m.Release(80)
+	m.ResetPeak()
+	if got := m.Peak(); got != 0 {
+		t.Fatalf("peak after reset = %d, want 0", got)
+	}
+}
+
+func TestConcurrentReserveRelease(t *testing.T) {
+	m := New(1 << 20)
+	m.SetStall(time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				m.Reserve(4096)
+				m.Release(4096)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Used(); got != 0 {
+		t.Fatalf("used after balanced reserve/release = %d, want 0", got)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"0":      0,
+		"1024":   1024,
+		"64k":    64 << 10,
+		"64K":    64 << 10,
+		"64KB":   64 << 10,
+		"64KiB":  64 << 10,
+		"64MiB":  64 << 20,
+		"64m":    64 << 20,
+		"1.5g":   3 << 29,
+		"2t":     2 << 40,
+		" 8MiB ": 8 << 20,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil {
+			t.Fatalf("ParseBytes(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-5", "MiB", "12q"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Fatalf("ParseBytes(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:      "512B",
+		64 << 10: "64.0KiB",
+		64 << 20: "64.0MiB",
+		3 << 29:  "1.5GiB",
+		1 << 40:  "1.0TiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Fatalf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBudgetFromEnv(t *testing.T) {
+	t.Setenv(EnvBudget, "64MiB")
+	if got := BudgetFromEnv(1); got != 64<<20 {
+		t.Fatalf("BudgetFromEnv = %d, want %d", got, 64<<20)
+	}
+	t.Setenv(EnvBudget, "")
+	if got := BudgetFromEnv(42); got != 42 {
+		t.Fatalf("BudgetFromEnv default = %d, want 42", got)
+	}
+	t.Setenv(EnvBudget, "garbage")
+	if got := BudgetFromEnv(42); got != 42 {
+		t.Fatalf("BudgetFromEnv on garbage = %d, want 42", got)
+	}
+}

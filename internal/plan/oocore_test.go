@@ -1,0 +1,82 @@
+package plan_test
+
+// Out-of-core coverage for the full query pipeline: a compiled SAC
+// comprehension whose working set is several times the session's
+// memory budget must still produce the in-memory answer, with the
+// spill subsystem visibly engaged. This exercises plan execution on
+// top of the budgeted engine (plan_test -> core -> plan keeps the
+// import legal).
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/opt"
+)
+
+func TestOutOfCoreQueryMatmul(t *testing.T) {
+	const budget = 2 << 20
+	const n = 512 // 3 * 512^2 * 8B = 6MiB working set, 3x the budget
+	s := core.NewSession(core.Config{
+		Parallelism:  8,
+		Partitions:   16,
+		TileSize:     128,
+		MemoryBudget: budget,
+	})
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	da := linalg.RandDense(n, n, 0, 1, 41)
+	db := linalg.RandDense(n, n, 0, 1, 42)
+	s.RegisterDense("A", da)
+	s.RegisterDense("B", db)
+	m, err := s.QueryMatrix(`tiled(512,512)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B,
+	          kk == k, let v = a*b, group by (i,j) ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.ToDense().EqualApprox(linalg.Mul(da, db), 1e-8) {
+		t.Fatal("out-of-core query matmul diverges from local result")
+	}
+	snap := s.Metrics()
+	if snap.SpilledBytes == 0 || snap.SpillFiles == 0 {
+		t.Fatalf("query ran over budget without spilling: %+v", snap)
+	}
+	if snap.MemoryPeak > 2*int64(budget) {
+		t.Fatalf("tracked peak %d exceeds budget %d + slack", snap.MemoryPeak, budget)
+	}
+}
+
+// TestOutOfCoreQueryMatmulNoGBJ runs the same multiply with the
+// group-by-join rewrite disabled, forcing the join + group-by plan
+// through the budgeted shuffle instead of SUMMA.
+func TestOutOfCoreQueryMatmulNoGBJ(t *testing.T) {
+	const budget = 2 << 20
+	const n = 512
+	s := core.NewSession(core.Config{
+		Parallelism:   8,
+		Partitions:    16,
+		TileSize:      128,
+		MemoryBudget:  budget,
+		Optimizations: opt.Options{DisableGBJ: true},
+	})
+	defer s.Close()
+	da := linalg.RandDense(n, n, 0, 1, 43)
+	db := linalg.RandDense(n, n, 0, 1, 44)
+	s.RegisterDense("A", da)
+	s.RegisterDense("B", db)
+	m, err := s.QueryMatrix(`tiled(512,512)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B,
+	          kk == k, let v = a*b, group by (i,j) ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.ToDense().EqualApprox(linalg.Mul(da, db), 1e-8) {
+		t.Fatal("out-of-core join+group-by matmul diverges from local result")
+	}
+	if snap := s.Metrics(); snap.SpilledBytes == 0 || snap.MergePasses == 0 {
+		t.Fatalf("join+group-by query over budget did not spill: %+v", snap)
+	}
+}

@@ -1,0 +1,181 @@
+package spill
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func roundTrip[T any](t *testing.T, c Codec[T], v T) T {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	c.Encode(w, v)
+	if err := w.Flush(); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	r := NewReader(&buf)
+	got := c.Decode(r)
+	if err := r.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+func TestPrimitiveCodecs(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 123456789} {
+		if got := roundTrip[int64](t, Int64Codec{}, v); got != v {
+			t.Fatalf("int64 %d -> %d", v, got)
+		}
+	}
+	for _, v := range []int{0, -7, 1 << 30} {
+		if got := roundTrip[int](t, IntCodec{}, v); got != v {
+			t.Fatalf("int %d -> %d", v, got)
+		}
+	}
+	for _, v := range []string{"", "x", "héllo\x00world"} {
+		if got := roundTrip[string](t, StringCodec{}, v); got != v {
+			t.Fatalf("string %q -> %q", v, got)
+		}
+	}
+}
+
+// adversarialFloats are the values most codecs get wrong: NaN with a
+// payload, infinities, signed zero, denormals.
+var adversarialFloats = []float64{
+	0, math.Copysign(0, -1), 1.5, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+	math.Inf(1), math.Inf(-1), math.NaN(), math.Float64frombits(0x7ff8dead00000001),
+}
+
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestFloat64CodecAdversarial(t *testing.T) {
+	for _, v := range adversarialFloats {
+		got := roundTrip[float64](t, Float64Codec{}, v)
+		if !sameFloat(got, v) {
+			t.Fatalf("float64 %x -> %x", math.Float64bits(v), math.Float64bits(got))
+		}
+	}
+}
+
+func TestFloat64SliceCodec(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		adversarialFloats,
+		make([]float64, 1000), // exercises the chunked writer across buffer boundaries
+	}
+	big := make([]float64, 517) // deliberately not a multiple of the chunk size
+	for i := range big {
+		big[i] = float64(i) * 0.25
+	}
+	cases = append(cases, big)
+	for ci, v := range cases {
+		got := roundTrip[[]float64](t, Float64SliceCodec{}, v)
+		if len(got) != len(v) {
+			t.Fatalf("case %d: len %d -> %d", ci, len(v), len(got))
+		}
+		for i := range v {
+			if !sameFloat(got[i], v[i]) {
+				t.Fatalf("case %d[%d]: %x -> %x", ci, i, math.Float64bits(v[i]), math.Float64bits(got[i]))
+			}
+		}
+	}
+}
+
+type gobRow struct {
+	Name string
+	Vals []float64
+	N    int64
+}
+
+func TestGobFallbackRoundTrip(t *testing.T) {
+	v := gobRow{Name: "tile", Vals: []float64{1, 2, math.Inf(1)}, N: -9}
+	got := roundTrip[gobRow](t, GobCodec[gobRow]{}, v)
+	if got.Name != v.Name || got.N != v.N || len(got.Vals) != len(v.Vals) {
+		t.Fatalf("gob round-trip: %+v -> %+v", v, got)
+	}
+	for i := range v.Vals {
+		if !sameFloat(got.Vals[i], v.Vals[i]) {
+			t.Fatalf("gob vals[%d]: %v -> %v", i, v.Vals[i], got.Vals[i])
+		}
+	}
+}
+
+func TestGobCodecManyRecordsOneStream(t *testing.T) {
+	// Each record must be self-contained: decoding from the middle of a
+	// stream written by independent Encode calls has to work.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	c := GobCodec[gobRow]{}
+	for i := 0; i < 10; i++ {
+		c.Encode(w, gobRow{N: int64(i)})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i := 0; i < 10; i++ {
+		got := c.Decode(r)
+		if r.Err() != nil {
+			t.Fatalf("record %d: %v", i, r.Err())
+		}
+		if got.N != int64(i) {
+			t.Fatalf("record %d: N = %d", i, got.N)
+		}
+	}
+}
+
+func TestRegistryFallback(t *testing.T) {
+	type unregistered struct{ X int64 }
+	if Registered[unregistered]() {
+		t.Fatal("unregistered type reported registered")
+	}
+	if _, ok := For[unregistered]().(GobCodec[unregistered]); !ok {
+		t.Fatal("fallback codec is not gob")
+	}
+	Register[unregistered](GobCodec[unregistered]{})
+	if !Registered[unregistered]() {
+		t.Fatal("registered type not found")
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{0x85})) // truncated varint
+	_ = r.Uvarint()
+	if r.Err() == nil {
+		t.Fatal("truncated uvarint not an error")
+	}
+	// All subsequent reads must be zero-valued no-ops.
+	if r.Uvarint() != 0 || r.F64() != 0 || r.Bytes() != nil || r.String() != "" {
+		t.Fatal("reads after sticky error returned data")
+	}
+}
+
+func TestReaderRejectsImplausibleLengths(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uvarint(1 << 50) // claims a petabyte-scale slice
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if r.Bytes() != nil || r.Err() == nil {
+		t.Fatal("implausible length accepted")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.F64(1)
+	w.Uvarint(1)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(buf.Len()) {
+		t.Fatalf("Count = %d, buffer has %d", w.Count(), buf.Len())
+	}
+}

@@ -1,0 +1,54 @@
+package tiled
+
+// Spill codecs for the tiled layer's shuffle rows. taggedTile has no
+// exported fields, so the gob fallback cannot encode it — its codec is
+// load-bearing for out-of-core RotateRows, not just an optimization.
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/spill"
+)
+
+// entryCodec spills sparse tile entries (two varints + raw IEEE bits).
+type entryCodec struct{}
+
+func (entryCodec) Encode(w *spill.Writer, e Entry) {
+	w.Varint(e.I)
+	w.Varint(e.J)
+	w.F64(e.V)
+}
+
+func (entryCodec) Decode(r *spill.Reader) Entry {
+	return Entry{I: r.Varint(), J: r.Varint(), V: r.F64()}
+}
+
+// taggedTileCodec spills a tile tagged with its source coordinate.
+type taggedTileCodec struct{}
+
+func (taggedTileCodec) Encode(w *spill.Writer, t taggedTile) {
+	dataflow.CoordCodec{}.Encode(w, t.src)
+	dataflow.DenseCodec{}.Encode(w, t.tile)
+}
+
+func (taggedTileCodec) Decode(r *spill.Reader) taggedTile {
+	src := dataflow.CoordCodec{}.Decode(r)
+	return taggedTile{src: src, tile: dataflow.DenseCodec{}.Decode(r)}
+}
+
+// keyedTileCodec spills a tile tagged with its SUMMA join key.
+type keyedTileCodec struct{}
+
+func (keyedTileCodec) Encode(w *spill.Writer, t keyedTile) {
+	w.Varint(t.K)
+	dataflow.DenseCodec{}.Encode(w, t.Tile)
+}
+
+func (keyedTileCodec) Decode(r *spill.Reader) keyedTile {
+	return keyedTile{K: r.Varint(), Tile: dataflow.DenseCodec{}.Decode(r)}
+}
+
+func init() {
+	spill.Register[Entry](entryCodec{})
+	spill.Register(dataflow.PairCodec[Coord, taggedTile](dataflow.CoordCodec{}, taggedTileCodec{}))
+	spill.Register(dataflow.PairCodec[Coord, keyedTile](dataflow.CoordCodec{}, keyedTileCodec{}))
+}

@@ -15,8 +15,21 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 )
+
+// chromeCat buckets spans into trace categories by name prefix so the
+// Perfetto UI can filter spill/merge activity (or kernels) in and out.
+func chromeCat(name string) string {
+	switch {
+	case strings.HasPrefix(name, "spill: "), strings.HasPrefix(name, "merge: "):
+		return "spill"
+	case strings.HasPrefix(name, "kernel: "):
+		return "kernel"
+	}
+	return "sac"
+}
 
 type chromeEvent struct {
 	Name string         `json:"name"`
@@ -111,7 +124,7 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			}
 			ev := chromeEvent{
 				Name: s.Name,
-				Cat:  "sac",
+				Cat:  chromeCat(s.Name),
 				Ph:   "X",
 				Ts:   float64(s.Start.Sub(epoch).Nanoseconds()) / 1e3,
 				Dur:  float64(endOf(s).Sub(s.Start).Nanoseconds()) / 1e3,

@@ -161,3 +161,41 @@ func TestChromeEmptyTracer(t *testing.T) {
 		t.Fatalf("traceEvents should be an array, got %T", doc["traceEvents"])
 	}
 }
+
+// TestChromeCategories checks that spill/merge and kernel spans export
+// under their own trace categories so Perfetto can filter them.
+func TestChromeCategories(t *testing.T) {
+	tr := NewAt(fakeClock())
+	root := tr.Start(nil, "query")
+	root.StartChild("spill: shuffle(reduceByKey)").End()
+	root.StartChild("merge: shuffle(reduceByKey)").End()
+	root.StartChild("kernel: gemm").End()
+	root.StartChild("stage: shuffle(x)").End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"spill: shuffle(reduceByKey)": "spill",
+		"merge: shuffle(reduceByKey)": "spill",
+		"kernel: gemm":                "kernel",
+		"stage: shuffle(x)":           "sac",
+		"query":                       "sac",
+	}
+	for _, e := range doc.TraceEvents {
+		if got := want[e.Name]; got != e.Cat {
+			t.Fatalf("span %q exported with category %q, want %q", e.Name, e.Cat, got)
+		}
+	}
+}
