@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race test bench bench-kernels bench-spill spill-test stages trace check
+.PHONY: all tier1 vet fmt race test bench bench-smoke bench-kernels bench-spill spill-test cluster-test fuzz stages trace check
 
 all: tier1
 
@@ -14,6 +14,11 @@ tier1:
 
 vet:
 	$(GO) vet ./...
+
+# Formatting gate (what the CI Format step runs): fails listing any
+# file gofmt would rewrite.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Full test suite under the race detector; the stage scheduler runs
 # independent shuffle map-sides concurrently, so -race is load-bearing.
@@ -36,6 +41,27 @@ bench-kernels:
 # process-wide budget (what the CI spill job runs).
 spill-test:
 	SAC_MEMORY_BUDGET=64MiB $(GO) test ./... -run OutOfCore
+
+# Distributed-runtime gate (what the CI distributed job runs): the
+# cluster protocol/driver/worker tests plus the driver + 3 sacworker
+# subprocess e2e suite with its SIGKILL worker-loss test, then the
+# in-process SPMD engine tests under race.
+cluster-test:
+	$(GO) test -count=1 ./internal/cluster ./internal/jobs
+	$(GO) test -race -count=1 -run 'SPMD|MetricsIsolation' ./internal/dataflow
+
+# One iteration of every benchmark — catches bit-rotted bench code
+# without paying for real measurements (the CI bench smoke).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Short local fuzz pass over the codec/wire targets the nightly CI job
+# runs for 5 minutes each.
+fuzz:
+	$(GO) test ./internal/spill -run '^$$' -fuzz '^FuzzStreamPrimitives$$' -fuzztime 10s
+	$(GO) test ./internal/spill -run '^$$' -fuzz '^FuzzFloat64SliceCodec$$' -fuzztime 10s
+	$(GO) test ./internal/spill -run '^$$' -fuzz '^FuzzReaderNeverPanics$$' -fuzztime 10s
+	$(GO) test ./internal/dataflow -run '^$$' -fuzz '^FuzzDenseCodecDecode$$' -fuzztime 10s
 
 # Figure 4.B under a memory budget: the tables grow spilled-bytes and
 # merge-pass columns showing the out-of-core subsystem at work.

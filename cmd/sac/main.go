@@ -20,11 +20,14 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/comp"
 	"repro/internal/core"
 	"repro/internal/debug"
 	"repro/internal/diablo"
+	"repro/internal/jobs"
 	"repro/internal/memory"
 	"repro/internal/opt"
 	"repro/internal/plan"
@@ -44,6 +47,10 @@ func main() {
 	noRBK := flag.Bool("no-reducebykey", false, "disable Rule 13 (use groupByKey)")
 	seed := flag.Int64("seed", 1, "random seed for the generated matrices")
 	mem := flag.String("mem", "", "engine memory budget (e.g. 64MiB); shuffles and caches beyond it spill to disk. Default: $SAC_MEMORY_BUDGET, else unlimited")
+	clusterAddr := flag.String("cluster", "", "run as a distributed driver: listen for sacworker registrations on this address and execute queries on the cluster")
+	clusterWorkers := flag.Int("cluster-workers", 1, "with -cluster: how many workers to wait for before running queries")
+	clusterWait := flag.Duration("cluster-wait", time.Minute, "with -cluster: how long to wait for workers to register")
+	shuffleCost := flag.Float64("shuffle-cost", 0, "simulated serialization/network cost in ns per shuffled byte")
 	flag.Parse()
 
 	budget := memory.BudgetFromEnv(0)
@@ -56,8 +63,9 @@ func main() {
 	}
 
 	s := core.NewSession(core.Config{
-		TileSize:     *tile,
-		MemoryBudget: budget,
+		TileSize:             *tile,
+		MemoryBudget:         budget,
+		ShuffleCostNsPerByte: *shuffleCost,
 		Optimizations: opt.Options{
 			DisableGBJ:         *noGBJ,
 			DisableReduceByKey: *noRBK,
@@ -67,8 +75,44 @@ func main() {
 	s.RegisterRandMatrix("B", *n, *n, 0, 10, *seed+1)
 	s.RegisterScalar("n", *n)
 
+	// In cluster mode queries execute on registered sacworker
+	// processes; the local session still plans them for -explain and
+	// the "plan:" preview (planning is deterministic, so the preview
+	// matches what every rank chooses).
+	var clusterSess *jobs.ClusterSession
+	var clusterDrv *cluster.Driver
+	if *clusterAddr != "" {
+		d, err := cluster.NewDriver(cluster.DriverConfig{Addr: *clusterAddr})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+			os.Exit(1)
+		}
+		clusterDrv = d
+		fmt.Printf("cluster driver: listening on %s, waiting for %d worker(s)\n", d.Addr(), *clusterWorkers)
+		if err := d.WaitForWorkers(*clusterWorkers, *clusterWait); err != nil {
+			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+			os.Exit(1)
+		}
+		for _, wi := range d.Workers() {
+			fmt.Printf("  worker %s (shuffle data at %s)\n", wi.ID, wi.DataAddr)
+		}
+		clusterSess = jobs.NewClusterSession(d, jobs.QueryParams{
+			N:                    *n,
+			Tile:                 int64(*tile),
+			SeedA:                *seed,
+			SeedB:                *seed + 1,
+			DisableGBJ:           *noGBJ,
+			DisableRBK:           *noRBK,
+			ShuffleCostNsPerByte: *shuffleCost,
+		}, 10*time.Minute)
+	}
+
 	if *debugAddr != "" {
-		srv, err := debug.Serve(*debugAddr, s)
+		var src debug.Source = s
+		if clusterSess != nil {
+			src = clusterSess
+		}
+		srv, err := debug.Serve(*debugAddr, src)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sac: debug endpoint: %v\n", err)
 			os.Exit(1)
@@ -90,6 +134,25 @@ func main() {
 			return
 		}
 		fmt.Printf("plan: %s\n", ex)
+		if clusterSess != nil {
+			blob, run, err := clusterSess.Query(src)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+				exit = 1
+				return
+			}
+			fmt.Printf("result: %s\n", jobs.FormatResult(blob))
+			m := clusterSess.Metrics()
+			fmt.Printf("metrics: %s\n", m)
+			if tbl := m.FormatWorkers(); tbl != "" {
+				fmt.Print(tbl)
+			}
+			if run.LostWorkers > 0 {
+				fmt.Printf("lost %d worker(s); %d map task(s) resubmitted from lineage\n",
+					run.LostWorkers, run.Resubmissions)
+			}
+			return
+		}
 		res, err := s.Query(src)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
@@ -178,7 +241,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	// Remove the session's spill directory (os.Exit skips defers).
+	// Disconnect workers and remove the session's spill directory
+	// (os.Exit skips defers).
+	if clusterDrv != nil {
+		clusterDrv.Close()
+	}
 	if err := s.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "sac: close: %v\n", err)
 		if exit == 0 {

@@ -1,0 +1,87 @@
+// Command sacworker is one worker process of the distributed runtime:
+// it registers with a sac driver over TCP, heartbeats, executes its
+// rank of each submitted SPMD job program, and serves its shuffle
+// buckets to peer workers.
+//
+//	sacworker -driver 127.0.0.1:7077
+//	sacworker -driver 127.0.0.1:7077 -id w1 -parallelism 4 -mem 256MiB
+//
+// Queries arrive as data (the SAC DSL source plus generator
+// parameters), never as code, so any sacworker binary can serve any
+// driver built from the same source tree. The worker retries its
+// initial driver connection with backoff, so workers may be started
+// before the driver is listening.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/memory"
+
+	// Job programs register themselves; linking the package is what
+	// teaches this worker to execute them.
+	_ "repro/internal/jobs"
+)
+
+func main() {
+	driver := flag.String("driver", "127.0.0.1:7077", "driver control address to register with")
+	id := flag.String("id", "", "worker identity (default host:pid)")
+	data := flag.String("data", "127.0.0.1:0", "listen address for the shuffle data server")
+	parallelism := flag.Int("parallelism", 0, "task slots per job (default 1)")
+	mem := flag.String("mem", "", "per-worker memory budget (e.g. 256MiB); work past it spills to disk. Default: $SAC_MEMORY_BUDGET, else unlimited")
+	connectWait := flag.Duration("connect-wait", 30*time.Second, "how long to keep retrying the initial driver connection")
+	flag.Parse()
+
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	budget := memory.BudgetFromEnv(0)
+	if *mem != "" {
+		var err error
+		if budget, err = memory.ParseBytes(*mem); err != nil {
+			fmt.Fprintf(os.Stderr, "sacworker: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	cfg := cluster.WorkerConfig{
+		ID:           *id,
+		DriverAddr:   *driver,
+		DataAddr:     *data,
+		Parallelism:  *parallelism,
+		MemoryBudget: budget,
+	}
+	// The driver may not be up yet (CI starts both concurrently);
+	// retry registration with backoff until -connect-wait elapses.
+	var w *cluster.Worker
+	var err error
+	deadline := time.Now().Add(*connectWait)
+	for backoff := 100 * time.Millisecond; ; backoff *= 2 {
+		w, err = cluster.StartWorker(cfg)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "sacworker: giving up on driver %s: %v\n", *driver, err)
+			os.Exit(1)
+		}
+		if backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+		time.Sleep(backoff)
+	}
+	fmt.Printf("sacworker %s: registered with %s, serving shuffle data on %s\n",
+		*id, *driver, w.DataAddr())
+	if err := w.Wait(); err != nil {
+		fmt.Fprintf(os.Stderr, "sacworker %s: %v\n", *id, err)
+		os.Exit(1)
+	}
+}

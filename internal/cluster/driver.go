@@ -1,0 +1,451 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DriverConfig configures the cluster control plane.
+type DriverConfig struct {
+	// Addr is the control listen address workers register with
+	// (default "127.0.0.1:0").
+	Addr string
+	// HeartbeatTimeout is how long a silent worker stays considered
+	// alive (default 3s). Workers are told to beat at a sixth of it,
+	// and the liveness monitor sweeps at a quarter of it.
+	HeartbeatTimeout time.Duration
+}
+
+// workerState is the driver's view of one registered worker.
+type workerState struct {
+	id          string
+	dataAddr    string
+	parallelism int64
+	memBudget   int64
+
+	conn net.Conn
+	wmu  sync.Mutex // guards conn writes (Job/JobEnd vs nothing else)
+
+	lastBeat time.Time
+	alive    bool
+}
+
+func (ws *workerState) send(typ byte, payload []byte) error {
+	ws.wmu.Lock()
+	defer ws.wmu.Unlock()
+	return writeFrame(ws.conn, typ, payload)
+}
+
+// jobState tracks one submitted job until every rank has either
+// replied or been declared lost.
+type jobState struct {
+	ranks   []*workerState
+	replies []*jobDoneMsg // indexed by rank, nil until JobDone
+	lost    []bool        // indexed by rank, true when the worker died first
+}
+
+func (j *jobState) settled() bool {
+	for r := range j.ranks {
+		if j.replies[r] == nil && !j.lost[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// Driver owns worker registration, liveness, job submission, and
+// result cross-checking for one cluster.
+type Driver struct {
+	ln        net.Listener
+	hbTimeout time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers map[string]*workerState
+	jobs    map[int64]*jobState
+	nextJob int64
+	closed  bool
+}
+
+// NewDriver starts listening for worker registrations.
+func NewDriver(cfg DriverConfig) (*Driver, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 3 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: driver listen: %w", err)
+	}
+	d := &Driver{
+		ln:        ln,
+		hbTimeout: cfg.HeartbeatTimeout,
+		workers:   make(map[string]*workerState),
+		jobs:      make(map[int64]*jobState),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	go d.acceptLoop()
+	go d.monitor()
+	return d, nil
+}
+
+// Addr is the control address workers should register with.
+func (d *Driver) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the driver and disconnects every worker.
+func (d *Driver) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	workers := make([]*workerState, 0, len(d.workers))
+	for _, ws := range d.workers {
+		workers = append(workers, ws)
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.ln.Close()
+	for _, ws := range workers {
+		ws.conn.Close()
+	}
+}
+
+func (d *Driver) acceptLoop() {
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return
+		}
+		go d.handleWorker(conn)
+	}
+}
+
+// handleWorker owns one worker's control connection: registration,
+// then heartbeats and job replies until the connection drops.
+func (d *Driver) handleWorker(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	typ, payload, err := readFrame(br)
+	if err != nil || typ != msgRegister {
+		conn.Close()
+		return
+	}
+	reg, err := decodeRegister(payload)
+	if err != nil || reg.ID == "" {
+		conn.Close()
+		return
+	}
+	ws := &workerState{
+		id:          reg.ID,
+		dataAddr:    reg.DataAddr,
+		parallelism: reg.Parallelism,
+		memBudget:   reg.MemBudget,
+		conn:        conn,
+		lastBeat:    time.Now(),
+		alive:       true,
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if old, dup := d.workers[reg.ID]; dup {
+		// A restarted worker re-registering under its old identity
+		// replaces the stale entry.
+		old.conn.Close()
+	}
+	d.workers[reg.ID] = ws
+	d.cond.Broadcast()
+	d.mu.Unlock()
+
+	wel := welcomeMsg{HeartbeatNanos: (d.hbTimeout / 6).Nanoseconds()}
+	if err := ws.send(msgWelcome, wel.encode()); err != nil {
+		d.dropWorker(ws)
+		return
+	}
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			d.dropWorker(ws)
+			return
+		}
+		switch typ {
+		case msgHeartbeat:
+			d.mu.Lock()
+			ws.lastBeat = time.Now()
+			d.mu.Unlock()
+		case msgJobDone:
+			done, err := decodeJobDone(payload)
+			if err != nil {
+				d.dropWorker(ws)
+				return
+			}
+			d.mu.Lock()
+			if job, ok := d.jobs[done.JobID]; ok {
+				for r, w := range job.ranks {
+					if w == ws && job.replies[r] == nil {
+						reply := done
+						job.replies[r] = &reply
+					}
+				}
+				d.cond.Broadcast()
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+// dropWorker marks a worker dead and declares its unanswered ranks
+// lost so waiting jobs can settle.
+func (d *Driver) dropWorker(ws *workerState) {
+	ws.conn.Close()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !ws.alive {
+		return
+	}
+	// The workers-map entry stays (dead) so metrics can show the loss;
+	// a restarted worker re-registering under the same id replaces it.
+	ws.alive = false
+	for _, job := range d.jobs {
+		for r, w := range job.ranks {
+			if w == ws && job.replies[r] == nil {
+				job.lost[r] = true
+			}
+		}
+	}
+	d.cond.Broadcast()
+}
+
+// monitor sweeps for workers whose heartbeats stopped — a SIGKILLed
+// process can't close its socket gracefully from our point of view in
+// every failure mode (e.g. a partition), so liveness is timeout-based.
+func (d *Driver) monitor() {
+	t := time.NewTicker(d.hbTimeout / 4)
+	defer t.Stop()
+	for range t.C {
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			return
+		}
+		var stale []*workerState
+		for _, ws := range d.workers {
+			if ws.alive && time.Since(ws.lastBeat) > d.hbTimeout {
+				stale = append(stale, ws)
+			}
+		}
+		d.mu.Unlock()
+		for _, ws := range stale {
+			d.dropWorker(ws)
+		}
+	}
+}
+
+// WaitForWorkers blocks until n workers are registered and alive.
+func (d *Driver) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		d.mu.Lock()
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	})
+	defer timer.Stop()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if len(d.liveWorkersLocked()) >= n {
+			return nil
+		}
+		if d.closed {
+			return fmt.Errorf("cluster: driver closed")
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: %d/%d workers after %v",
+				len(d.liveWorkersLocked()), n, timeout)
+		}
+		d.cond.Wait()
+	}
+}
+
+func (d *Driver) liveWorkersLocked() []*workerState {
+	live := make([]*workerState, 0, len(d.workers))
+	for _, ws := range d.workers {
+		if ws.alive {
+			live = append(live, ws)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	return live
+}
+
+// WorkerInfo is a point-in-time liveness row for CLIs and the debug
+// endpoint.
+type WorkerInfo struct {
+	ID       string
+	DataAddr string
+	Alive    bool
+	BeatAge  time.Duration
+}
+
+// Workers lists every worker the driver has ever seen, sorted by id.
+func (d *Driver) Workers() []WorkerInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(d.workers))
+	for _, ws := range d.workers {
+		out = append(out, WorkerInfo{
+			ID:       ws.id,
+			DataAddr: ws.dataAddr,
+			Alive:    ws.alive,
+			BeatAge:  time.Since(ws.lastBeat),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WorkerRun is one rank's outcome within a finished job.
+type WorkerRun struct {
+	ID     string
+	Addr   string
+	Rank   int
+	OK     bool
+	Lost   bool // worker died before replying
+	Err    string
+	Report Report
+}
+
+// RunResult is a completed job: the (cross-checked) result bytes plus
+// per-worker execution rows.
+type RunResult struct {
+	Result        []byte
+	Workers       []WorkerRun
+	Resubmissions int64 // total lineage resubmissions across survivors
+	LostWorkers   int   // ranks that died before replying
+}
+
+// Run submits the named program to every live worker and waits for
+// the job to settle. The job succeeds if at least one rank returns a
+// result; because ranks are SPMD replicas, all successful results must
+// be byte-identical, and Run fails loudly if they are not.
+func (d *Driver) Run(program string, params []byte, timeout time.Duration) (*RunResult, error) {
+	d.mu.Lock()
+	ranks := d.liveWorkersLocked()
+	if len(ranks) == 0 {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("cluster: no live workers")
+	}
+	jobID := d.nextJob
+	d.nextJob++
+	job := &jobState{
+		ranks:   ranks,
+		replies: make([]*jobDoneMsg, len(ranks)),
+		lost:    make([]bool, len(ranks)),
+	}
+	d.jobs[jobID] = job
+	peers := make([]string, len(ranks))
+	for r, ws := range ranks {
+		peers[r] = ws.dataAddr
+	}
+	d.mu.Unlock()
+
+	for r, ws := range ranks {
+		msg := jobMsg{
+			JobID:   jobID,
+			Program: program,
+			Rank:    int64(r),
+			World:   int64(len(ranks)),
+			Peers:   peers,
+			Params:  params,
+		}
+		if err := ws.send(msgJob, msg.encode()); err != nil {
+			d.dropWorker(ws)
+		}
+	}
+
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		d.mu.Lock()
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	})
+	defer timer.Stop()
+	d.mu.Lock()
+	for !job.settled() {
+		if d.closed {
+			d.mu.Unlock()
+			return nil, fmt.Errorf("cluster: driver closed mid-job")
+		}
+		if time.Now().After(deadline) {
+			delete(d.jobs, jobID)
+			d.mu.Unlock()
+			d.endJob(jobID, ranks)
+			return nil, fmt.Errorf("cluster: job %d timed out after %v", jobID, timeout)
+		}
+		d.cond.Wait()
+	}
+	delete(d.jobs, jobID)
+	d.mu.Unlock()
+	d.endJob(jobID, ranks)
+
+	res := &RunResult{Workers: make([]WorkerRun, len(ranks))}
+	var firstErr string
+	var result []byte
+	haveResult := false
+	for r, ws := range ranks {
+		run := WorkerRun{ID: ws.id, Addr: ws.dataAddr, Rank: r}
+		switch {
+		case job.lost[r]:
+			run.Lost = true
+			res.LostWorkers++
+		case job.replies[r].OK:
+			run.OK = true
+			run.Report = job.replies[r].Report
+			res.Resubmissions += run.Report.Resubmissions
+			got := job.replies[r].Result
+			if !haveResult {
+				result, haveResult = got, true
+			} else if !bytes.Equal(result, got) {
+				return nil, fmt.Errorf("cluster: rank %d result (%d bytes) differs from rank peers (%d bytes) — SPMD determinism violated", r, len(got), len(result))
+			}
+		default:
+			run.Err = job.replies[r].Err
+			run.Report = job.replies[r].Report
+			if firstErr == "" {
+				firstErr = run.Err
+			}
+		}
+		res.Workers[r] = run
+	}
+	if !haveResult {
+		if firstErr == "" {
+			firstErr = "all workers lost"
+		}
+		return nil, fmt.Errorf("cluster: job %d failed: %s", jobID, firstErr)
+	}
+	res.Result = result
+	return res, nil
+}
+
+// endJob tells the ranks to drop the job's exchange store.
+func (d *Driver) endJob(jobID int64, ranks []*workerState) {
+	end := jobEndMsg{JobID: jobID}
+	for _, ws := range ranks {
+		d.mu.Lock()
+		alive := ws.alive
+		d.mu.Unlock()
+		if alive {
+			_ = ws.send(msgJobEnd, end.encode())
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// jobStore holds one job's locally-produced shuffle buckets. Fetches
+// block until the bucket is published (a peer that runs ahead of us
+// simply waits) or the job fails on this worker, at which point every
+// pending and future fetch gets an error so peers fall back to
+// lineage recompute instead of hanging.
+type jobStore struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	blobs  map[string][]byte
+	failed bool
+}
+
+func newJobStore() *jobStore {
+	s := &jobStore{blobs: make(map[string][]byte)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *jobStore) put(key string, blob []byte) {
+	s.mu.Lock()
+	s.blobs[key] = blob
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// waitGet blocks until key is present or the store failed.
+func (s *jobStore) waitGet(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if blob, ok := s.blobs[key]; ok {
+			return blob, nil
+		}
+		if s.failed {
+			return nil, fmt.Errorf("cluster: job failed on this worker")
+		}
+		s.cond.Wait()
+	}
+}
+
+// get is the non-blocking lookup used for self-fetches, which are
+// always published before they are read.
+func (s *jobStore) get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, ok := s.blobs[key]
+	return blob, ok
+}
+
+// fail marks the store dead and wakes all waiters with an error.
+func (s *jobStore) fail() {
+	s.mu.Lock()
+	s.failed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Exchange is one rank's view of a job's shuffle fabric. It satisfies
+// dataflow's Transport interface structurally: Publish writes to the
+// local store (this worker's data server hands the bucket to whoever
+// asks), Fetch pulls a bucket from the owning rank's data server.
+type Exchange struct {
+	jobID int64
+	rank  int
+	peers []string // data addrs indexed by rank
+	store *jobStore
+
+	// fetchTimeout bounds one remote read; dialRetry/dialBackoff bound
+	// connection attempts to a peer that is restarting or not yet up.
+	fetchTimeout time.Duration
+	dialRetries  int
+	dialBackoff  time.Duration
+
+	dead []atomic.Bool // ranks this exchange has given up on
+}
+
+func newExchange(jobID int64, rank int, peers []string, store *jobStore) *Exchange {
+	return &Exchange{
+		jobID:        jobID,
+		rank:         rank,
+		peers:        peers,
+		store:        store,
+		fetchTimeout: 120 * time.Second,
+		dialRetries:  5,
+		dialBackoff:  50 * time.Millisecond,
+		dead:         make([]atomic.Bool, len(peers)),
+	}
+}
+
+func (e *Exchange) Rank() int  { return e.rank }
+func (e *Exchange) World() int { return len(e.peers) }
+
+// Publish stores a locally-produced bucket for peers to fetch.
+func (e *Exchange) Publish(key string, blob []byte) error {
+	e.store.put(key, blob)
+	return nil
+}
+
+// Fetch returns the bucket key owned by rank. Self-fetches hit the
+// local store directly; remote fetches dial the peer's data server.
+// Any error means the caller should recompute the bucket from lineage
+// — once a rank has failed us we mark it dead and fail fast on every
+// later fetch instead of re-dialing a corpse.
+func (e *Exchange) Fetch(rank int, key string) ([]byte, error) {
+	if rank < 0 || rank >= len(e.peers) {
+		return nil, fmt.Errorf("cluster: fetch from rank %d of %d", rank, len(e.peers))
+	}
+	if rank == e.rank {
+		if blob, ok := e.store.get(key); ok {
+			return blob, nil
+		}
+		return nil, fmt.Errorf("cluster: local bucket %s missing", key)
+	}
+	if e.dead[rank].Load() {
+		return nil, fmt.Errorf("cluster: rank %d marked dead", rank)
+	}
+	blob, err := e.fetchRemote(rank, key)
+	if err != nil {
+		e.dead[rank].Store(true)
+		return nil, err
+	}
+	return blob, nil
+}
+
+// fetchRemote dials the peer per fetch — connections are short-lived
+// and the OS connection setup cost is dwarfed by bucket transfer time;
+// it keeps the data server a trivial request/reply loop with no
+// session state to invalidate on worker death.
+func (e *Exchange) fetchRemote(rank int, key string) ([]byte, error) {
+	var conn net.Conn
+	var err error
+	for attempt := 0; ; attempt++ {
+		conn, err = net.DialTimeout("tcp", e.peers[rank], e.fetchTimeout)
+		if err == nil {
+			break
+		}
+		if attempt >= e.dialRetries {
+			return nil, fmt.Errorf("cluster: dial rank %d (%s): %w", rank, e.peers[rank], err)
+		}
+		time.Sleep(e.dialBackoff << uint(attempt))
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(e.fetchTimeout))
+	req := fetchMsg{JobID: e.jobID, Key: key}
+	if err := writeFrame(conn, msgFetch, req.encode()); err != nil {
+		return nil, fmt.Errorf("cluster: send fetch to rank %d: %w", rank, err)
+	}
+	typ, payload, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: read fetch reply from rank %d: %w", rank, err)
+	}
+	switch typ {
+	case msgFetchOK:
+		return payload, nil
+	case msgFetchGone:
+		return nil, fmt.Errorf("cluster: rank %d lost bucket %s: %s", rank, key, payload)
+	default:
+		return nil, fmt.Errorf("cluster: unexpected reply type %d from rank %d", typ, rank)
+	}
+}

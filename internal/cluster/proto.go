@@ -1,0 +1,351 @@
+// Package cluster implements the multi-process distributed runtime:
+// a driver that workers register with over TCP, a control-plane
+// protocol (register/heartbeat/job/done), and a data plane where each
+// worker serves shuffle partitions to its peers. The shuffle payloads
+// themselves are encoded by the spill codec registry (see
+// internal/spill and internal/dataflow's Transport); this package only
+// frames and moves the bytes.
+//
+// Execution model is SPMD: every worker runs the same registered job
+// program (queries are data, not closures), each rank executes the
+// task indices it owns, and shuffle buckets cross the network through
+// per-job exchange stores. Lost workers are tolerated by lineage
+// recompute on the surviving ranks — see internal/dataflow/cluster.go.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Control- and data-plane message types. A frame is one type byte, a
+// uvarint payload length, then the payload.
+const (
+	msgRegister  = byte(1) // worker -> driver: id, data addr, capacity
+	msgWelcome   = byte(2) // driver -> worker: accepted, heartbeat period
+	msgHeartbeat = byte(3) // worker -> driver: liveness (empty payload)
+	msgJob       = byte(4) // driver -> worker: run program rank r of w
+	msgJobDone   = byte(5) // worker -> driver: result or error + report
+	msgJobEnd    = byte(6) // driver -> worker: job finished, drop its store
+	msgFetch     = byte(7) // worker -> worker: shuffle bucket request
+	msgFetchOK   = byte(8) // worker -> worker: bucket payload
+	msgFetchGone = byte(9) // worker -> worker: bucket unavailable (job failed here)
+)
+
+// maxFrame bounds a frame payload so a corrupt length prefix cannot
+// drive a giant allocation.
+const maxFrame = 1 << 30
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = typ
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:1+n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r *bufio.Reader) (byte, []byte, error) {
+	typ, err := r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if size > maxFrame {
+		return 0, nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+// wireBuf builds varint-framed payloads.
+type wireBuf struct{ b []byte }
+
+func (w *wireBuf) u64(v uint64)  { w.b = binary.AppendUvarint(w.b, v) }
+func (w *wireBuf) i64(v int64)   { w.b = binary.AppendVarint(w.b, v) }
+func (w *wireBuf) str(s string)  { w.u64(uint64(len(s))); w.b = append(w.b, s...) }
+func (w *wireBuf) blob(p []byte) { w.u64(uint64(len(p))); w.b = append(w.b, p...) }
+func (w *wireBuf) strs(s []string) {
+	w.u64(uint64(len(s)))
+	for _, v := range s {
+		w.str(v)
+	}
+}
+
+// wireCur decodes what wireBuf wrote; the first error sticks.
+type wireCur struct {
+	b   []byte
+	err error
+}
+
+func (c *wireCur) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("cluster: truncated %s", what)
+	}
+}
+
+func (c *wireCur) u64() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		c.fail("uvarint")
+		return 0
+	}
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *wireCur) i64() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b)
+	if n <= 0 {
+		c.fail("varint")
+		return 0
+	}
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *wireCur) str() string {
+	n := c.u64()
+	if c.err != nil {
+		return ""
+	}
+	if uint64(len(c.b)) < n {
+		c.fail("string")
+		return ""
+	}
+	s := string(c.b[:n])
+	c.b = c.b[n:]
+	return s
+}
+
+func (c *wireCur) blob() []byte {
+	n := c.u64()
+	if c.err != nil {
+		return nil
+	}
+	if uint64(len(c.b)) < n {
+		c.fail("blob")
+		return nil
+	}
+	p := append([]byte(nil), c.b[:n]...)
+	c.b = c.b[n:]
+	return p
+}
+
+func (c *wireCur) strs() []string {
+	n := c.u64()
+	if c.err != nil || n > maxFrame {
+		c.fail("string list")
+		return nil
+	}
+	out := make([]string, 0, min(int(n), 1024))
+	for i := uint64(0); i < n; i++ {
+		out = append(out, c.str())
+	}
+	return out
+}
+
+// registerMsg is the worker's hello: identity, where peers can fetch
+// shuffle data from it, and its execution capacity.
+type registerMsg struct {
+	ID          string
+	DataAddr    string
+	Parallelism int64
+	MemBudget   int64
+}
+
+func (m *registerMsg) encode() []byte {
+	var w wireBuf
+	w.str(m.ID)
+	w.str(m.DataAddr)
+	w.i64(m.Parallelism)
+	w.i64(m.MemBudget)
+	return w.b
+}
+
+func decodeRegister(p []byte) (registerMsg, error) {
+	c := wireCur{b: p}
+	m := registerMsg{ID: c.str(), DataAddr: c.str(), Parallelism: c.i64(), MemBudget: c.i64()}
+	return m, c.err
+}
+
+type welcomeMsg struct {
+	HeartbeatNanos int64
+}
+
+func (m *welcomeMsg) encode() []byte {
+	var w wireBuf
+	w.i64(m.HeartbeatNanos)
+	return w.b
+}
+
+func decodeWelcome(p []byte) (welcomeMsg, error) {
+	c := wireCur{b: p}
+	m := welcomeMsg{HeartbeatNanos: c.i64()}
+	return m, c.err
+}
+
+// jobMsg assigns one rank of a job: which program to run, this
+// worker's rank, the world size, and every rank's data address so the
+// exchange can fetch peer buckets.
+type jobMsg struct {
+	JobID   int64
+	Program string
+	Rank    int64
+	World   int64
+	Peers   []string // data addrs indexed by rank
+	Params  []byte   // program-specific, opaque to the protocol
+}
+
+func (m *jobMsg) encode() []byte {
+	var w wireBuf
+	w.i64(m.JobID)
+	w.str(m.Program)
+	w.i64(m.Rank)
+	w.i64(m.World)
+	w.strs(m.Peers)
+	w.blob(m.Params)
+	return w.b
+}
+
+func decodeJob(p []byte) (jobMsg, error) {
+	c := wireCur{b: p}
+	m := jobMsg{JobID: c.i64(), Program: c.str(), Rank: c.i64(), World: c.i64(),
+		Peers: c.strs(), Params: c.blob()}
+	return m, c.err
+}
+
+type jobDoneMsg struct {
+	JobID  int64
+	OK     bool
+	Err    string
+	Result []byte
+	Report Report
+}
+
+func (m *jobDoneMsg) encode() []byte {
+	var w wireBuf
+	w.i64(m.JobID)
+	ok := int64(0)
+	if m.OK {
+		ok = 1
+	}
+	w.i64(ok)
+	w.str(m.Err)
+	w.blob(m.Result)
+	w.blob(m.Report.encode())
+	return w.b
+}
+
+func decodeJobDone(p []byte) (jobDoneMsg, error) {
+	c := wireCur{b: p}
+	m := jobDoneMsg{JobID: c.i64(), OK: c.i64() != 0, Err: c.str(), Result: c.blob()}
+	rep, err := decodeReport(c.blob())
+	if c.err != nil {
+		return m, c.err
+	}
+	m.Report = rep
+	return m, err
+}
+
+type jobEndMsg struct {
+	JobID int64
+}
+
+func (m *jobEndMsg) encode() []byte {
+	var w wireBuf
+	w.i64(m.JobID)
+	return w.b
+}
+
+func decodeJobEnd(p []byte) (jobEndMsg, error) {
+	c := wireCur{b: p}
+	m := jobEndMsg{JobID: c.i64()}
+	return m, c.err
+}
+
+type fetchMsg struct {
+	JobID int64
+	Key   string
+}
+
+func (m *fetchMsg) encode() []byte {
+	var w wireBuf
+	w.i64(m.JobID)
+	w.str(m.Key)
+	return w.b
+}
+
+func decodeFetch(p []byte) (fetchMsg, error) {
+	c := wireCur{b: p}
+	m := fetchMsg{JobID: c.i64(), Key: c.str()}
+	return m, c.err
+}
+
+// Report carries one rank's execution counters back to the driver; the
+// driver surfaces them as per-worker rows in the metrics snapshot. It
+// is encoded as a field count followed by that many varints, so old
+// readers skip fields they don't know and new readers zero-fill fields
+// the sender didn't have.
+type Report struct {
+	Tasks, TaskFailures, Stages         int64
+	ShuffledRecords, ShuffledBytes      int64
+	RemoteFetches, RemoteFetchedBytes   int64
+	FetchFailures, Resubmissions        int64
+	ServedFetches, ServedBytes          int64
+	SpilledBytes, MemoryPeak, WallNanos int64
+}
+
+func (r *Report) fields() []*int64 {
+	return []*int64{
+		&r.Tasks, &r.TaskFailures, &r.Stages,
+		&r.ShuffledRecords, &r.ShuffledBytes,
+		&r.RemoteFetches, &r.RemoteFetchedBytes,
+		&r.FetchFailures, &r.Resubmissions,
+		&r.ServedFetches, &r.ServedBytes,
+		&r.SpilledBytes, &r.MemoryPeak, &r.WallNanos,
+	}
+}
+
+func (r Report) encode() []byte {
+	var w wireBuf
+	fs := r.fields()
+	w.u64(uint64(len(fs)))
+	for _, f := range fs {
+		w.i64(*f)
+	}
+	return w.b
+}
+
+func decodeReport(p []byte) (Report, error) {
+	var r Report
+	c := wireCur{b: p}
+	n := c.u64()
+	fs := r.fields()
+	for i := uint64(0); i < n; i++ {
+		v := c.i64()
+		if c.err != nil {
+			return r, c.err
+		}
+		if i < uint64(len(fs)) {
+			*fs[i] = v
+		}
+	}
+	return r, c.err
+}

@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WorkerConfig configures one worker process (or in-process worker in
+// tests).
+type WorkerConfig struct {
+	ID           string // worker identity shown in metrics; required
+	DriverAddr   string // driver control address to register with
+	DataAddr     string // listen address for the shuffle data server (":0" for ephemeral)
+	Parallelism  int    // task slots per job on this worker
+	MemoryBudget int64  // per-worker memory budget in bytes (0 = unlimited)
+}
+
+// Worker registers with a driver, heartbeats, runs assigned job
+// programs, and serves this rank's shuffle buckets to peers.
+type Worker struct {
+	cfg     WorkerConfig
+	control net.Conn
+	wmu     sync.Mutex // guards control writes (heartbeats vs JobDone)
+	dataLn  net.Listener
+
+	smu    sync.Mutex
+	stores map[int64]*jobStore
+
+	servedFetches atomic.Int64
+	servedBytes   atomic.Int64
+
+	closed atomic.Bool
+	done   chan struct{} // closed when the control loop exits
+	err    atomic.Pointer[string]
+}
+
+// StartWorker connects to the driver, registers, and starts the
+// heartbeat, control, and data-server loops. It returns once the
+// driver has acknowledged registration.
+func StartWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("cluster: worker needs an ID")
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.DataAddr == "" {
+		cfg.DataAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.DataAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: data listener: %w", err)
+	}
+	conn, err := net.Dial("tcp", cfg.DriverAddr)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("cluster: dial driver %s: %w", cfg.DriverAddr, err)
+	}
+	w := &Worker{
+		cfg:     cfg,
+		control: conn,
+		dataLn:  ln,
+		stores:  make(map[int64]*jobStore),
+		done:    make(chan struct{}),
+	}
+	reg := registerMsg{
+		ID:          cfg.ID,
+		DataAddr:    ln.Addr().String(),
+		Parallelism: int64(cfg.Parallelism),
+		MemBudget:   cfg.MemoryBudget,
+	}
+	if err := w.send(msgRegister, reg.encode()); err != nil {
+		w.shutdown()
+		return nil, fmt.Errorf("cluster: register: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	typ, payload, err := readFrame(br)
+	if err != nil || typ != msgWelcome {
+		w.shutdown()
+		return nil, fmt.Errorf("cluster: no welcome from driver (type=%d err=%v)", typ, err)
+	}
+	wel, err := decodeWelcome(payload)
+	if err != nil {
+		w.shutdown()
+		return nil, err
+	}
+	go w.heartbeatLoop(time.Duration(wel.HeartbeatNanos))
+	go w.controlLoop(br)
+	go w.dataLoop()
+	return w, nil
+}
+
+// DataAddr is where peers fetch this worker's shuffle buckets.
+func (w *Worker) DataAddr() string { return w.dataLn.Addr().String() }
+
+// Wait blocks until the worker's control connection ends (driver
+// shutdown, network loss, or Close) and returns the terminal error,
+// if any.
+func (w *Worker) Wait() error {
+	<-w.done
+	if s := w.err.Load(); s != nil {
+		return fmt.Errorf("%s", *s)
+	}
+	return nil
+}
+
+// Close disconnects from the driver and stops serving data.
+func (w *Worker) Close() { w.shutdown() }
+
+func (w *Worker) shutdown() {
+	if !w.closed.CompareAndSwap(false, true) {
+		return
+	}
+	w.control.Close()
+	w.dataLn.Close()
+	// Unblock any peer fetch still parked on a store.
+	w.smu.Lock()
+	for _, s := range w.stores {
+		s.fail()
+	}
+	w.smu.Unlock()
+}
+
+func (w *Worker) send(typ byte, payload []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeFrame(w.control, typ, payload)
+}
+
+func (w *Worker) heartbeatLoop(period time.Duration) {
+	if period <= 0 {
+		period = 500 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for range t.C {
+		if w.closed.Load() {
+			return
+		}
+		if err := w.send(msgHeartbeat, nil); err != nil {
+			return
+		}
+	}
+}
+
+func (w *Worker) controlLoop(br *bufio.Reader) {
+	defer close(w.done)
+	defer w.shutdown()
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			if !w.closed.Load() {
+				msg := fmt.Sprintf("cluster: control connection lost: %v", err)
+				w.err.Store(&msg)
+			}
+			return
+		}
+		switch typ {
+		case msgJob:
+			job, err := decodeJob(payload)
+			if err != nil {
+				msg := err.Error()
+				w.err.Store(&msg)
+				return
+			}
+			go w.runJob(job)
+		case msgJobEnd:
+			end, err := decodeJobEnd(payload)
+			if err == nil {
+				w.smu.Lock()
+				if s, ok := w.stores[end.JobID]; ok {
+					s.fail() // release any straggler fetch
+					delete(w.stores, end.JobID)
+				}
+				w.smu.Unlock()
+			}
+		}
+	}
+}
+
+// storeFor returns the job's exchange store, creating it if a peer's
+// fetch arrives before this worker has seen its own Job message.
+func (w *Worker) storeFor(jobID int64) *jobStore {
+	w.smu.Lock()
+	defer w.smu.Unlock()
+	s, ok := w.stores[jobID]
+	if !ok {
+		s = newJobStore()
+		w.stores[jobID] = s
+	}
+	return s
+}
+
+func (w *Worker) runJob(job jobMsg) {
+	store := w.storeFor(job.JobID)
+	exch := newExchange(job.JobID, int(job.Rank), job.Peers, store)
+	env := &JobEnv{
+		Rank:         int(job.Rank),
+		World:        int(job.World),
+		Params:       job.Params,
+		Exchange:     exch,
+		Parallelism:  w.cfg.Parallelism,
+		MemoryBudget: w.cfg.MemoryBudget,
+		WorkerTag:    w.cfg.ID,
+	}
+	start := time.Now()
+	result, rep, err := w.runProgram(job.Program, env)
+	rep.WallNanos = time.Since(start).Nanoseconds()
+	rep.ServedFetches = w.servedFetches.Load()
+	rep.ServedBytes = w.servedBytes.Load()
+	done := jobDoneMsg{JobID: job.JobID, OK: err == nil, Result: result, Report: rep}
+	if err != nil {
+		done.Err = err.Error()
+		// Peers blocked on our buckets must recompute, not hang.
+		store.fail()
+	}
+	_ = w.send(msgJobDone, done.encode())
+}
+
+// runProgram looks up and runs the named program, converting panics
+// into job errors so one bad query can't take the worker down.
+func (w *Worker) runProgram(name string, env *JobEnv) (result []byte, rep Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: program panicked: %v", r)
+		}
+	}()
+	p, err := lookupProgram(name)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return p(env)
+}
+
+// dataLoop accepts peer connections and answers bucket fetches. Each
+// fetch blocks until the bucket is published here or the job fails on
+// this worker (then the peer gets FetchGone and recomputes).
+func (w *Worker) dataLoop() {
+	for {
+		conn, err := w.dataLn.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go w.serveData(conn)
+	}
+}
+
+func (w *Worker) serveData(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if typ != msgFetch {
+			return
+		}
+		req, err := decodeFetch(payload)
+		if err != nil {
+			return
+		}
+		blob, err := w.storeFor(req.JobID).waitGet(req.Key)
+		if err != nil {
+			_ = writeFrame(conn, msgFetchGone, []byte(err.Error()))
+			continue
+		}
+		w.servedFetches.Add(1)
+		w.servedBytes.Add(int64(len(blob)))
+		if err := writeFrame(conn, msgFetchOK, blob); err != nil {
+			return
+		}
+	}
+}

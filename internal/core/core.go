@@ -49,6 +49,18 @@ type Config struct {
 	// SpillDir overrides where spill run files are written (default: a
 	// fresh directory under os.TempDir, removed on Close).
 	SpillDir string
+	// ShuffleCostNsPerByte charges simulated serialization/network
+	// time per shuffled byte (see dataflow.Config).
+	ShuffleCostNsPerByte float64
+	// Transport, when non-nil, makes this session one rank of a
+	// multi-process SPMD cluster: it runs the tasks it owns and
+	// exchanges shuffle buckets with its peers through the transport
+	// (see dataflow.Config.Transport and internal/cluster). nil is
+	// unchanged local execution.
+	Transport dataflow.Transport
+	// WorkerTag names this process in distributed diagnostics (span
+	// attributes, per-worker metric rows).
+	WorkerTag string
 }
 
 // Session is the top-level handle; safe for sequential use.
@@ -70,6 +82,10 @@ func NewSession(conf Config) *Session {
 		FailureSeed:       conf.FailureSeed,
 		MemoryBudget:      conf.MemoryBudget,
 		SpillDir:          conf.SpillDir,
+
+		ShuffleCostNsPerByte: conf.ShuffleCostNsPerByte,
+		Transport:            conf.Transport,
+		WorkerTag:            conf.WorkerTag,
 	})
 	return &Session{conf: conf, ctx: ctx, cat: plan.NewCatalog(ctx)}
 }

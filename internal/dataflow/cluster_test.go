@@ -1,0 +1,356 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// memHub is an in-process cluster fabric: one blob store per rank with
+// blocking fetches, peer-death simulation (a killed rank's store is
+// dropped, like a SIGKILLed process), and a publish-count trigger that
+// kills a rank mid-shuffle-write.
+type memHub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	world  int
+	blobs  []map[string][]byte
+	dead   []bool
+	killAt []int // kill rank r after this many publishes; -1 = never
+	pubs   []int
+}
+
+func newMemHub(world int) *memHub {
+	h := &memHub{
+		world:  world,
+		blobs:  make([]map[string][]byte, world),
+		dead:   make([]bool, world),
+		killAt: make([]int, world),
+		pubs:   make([]int, world),
+	}
+	h.cond = sync.NewCond(&h.mu)
+	for r := range h.blobs {
+		h.blobs[r] = make(map[string][]byte)
+		h.killAt[r] = -1
+	}
+	return h
+}
+
+func (h *memHub) transport(rank int) *memTransport { return &memTransport{h: h, rank: rank} }
+
+// killAfter arranges for rank r's next publish past n to fail and drop
+// its whole store, modeling a worker killed mid-map-stage.
+func (h *memHub) killAfter(r, n int) {
+	h.mu.Lock()
+	h.killAt[r] = n
+	h.mu.Unlock()
+}
+
+type memTransport struct {
+	h    *memHub
+	rank int
+}
+
+func (t *memTransport) Rank() int  { return t.rank }
+func (t *memTransport) World() int { return t.h.world }
+
+func (t *memTransport) Publish(key string, blob []byte) error {
+	h := t.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead[t.rank] {
+		return errors.New("memtransport: this rank is dead")
+	}
+	if h.killAt[t.rank] >= 0 && h.pubs[t.rank] >= h.killAt[t.rank] {
+		h.dead[t.rank] = true
+		h.blobs[t.rank] = make(map[string][]byte)
+		h.cond.Broadcast()
+		return errors.New("memtransport: killed mid-publish")
+	}
+	h.pubs[t.rank]++
+	h.blobs[t.rank][key] = blob
+	h.cond.Broadcast()
+	return nil
+}
+
+func (t *memTransport) Fetch(rank int, key string) ([]byte, error) {
+	h := t.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if h.dead[rank] {
+			return nil, fmt.Errorf("memtransport: rank %d is dead", rank)
+		}
+		if blob, ok := h.blobs[rank][key]; ok {
+			return blob, nil
+		}
+		h.cond.Wait()
+	}
+}
+
+// spmdResult is everything the exercise program computes: every wide
+// and narrow operator plus every action, so one comparison covers the
+// whole distributed surface.
+type spmdResult struct {
+	sums       []Pair[int64, float64]
+	grouped    []Pair[int64, int64]
+	joined     []Pair[int64, float64]
+	wideJoined []Pair[int64, float64]
+	reparted   []int64
+	count      int64
+	reduced    float64
+	agg        float64
+	take       []int64
+}
+
+// runSPMDProgram is the deterministic job every rank (and the local
+// reference) executes: reduceByKey, groupByKey, a co-partitioned
+// (narrow) join, a re-partitioning (wide) join, repartition, and all
+// driver actions.
+func runSPMDProgram(ctx *Context) spmdResult {
+	base := Generate(ctx, 6, func(p int) []Pair[int64, float64] {
+		rows := make([]Pair[int64, float64], 0, 40)
+		for i := 0; i < 40; i++ {
+			k := int64((p*40 + i) % 17)
+			rows = append(rows, KV(k, float64(p*40+i)*0.5))
+		}
+		return rows
+	})
+	sums := ReduceByKey(base, func(a, b float64) float64 { return a + b }, 4)
+	counts := ReduceByKey(MapValues(base, func(float64) int64 { return 1 }),
+		func(a, b int64) int64 { return a + b }, 4)
+	narrow := Join(sums, counts, 4) // both sides hash-partitioned by key into 4
+	wide := Join(sums, counts, 3)   // forces both exchanges
+	grouped := GroupByKey(base, 5)
+	weigh := func(j JoinedPair[float64, int64]) float64 { return j.Left * float64(j.Right) }
+	vals := Values(base)
+	return spmdResult{
+		sums:       Collect(sums),
+		grouped:    Collect(MapValues(grouped, func(vs []float64) int64 { return int64(len(vs)) })),
+		joined:     Collect(MapValues(narrow, weigh)),
+		wideJoined: Collect(MapValues(wide, weigh)),
+		reparted:   Collect(Repartition(Keys(base), 5)),
+		count:      Count(base),
+		reduced:    Reduce(vals, func(a, b float64) float64 { return a + b }),
+		agg:        Aggregate(vals, 0.0, func(a float64, v float64) float64 { return a + v }, func(a, b float64) float64 { return a + b }),
+		take:       Take(Keys(base), 7),
+	}
+}
+
+// runRanks executes the program on world in-process ranks over hub,
+// returning each rank's result, metrics, and panic value (nil when the
+// rank completed).
+func runRanks(hub *memHub, world int) ([]spmdResult, []MetricsSnapshot, []any) {
+	results := make([]spmdResult, world)
+	metrics := make([]MetricsSnapshot, world)
+	panics := make([]any, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() { panics[r] = recover() }()
+			ctx := NewContext(Config{
+				Parallelism: 2,
+				Transport:   hub.transport(r),
+				WorkerTag:   fmt.Sprintf("worker-%d", r),
+			})
+			defer ctx.Close()
+			results[r] = runSPMDProgram(ctx)
+			metrics[r] = ctx.Metrics()
+		}(r)
+	}
+	wg.Wait()
+	return results, metrics, panics
+}
+
+// TestSPMDMatchesLocal proves the distributed backend's core parity
+// claim: three ranks running the same program produce results exactly
+// equal to the local backend's, on every rank.
+func TestSPMDMatchesLocal(t *testing.T) {
+	local := NewContext(Config{Parallelism: 2})
+	defer local.Close()
+	want := runSPMDProgram(local)
+
+	const world = 3
+	results, metrics, panics := runRanks(newMemHub(world), world)
+	for r := 0; r < world; r++ {
+		if panics[r] != nil {
+			t.Fatalf("rank %d panicked: %v", r, panics[r])
+		}
+		if !reflect.DeepEqual(results[r], want) {
+			t.Errorf("rank %d result differs from local\n got: %+v\nwant: %+v", r, results[r], want)
+		}
+		if metrics[r].FetchFailures != 0 || metrics[r].Resubmissions != 0 {
+			t.Errorf("rank %d: unexpected failures: fetchFailures=%d resubmissions=%d",
+				r, metrics[r].FetchFailures, metrics[r].Resubmissions)
+		}
+	}
+	// The wide stages must actually have crossed the fabric.
+	var remote int64
+	for r := 0; r < world; r++ {
+		remote += metrics[r].RemoteFetches
+	}
+	if remote == 0 {
+		t.Fatal("no remote fetches recorded — the ranks did not exchange data")
+	}
+}
+
+// TestSPMDWorkerDeathRecomputes kills one rank mid-shuffle-write (its
+// published buckets vanish with it, like a SIGKILLed worker) and
+// checks the partial-failure contract: the surviving ranks finish with
+// results exactly equal to the local backend, resubmitting the lost
+// map tasks via lineage recompute and counting the fetch failures.
+func TestSPMDWorkerDeathRecomputes(t *testing.T) {
+	local := NewContext(Config{Parallelism: 2})
+	defer local.Close()
+	want := runSPMDProgram(local)
+
+	const world, victim = 3, 2
+	hub := newMemHub(world)
+	hub.killAfter(victim, 3) // dies after 3 published buckets, mid map stage
+	results, metrics, panics := runRanks(hub, world)
+
+	if panics[victim] == nil {
+		t.Fatal("victim rank should have died mid-publish")
+	}
+	var resub, fails int64
+	for r := 0; r < world; r++ {
+		if r == victim {
+			continue
+		}
+		if panics[r] != nil {
+			t.Fatalf("surviving rank %d panicked: %v", r, panics[r])
+		}
+		if !reflect.DeepEqual(results[r], want) {
+			t.Errorf("surviving rank %d result differs from local after worker loss", r)
+		}
+		resub += metrics[r].Resubmissions
+		fails += metrics[r].FetchFailures
+	}
+	if resub == 0 {
+		t.Error("expected resubmissions > 0 after worker death")
+	}
+	if fails == 0 {
+		t.Error("expected fetch failures > 0 after worker death")
+	}
+}
+
+// TestSPMDNarrowJoinStaysLocal checks that co-partitioned reads move
+// nothing: a program that only narrow-joins two co-partitioned shuffles
+// must fetch remotely only for the wide map-side exchanges and the
+// final gather, never for the narrow read itself — measured here as
+// the narrow program performing strictly fewer remote fetches than the
+// same join forced wide.
+func TestSPMDNarrowJoinStaysLocal(t *testing.T) {
+	run := func(joinParts int) int64 {
+		const world = 3
+		hub := newMemHub(world)
+		var wg sync.WaitGroup
+		fetches := make([]int64, world)
+		for r := 0; r < world; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				ctx := NewContext(Config{Parallelism: 2, Transport: hub.transport(r)})
+				defer ctx.Close()
+				base := Generate(ctx, 6, func(p int) []Pair[int64, int64] {
+					rows := make([]Pair[int64, int64], 30)
+					for i := range rows {
+						rows[i] = KV(int64((p+i)%11), int64(i))
+					}
+					return rows
+				})
+				a := ReduceByKey(base, func(x, y int64) int64 { return x + y }, 4)
+				b := ReduceByKey(MapValues(base, func(int64) int64 { return 1 }),
+					func(x, y int64) int64 { return x + y }, 4)
+				Count(Join(a, b, joinParts))
+				fetches[r] = ctx.Metrics().RemoteFetches
+			}(r)
+		}
+		wg.Wait()
+		var total int64
+		for _, f := range fetches {
+			total += f
+		}
+		return total
+	}
+	narrow, wide := run(4), run(3)
+	if narrow >= wide {
+		t.Errorf("narrow join fetched %d blobs remotely, wide join %d; narrow should be cheaper", narrow, wide)
+	}
+}
+
+// TestWorkerTagOnSpans: a tagged context must stamp every recorded
+// span with the worker identity so merged multi-process traces stay
+// attributable.
+func TestWorkerTagOnSpans(t *testing.T) {
+	ctx := NewContext(Config{Parallelism: 2, WorkerTag: "w7"})
+	defer ctx.Close()
+	tr := trace.New()
+	ctx.SetTracer(tr)
+	data := Generate(ctx, 3, func(p int) []Pair[int64, int64] {
+		return []Pair[int64, int64]{KV(int64(p), int64(p))}
+	})
+	Count(ReduceByKey(data, func(a, b int64) int64 { return a + b }, 2))
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	for _, s := range spans {
+		tagged := false
+		for _, a := range s.Attrs() {
+			if a.Key == "worker" && a.Value == "w7" {
+				tagged = true
+			}
+		}
+		if !tagged {
+			t.Fatalf("span %q missing worker tag: %v", s.Name, s.Attrs())
+		}
+	}
+}
+
+// TestMetricsIsolationAcrossContexts is the regression test for gauge
+// scoping: tile-pool, memory, spill, and counter state all live on the
+// Context, so heavy work (including forced spills) in one session must
+// leave a concurrently-alive sibling's snapshot untouched.
+func TestMetricsIsolationAcrossContexts(t *testing.T) {
+	busy := NewContext(Config{Parallelism: 2, MemoryBudget: 1 << 16})
+	defer busy.Close()
+	idle := NewContext(Config{Parallelism: 2, MemoryBudget: 1 << 30})
+	defer idle.Close()
+
+	data := Generate(busy, 4, func(p int) []Pair[int64, float64] {
+		rows := make([]Pair[int64, float64], 4096)
+		for i := range rows {
+			rows[i] = KV(int64(p*4096+i), float64(i))
+		}
+		return rows
+	})
+	got := Collect(ReduceByKey(data, func(a, b float64) float64 { return a + b }, 4))
+	if len(got) != 4*4096 {
+		t.Fatalf("got %d keys, want %d", len(got), 4*4096)
+	}
+
+	bm := busy.Metrics()
+	if bm.Tasks == 0 || bm.ShuffledRecords == 0 {
+		t.Fatalf("busy context recorded no work: %+v", bm)
+	}
+	if bm.SpilledBytes == 0 {
+		t.Fatalf("busy context should have spilled under a 64KiB budget")
+	}
+	im := idle.Metrics()
+	if im.Tasks != 0 || im.Stages != 0 || im.ShuffledRecords != 0 || im.ShuffledBytes != 0 ||
+		im.SpilledBytes != 0 || im.SpillFiles != 0 || im.MergePasses != 0 ||
+		im.PoolHits != 0 || im.PoolMisses != 0 || im.MemoryUsed != 0 || im.MemoryPeak != 0 ||
+		im.BudgetWaits != 0 || im.RemoteFetches != 0 || im.Resubmissions != 0 {
+		t.Errorf("idle context contaminated by sibling's work: %+v", im)
+	}
+	if im.MemoryBudget != 1<<30 {
+		t.Errorf("idle context budget gauge = %d, want its own 1GiB", im.MemoryBudget)
+	}
+}

@@ -74,6 +74,19 @@ type Config struct {
 	// fresh directory under the OS temp dir, created on first spill
 	// and removed by Close.
 	SpillDir string
+	// Transport, when non-nil, switches the context into distributed
+	// SPMD execution: this process is one rank of Transport.World()
+	// identical processes all building the same deterministic graph.
+	// Each rank runs the tasks it owns (index % world == rank),
+	// publishes shuffle buckets and action partials through the
+	// transport, and fetches (or recomputes from lineage, when the
+	// owning peer died) the rest. nil — the default — is unchanged
+	// single-process execution. See cluster.go.
+	Transport Transport
+	// WorkerTag names this process in distributed diagnostics: stage
+	// spans gain a "worker" attribute and formatted tables a worker
+	// column. Empty for local contexts.
+	WorkerTag string
 }
 
 // Context is the entry point to the engine, analogous to SparkContext.
@@ -275,6 +288,11 @@ func (c *Context) SetTracer(tr *trace.Tracer) {
 	if ts := c.trc.Load(); ts != nil && ts.tr == tr {
 		root = ts.root
 	}
+	if tag := c.conf.WorkerTag; tag != "" {
+		// Stamp every span this tracer records — stages, tasks,
+		// kernels — so merged multi-process traces stay attributable.
+		tr.SetAutoAttr("worker", tag)
+	}
 	c.trc.Store(&traceState{tr: tr, root: root})
 }
 
@@ -377,12 +395,38 @@ type capturedPanic struct{ val any }
 // calling goroutine; it is not retried, since unlike injected faults it
 // is deterministic.
 func (c *Context) runTasks(st *Stage, n int, body func(i int)) {
+	c.runTaskStride(st, n, 0, 1, body)
+}
+
+// runTasksOwned is the distributed form of runTasks: under a cluster
+// transport only this rank's owned indices (i % world == rank) run
+// locally — the other ranks run theirs — while a local context runs
+// everything. Stage bodies use it so the same code executes one copy
+// of every task across the whole cluster.
+func (c *Context) runTasksOwned(st *Stage, n int, body func(i int)) {
+	t := c.conf.Transport
+	if t == nil {
+		c.runTasks(st, n, body)
+		return
+	}
+	c.runTaskStride(st, n, t.Rank(), t.World(), body)
+}
+
+// owns reports whether index i is executed by this process: always,
+// locally; by the modulo-world owner under a cluster transport.
+func (c *Context) owns(i int) bool {
+	t := c.conf.Transport
+	return t == nil || i%t.World() == t.Rank()
+}
+
+// runTaskStride runs body(i) for i = start, start+stride, ... < n.
+func (c *Context) runTaskStride(st *Stage, n, start, stride int, body func(i int)) {
 	var wg sync.WaitGroup
 	var panicked atomic.Value
 	if st != nil {
 		st.reserveStats(n)
 	}
-	for i := 0; i < n; i++ {
+	for i := start; i < n; i += stride {
 		wg.Add(1)
 		c.sem <- struct{}{}
 		go func(i int) {

@@ -32,6 +32,15 @@ type Metrics struct {
 	spillFiles     atomic.Int64
 	mergePasses    atomic.Int64
 
+	// Cluster counters (all zero on local contexts): shuffle blobs and
+	// bytes fetched from peer workers, fetches that failed because the
+	// owning peer died, and map tasks resubmitted — recomputed locally
+	// from lineage — to cover for lost peers.
+	remoteFetches      atomic.Int64
+	remoteFetchedBytes atomic.Int64
+	fetchFailures      atomic.Int64
+	resubmissions      atomic.Int64
+
 	stagesInFlight atomic.Int64
 	maxInFlight    atomic.Int64
 
@@ -182,10 +191,54 @@ type MetricsSnapshot struct {
 	// map-sides, e.g. both sides of a join, overlapped). Sub recomputes
 	// it over just the diffed stages.
 	MaxConcurrentStages int64
+	// RemoteFetches / RemoteFetchedBytes count shuffle blobs pulled
+	// from peer workers; FetchFailures counts fetches that failed
+	// because the owning peer was dead or unreachable; Resubmissions
+	// counts map tasks recomputed locally from lineage to cover for a
+	// lost peer. All zero on local (non-cluster) contexts.
+	RemoteFetches      int64
+	RemoteFetchedBytes int64
+	FetchFailures      int64
+	Resubmissions      int64
 	// PerStage lists every completed stage in completion order with its
 	// wall time, task count, records in/out, shuffled bytes, and
 	// task-duration / records-per-partition distributions.
 	PerStage []StageMetric
+	// PerWorker, on cluster-driver snapshots, lists one row per worker
+	// that participated in the last job; empty on local contexts and on
+	// the workers themselves.
+	PerWorker []WorkerStat
+}
+
+// WorkerStat is one worker's row of a distributed job's metrics: the
+// engine counters that worker reported plus its liveness as seen by
+// the driver.
+type WorkerStat struct {
+	ID   string // worker-supplied identity (host:pid by default)
+	Addr string // shuffle-serving address
+	Rank int    // rank in the last job
+	// Alive is the driver's heartbeat-based liveness view; a worker
+	// that was SIGKILLed mid-job reports false with its partial row.
+	Alive bool
+	// Lost marks a worker that died before reporting: its row carries
+	// no counters, and its tasks were resubmitted on surviving ranks.
+	Lost               bool
+	Tasks              int64
+	TaskFailures       int64
+	Stages             int64
+	ShuffledRecords    int64
+	ShuffledBytes      int64
+	RemoteFetches      int64
+	RemoteFetchedBytes int64
+	FetchFailures      int64
+	Resubmissions      int64
+	// ServedFetches / ServedBytes count the shuffle blobs this worker
+	// served to its peers.
+	ServedFetches int64
+	ServedBytes   int64
+	SpilledBytes  int64
+	MemoryPeak    int64
+	Wall          time.Duration
 }
 
 // noteStageStart tracks the in-flight stage gauge and its high-water
@@ -236,6 +289,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SpilledRecords:      m.spilledRecords.Load(),
 		SpillFiles:          m.spillFiles.Load(),
 		MergePasses:         m.mergePasses.Load(),
+		RemoteFetches:       m.remoteFetches.Load(),
+		RemoteFetchedBytes:  m.remoteFetchedBytes.Load(),
+		FetchFailures:       m.fetchFailures.Load(),
+		Resubmissions:       m.resubmissions.Load(),
 		MaxConcurrentStages: m.maxInFlight.Load(),
 		PerStage:            perStage,
 	}
@@ -255,6 +312,10 @@ func (m *Metrics) Reset() {
 	m.spilledRecords.Store(0)
 	m.spillFiles.Store(0)
 	m.mergePasses.Store(0)
+	m.remoteFetches.Store(0)
+	m.remoteFetchedBytes.Store(0)
+	m.fetchFailures.Store(0)
+	m.resubmissions.Store(0)
 	m.maxInFlight.Store(0)
 	m.stageMu.Lock()
 	m.perStage = nil
@@ -268,6 +329,10 @@ func (s MetricsSnapshot) String() string {
 	if s.SpilledBytes > 0 || s.SpillFiles > 0 {
 		out += fmt.Sprintf(" spilledBytes=%d spillFiles=%d mergePasses=%d",
 			s.SpilledBytes, s.SpillFiles, s.MergePasses)
+	}
+	if s.RemoteFetches > 0 || s.FetchFailures > 0 || s.Resubmissions > 0 {
+		out += fmt.Sprintf(" remoteFetches=%d remoteFetchedBytes=%d fetchFailures=%d resubmissions=%d",
+			s.RemoteFetches, s.RemoteFetchedBytes, s.FetchFailures, s.Resubmissions)
 	}
 	return out
 }
@@ -313,6 +378,50 @@ func (s MetricsSnapshot) FormatStages() string {
 		fmt.Fprintf(&b, "memory: budget %s, used %s, peak %s, %d overcommits\n",
 			memory.FormatBytes(s.MemoryBudget), memory.FormatBytes(s.MemoryUsed),
 			memory.FormatBytes(s.MemoryPeak), s.MemoryOvercommits)
+	}
+	if s.RemoteFetches > 0 || s.FetchFailures > 0 || s.Resubmissions > 0 {
+		fmt.Fprintf(&b, "cluster: %d remote fetches (%s), %d fetch failures, %d resubmissions\n",
+			s.RemoteFetches, memory.FormatBytes(s.RemoteFetchedBytes),
+			s.FetchFailures, s.Resubmissions)
+	}
+	if len(s.PerWorker) > 0 {
+		b.WriteString(s.FormatWorkers())
+	}
+	return b.String()
+}
+
+// FormatWorkers renders the per-worker rows of a distributed job: one
+// line per worker with its reported engine counters, data served to
+// peers, and liveness. Empty snapshots render an empty string.
+func (s MetricsSnapshot) FormatWorkers() string {
+	if len(s.PerWorker) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s  %-22s %-6s %7s %8s %12s %12s %9s %9s %8s %12s %10s\n",
+		"rank", "worker", "state", "tasks", "stages", "shufRecords", "shufBytes",
+		"fetches", "served", "resub", "wall", "memPeak")
+	for _, w := range s.PerWorker {
+		state := "alive"
+		switch {
+		case w.Lost:
+			state = "lost"
+		case !w.Alive:
+			state = "dead"
+		}
+		name := w.ID
+		if len(name) > 22 {
+			name = name[:19] + "..."
+		}
+		if w.Lost {
+			fmt.Fprintf(&b, "%4d  %-22s %-6s %7s %8s %12s %12s %9s %9s %8s %12s %10s\n",
+				w.Rank, name, state, "-", "-", "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%4d  %-22s %-6s %7d %8d %12d %12d %9d %9d %8d %12s %10s\n",
+			w.Rank, name, state, w.Tasks, w.Stages, w.ShuffledRecords, w.ShuffledBytes,
+			w.RemoteFetches, w.ServedFetches, w.Resubmissions,
+			w.Wall.Round(time.Millisecond), memory.FormatBytes(w.MemoryPeak))
 	}
 	return b.String()
 }
@@ -365,8 +474,13 @@ func (s MetricsSnapshot) Sub(t MetricsSnapshot) MetricsSnapshot {
 		PoolHits:            s.PoolHits - t.PoolHits,
 		PoolMisses:          s.PoolMisses - t.PoolMisses,
 		PoolReturns:         s.PoolReturns - t.PoolReturns,
+		RemoteFetches:       s.RemoteFetches - t.RemoteFetches,
+		RemoteFetchedBytes:  s.RemoteFetchedBytes - t.RemoteFetchedBytes,
+		FetchFailures:       s.FetchFailures - t.FetchFailures,
+		Resubmissions:       s.Resubmissions - t.Resubmissions,
 		MaxConcurrentStages: maxOverlap(per),
 		PerStage:            per,
+		PerWorker:           s.PerWorker,
 	}
 }
 

@@ -76,10 +76,13 @@ type spillState[T any] struct {
 
 // withSpill names the buckets and, when the context has a memory
 // budget, arms them for out-of-core execution with the given spill
-// sort key.
+// sort key. Distributed contexts never arm shuffle spill: published
+// buckets live in the exchange store (the worker's -mem budget still
+// governs caches and kernels), and the byte-identical assembly order
+// of cluster.go depends on the unspilled concatenation path.
 func (s *lazyBuckets[T]) withSpill(name string, ord func(T) uint64) *lazyBuckets[T] {
 	s.name = name
-	if s.ctx.mem == nil {
+	if s.ctx.mem == nil || s.ctx.conf.Transport != nil {
 		return s
 	}
 	s.spill = &spillState[T]{
@@ -213,6 +216,14 @@ func (tb *taskBuckets[T]) finish() {
 // promised) and the eviction hook is registered once the stage's data
 // is complete.
 func (s *lazyBuckets[T]) runMapSide(st *Stage, inParts int, fill func(p int, tb *taskBuckets[T]) int64) {
+	if s.ctx.conf.Transport != nil {
+		s.runSPMD(st, inParts, func(m int) ([]bucketed[T], int64) {
+			tb := s.newTask()
+			in := fill(m, tb)
+			return tb.buckets, in
+		})
+		return
+	}
 	if s.spill == nil {
 		outputs := make([][]bucketed[T], inParts)
 		s.ctx.runTasks(st, inParts, func(p int) {

@@ -228,10 +228,23 @@ func (d *Dataset[T]) runAction(name string, body func(st *Stage)) {
 }
 
 // materialize computes every partition in parallel on the worker pool
-// and returns them in partition order. It counts as one stage.
+// and returns them in partition order. It counts as one stage. Under a
+// cluster transport each rank computes its owned partitions and
+// gathers the rest from the owners (recomputing from lineage when an
+// owner died), so every rank returns the identical full result.
 func (d *Dataset[T]) materialize() [][]T {
 	out := make([][]T, d.parts)
 	d.runAction("collect", func(st *Stage) {
+		if d.ctx.conf.Transport != nil {
+			parts := spmdGather(d.ctx, st, d.parts, func(p int) []T { return d.partition(p) })
+			for p, rows := range parts {
+				out[p] = rows
+				n := int64(len(rows))
+				st.noteIn(p, n)
+				st.recordsOut.Add(n)
+			}
+			return
+		}
 		d.ctx.runTasks(st, d.parts, func(p int) {
 			out[p] = d.partition(p)
 			n := int64(len(out[p]))
@@ -359,6 +372,18 @@ func Collect[T any](d *Dataset[T]) []T {
 func Count[T any](d *Dataset[T]) int64 {
 	var total atomic.Int64
 	d.runAction("count", func(st *Stage) {
+		if d.ctx.conf.Transport != nil {
+			counts := spmdGather(d.ctx, st, d.parts, func(p int) []int64 {
+				var n int64
+				d.forEach(p, func(T) { n++ })
+				return []int64{n}
+			})
+			for p, c := range counts {
+				total.Add(c[0])
+				st.noteIn(p, c[0])
+			}
+			return
+		}
 		d.ctx.runTasks(st, d.parts, func(p int) {
 			var n int64
 			d.forEach(p, func(T) { n++ })
@@ -376,6 +401,33 @@ func Reduce[T any](d *Dataset[T], f func(T, T) T) T {
 	partials := make([]T, d.parts)
 	seen := make([]bool, d.parts)
 	d.runAction("reduce", func(st *Stage) {
+		if d.ctx.conf.Transport != nil {
+			// Each rank folds its owned partitions, publishes the
+			// 0-or-1-element partial, and gathers the rest; the final
+			// partition-order fold below is identical on every rank.
+			parts := spmdGather(d.ctx, st, d.parts, func(p int) []T {
+				var partial T
+				var any bool
+				d.forEach(p, func(v T) {
+					if !any {
+						partial, any = v, true
+					} else {
+						partial = f(partial, v)
+					}
+				})
+				if !any {
+					return nil
+				}
+				return []T{partial}
+			})
+			for p, rows := range parts {
+				if len(rows) > 0 {
+					partials[p], seen[p] = rows[0], true
+					st.recordsOut.Add(1)
+				}
+			}
+			return
+		}
 		d.ctx.runTasks(st, d.parts, func(p int) {
 			var n int64
 			d.forEach(p, func(v T) {
@@ -416,6 +468,20 @@ func Reduce[T any](d *Dataset[T], f func(T, T) T) T {
 func Aggregate[T, A any](d *Dataset[T], zero A, seq func(A, T) A, merge func(A, A) A) A {
 	partials := make([]A, d.parts)
 	d.runAction("aggregate", func(st *Stage) {
+		if d.ctx.conf.Transport != nil {
+			// Accumulator partials cross ranks with A's registered codec
+			// (gob fallback for unregistered A, so A must be encodable).
+			parts := spmdGather(d.ctx, st, d.parts, func(p int) []A {
+				partial := zero
+				d.forEach(p, func(v T) { partial = seq(partial, v) })
+				return []A{partial}
+			})
+			for p, rows := range parts {
+				partials[p] = rows[0]
+				st.recordsOut.Add(1)
+			}
+			return
+		}
 		d.ctx.runTasks(st, d.parts, func(p int) {
 			partial := zero
 			var n int64
@@ -483,10 +549,17 @@ func Distinct[T any, K comparable](d *Dataset[T], keyOf func(T) K, numPartitions
 func Take[T any](d *Dataset[T], n int) []T {
 	var out []T
 	d.runAction("take", func(st *Stage) {
+		dist := d.ctx.conf.Transport != nil
 		for p := 0; p < d.parts && len(out) < n; p++ {
 			part := p
 			var rows []T
-			d.ctx.runTasks(st, 1, func(int) { rows = d.partition(part) })
+			if dist {
+				// Owner computes and publishes; every rank sees the same
+				// rows, so every rank stops the scan at the same place.
+				rows = spmdGatherOne(d.ctx, st, part, func() []T { return d.partition(part) })
+			} else {
+				d.ctx.runTasks(st, 1, func(int) { rows = d.partition(part) })
+			}
 			st.noteIn(part, int64(len(rows)))
 			for _, v := range rows {
 				out = append(out, v)

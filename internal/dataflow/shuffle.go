@@ -29,6 +29,10 @@ type lazyBuckets[T any] struct {
 	// spill, when non-nil (context has a memory budget), lets the
 	// buckets overflow to sorted run files; see oocore.go.
 	spill *spillState[T]
+	// spmd, when non-nil (context has a cluster transport), replaces
+	// the in-memory buckets with published blobs fetched from the
+	// owning ranks; see cluster.go.
+	spmd *spmdState[T]
 }
 
 // merge concatenates the per-parent bucket outputs into reduce
@@ -63,6 +67,9 @@ func (s *lazyBuckets[T]) merge(st *Stage, outputs [][]bucketed[T]) {
 // dependency of every downstream dataset); tasks never trigger it.
 // Budgeted partitions with spilled runs external-merge them first.
 func (s *lazyBuckets[T]) get(p int) []T {
+	if s.spmd != nil {
+		return s.getSPMD(p)
+	}
 	if s.buckets == nil {
 		panic("dataflow: shuffle read before its stage ran")
 	}
@@ -84,6 +91,19 @@ func exchange[T any](d *Dataset[T], numPartitions int, route func(T) int, ord fu
 	if keyed && d.keyParts == numPartitions {
 		lb.narrow = true
 		lb.name = "narrow-read(" + d.name + ")"
+		if d.ctx.conf.Transport != nil {
+			// Distributed: map task p fills exactly bucket p, and both
+			// share the owner rank, so the published bucket is read back
+			// locally — a narrow read still moves nothing.
+			lb.stage = d.ctx.newStage(lb.name, d.deps, func(st *Stage) {
+				lb.runSPMD(st, d.parts, func(m int) ([]bucketed[T], int64) {
+					buckets := make([]bucketed[T], numPartitions)
+					buckets[m].rows = d.partition(m)
+					return buckets, int64(len(buckets[m].rows))
+				})
+			})
+			return lb
+		}
 		lb.stage = d.ctx.newStage(lb.name, d.deps, func(st *Stage) {
 			outputs := make([][]bucketed[T], d.parts)
 			d.ctx.runTasks(st, d.parts, func(p int) {

@@ -1,0 +1,55 @@
+package jobs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// BenchmarkQueryLocal / BenchmarkQueryCluster3 measure the distributed
+// runtime's overhead on the Fig-4 matmul: the same query on the local
+// backend versus a 3-worker in-process cluster (real TCP loopback
+// shuffle, but no process isolation). The gap is the wire cost —
+// codec encode/decode plus loopback round trips.
+func BenchmarkQueryLocal(b *testing.B) {
+	p := baseParams()
+	p.Src = fig4Queries[0].src
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunQueryLocal(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryCluster3(b *testing.B) {
+	d, err := cluster.NewDriver(cluster.DriverConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 3; i++ {
+		w, err := cluster.StartWorker(cluster.WorkerConfig{
+			ID:          fmt.Sprintf("bw%d", i),
+			DriverAddr:  d.Addr(),
+			Parallelism: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+	}
+	if err := d.WaitForWorkers(3, 10*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	cs := NewClusterSession(d, baseParams(), time.Minute)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cs.Query(fig4Queries[0].src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

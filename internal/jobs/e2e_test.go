@@ -1,0 +1,144 @@
+package jobs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// buildWorkerBinary compiles cmd/sacworker once per test binary run.
+func buildWorkerBinary(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "sacworker")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/sacworker")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build sacworker: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// spawnWorkers starts n sacworker processes against the driver and
+// returns them; the cleanup kills any still running.
+func spawnWorkers(t *testing.T, bin, driverAddr string, n int) []*exec.Cmd {
+	t.Helper()
+	procs := make([]*exec.Cmd, n)
+	for i := range procs {
+		cmd := exec.Command(bin, "-driver", driverAddr, "-id", fmt.Sprintf("e2e-w%d", i))
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start worker %d: %v", i, err)
+		}
+		procs[i] = cmd
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		})
+	}
+	return procs
+}
+
+// TestE2EDistributedParity is the acceptance test with real process
+// isolation: a driver plus three sacworker subprocesses must return
+// byte-identical results to the local backend on the Fig-4 query set
+// (tiled matmul via group-by-join, matmul via join + group-by, and a
+// row-sum aggregation).
+func TestE2EDistributedParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e skipped in -short mode")
+	}
+	bin := buildWorkerBinary(t)
+	d, err := cluster.NewDriver(cluster.DriverConfig{})
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	defer d.Close()
+	spawnWorkers(t, bin, d.Addr(), 3)
+	if err := d.WaitForWorkers(3, 30*time.Second); err != nil {
+		t.Fatalf("workers never registered: %v", err)
+	}
+	for _, q := range fig4Queries {
+		t.Run(q.name, func(t *testing.T) {
+			p := baseParams()
+			p.Src = q.src
+			p.DisableGBJ = q.gbj
+			want, err := RunQueryLocal(p)
+			if err != nil {
+				t.Fatalf("local: %v", err)
+			}
+			cs := NewClusterSession(d, p, 2*time.Minute)
+			got, run, err := cs.Query(q.src)
+			if err != nil {
+				t.Fatalf("cluster: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("distributed result differs from local: %s vs %s",
+					FormatResult(got), FormatResult(want))
+			}
+			if len(run.Workers) != 3 || run.LostWorkers != 0 {
+				t.Fatalf("unexpected run shape: %+v", run)
+			}
+		})
+	}
+}
+
+// TestE2EWorkerSIGKILL kills one subprocess worker with SIGKILL while
+// a query is in flight: the cluster must finish the query with results
+// byte-identical to local and with the lost worker's map tasks
+// resubmitted on the survivors.
+func TestE2EWorkerSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e skipped in -short mode")
+	}
+	bin := buildWorkerBinary(t)
+	p := baseParams()
+	p.Src = fig4Queries[0].src
+	want, err := RunQueryLocal(p)
+	if err != nil {
+		t.Fatalf("local: %v", err)
+	}
+	// Ladder of simulated shuffle costs: retry slower until the kill
+	// lands while the query is still running.
+	for _, costNs := range []float64{5e3, 5e4, 2e5} {
+		d, err := cluster.NewDriver(cluster.DriverConfig{HeartbeatTimeout: 500 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("driver: %v", err)
+		}
+		procs := spawnWorkers(t, bin, d.Addr(), 3)
+		if err := d.WaitForWorkers(3, 30*time.Second); err != nil {
+			t.Fatalf("workers never registered: %v", err)
+		}
+		pk := p
+		pk.ShuffleCostNsPerByte = costNs
+		go func(victim *exec.Cmd) {
+			time.Sleep(30 * time.Millisecond)
+			_ = victim.Process.Kill() // SIGKILL: no goodbye, heartbeats just stop
+		}(procs[2])
+		cs := NewClusterSession(d, pk, 2*time.Minute)
+		got, run, err := cs.Query(pk.Src)
+		d.Close()
+		if err != nil {
+			t.Fatalf("cluster with SIGKILL (cost=%v): %v", costNs, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("post-SIGKILL result differs from local (cost=%v)", costNs)
+		}
+		if run.Resubmissions > 0 {
+			t.Logf("cost=%vns/B: %d lost worker(s), %d resubmissions — contract proven",
+				costNs, run.LostWorkers, run.Resubmissions)
+			return
+		}
+		t.Logf("cost=%vns/B: query beat the kill; retrying slower", costNs)
+	}
+	t.Skip("query completed before worker loss at every simulated cost; parity still verified")
+}

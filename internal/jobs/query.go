@@ -1,0 +1,266 @@
+// Package jobs defines the SPMD job programs workers can run (see
+// internal/cluster's registry): currently "sac.query", which compiles
+// and executes one SAC comprehension against deterministically
+// generated inputs. Queries travel as data — the DSL source plus the
+// generator parameters — never as closures, so every worker binary
+// that links this package can execute any driver's query.
+package jobs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/comp"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/opt"
+	"repro/internal/plan"
+)
+
+// QueryName is the registered program executing one SAC query.
+const QueryName = "sac.query"
+
+// QueryParams is everything a worker needs to reproduce the driver's
+// session: the query source and the deterministic input matrices A
+// (n x n, seed SeedA), B (n x n, seed SeedB), plus the planner knobs
+// that change the stage graph. Every rank must decode identical
+// params or the SPMD graphs diverge.
+type QueryParams struct {
+	Src          string
+	N            int64
+	Tile         int64
+	SeedA, SeedB int64
+	Partitions   int64
+	DisableGBJ   bool
+	DisableRBK   bool
+	// ShuffleCostNsPerByte simulates serialization/network time per
+	// shuffled byte; the worker-kill e2e test uses it to hold queries
+	// open long enough to lose a worker mid-shuffle.
+	ShuffleCostNsPerByte float64
+}
+
+// Encode serializes the params for the job message.
+func (p *QueryParams) Encode() []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(len(p.Src)))
+	b = append(b, p.Src...)
+	b = binary.AppendVarint(b, p.N)
+	b = binary.AppendVarint(b, p.Tile)
+	b = binary.AppendVarint(b, p.SeedA)
+	b = binary.AppendVarint(b, p.SeedB)
+	b = binary.AppendVarint(b, p.Partitions)
+	flags := int64(0)
+	if p.DisableGBJ {
+		flags |= 1
+	}
+	if p.DisableRBK {
+		flags |= 2
+	}
+	b = binary.AppendVarint(b, flags)
+	b = binary.AppendUvarint(b, math.Float64bits(p.ShuffleCostNsPerByte))
+	return b
+}
+
+// DecodeQueryParams parses what Encode wrote.
+func DecodeQueryParams(b []byte) (QueryParams, error) {
+	var p QueryParams
+	u := func() uint64 {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			b = nil
+			return 0
+		}
+		b = b[n:]
+		return v
+	}
+	i := func() int64 {
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			b = nil
+			return 0
+		}
+		b = b[n:]
+		return v
+	}
+	srcLen := u()
+	if uint64(len(b)) < srcLen {
+		return p, fmt.Errorf("jobs: truncated query params")
+	}
+	p.Src = string(b[:srcLen])
+	b = b[srcLen:]
+	p.N = i()
+	p.Tile = i()
+	p.SeedA = i()
+	p.SeedB = i()
+	p.Partitions = i()
+	flags := i()
+	p.DisableGBJ = flags&1 != 0
+	p.DisableRBK = flags&2 != 0
+	p.ShuffleCostNsPerByte = math.Float64frombits(u())
+	if p.Src == "" || p.N <= 0 || p.Tile <= 0 {
+		return p, fmt.Errorf("jobs: invalid query params (src=%q n=%d tile=%d)", p.Src, p.N, p.Tile)
+	}
+	return p, nil
+}
+
+func init() {
+	cluster.RegisterProgram(QueryName, func(env *cluster.JobEnv) ([]byte, cluster.Report, error) {
+		p, err := DecodeQueryParams(env.Params)
+		if err != nil {
+			return nil, cluster.Report{}, err
+		}
+		blob, snap, err := runQuery(p, func(c *core.Config) {
+			c.Parallelism = env.Parallelism
+			c.MemoryBudget = env.MemoryBudget
+			c.Transport = env.Exchange
+			c.WorkerTag = env.WorkerTag
+		})
+		return blob, reportFrom(snap), err
+	})
+}
+
+// runQuery builds a fresh session from the params (plus caller
+// overrides), registers the canonical inputs, executes the query, and
+// serializes the result. The metrics snapshot is taken after
+// serialization: results materialize lazily (ToDense drives the final
+// stages), so an earlier snapshot would miss most of the work.
+func runQuery(p QueryParams, override func(*core.Config)) ([]byte, dataflow.MetricsSnapshot, error) {
+	if p.Partitions <= 0 {
+		// A fixed default: the partition count shapes the stage graph,
+		// so it must not fall through to the engine's
+		// parallelism-derived default — ranks with different core
+		// counts or -parallelism flags would build divergent graphs.
+		p.Partitions = 8
+	}
+	conf := core.Config{
+		TileSize:             int(p.Tile),
+		Partitions:           int(p.Partitions),
+		ShuffleCostNsPerByte: p.ShuffleCostNsPerByte,
+		Optimizations: opt.Options{
+			DisableGBJ:         p.DisableGBJ,
+			DisableReduceByKey: p.DisableRBK,
+		},
+	}
+	if override != nil {
+		override(&conf)
+	}
+	s := core.NewSession(conf)
+	defer s.Close()
+	s.RegisterRandMatrix("A", p.N, p.N, 0, 10, p.SeedA)
+	s.RegisterRandMatrix("B", p.N, p.N, 0, 10, p.SeedB)
+	s.RegisterScalar("n", p.N)
+	res, err := s.Query(p.Src)
+	if err != nil {
+		return nil, s.Metrics(), err
+	}
+	blob, err := EncodeResult(res)
+	return blob, s.Metrics(), err
+}
+
+// RunQueryLocal executes the same program on the plain local backend —
+// the reference the distributed runtime's results are byte-compared
+// against in tests and EXPERIMENTS.md.
+func RunQueryLocal(p QueryParams) ([]byte, error) {
+	blob, _, err := runQuery(p, nil)
+	return blob, err
+}
+
+func reportFrom(m dataflow.MetricsSnapshot) cluster.Report {
+	return cluster.Report{
+		Tasks:              m.Tasks,
+		TaskFailures:       m.TaskFailures,
+		Stages:             m.Stages,
+		ShuffledRecords:    m.ShuffledRecords,
+		ShuffledBytes:      m.ShuffledBytes,
+		RemoteFetches:      m.RemoteFetches,
+		RemoteFetchedBytes: m.RemoteFetchedBytes,
+		FetchFailures:      m.FetchFailures,
+		Resubmissions:      m.Resubmissions,
+		SpilledBytes:       m.SpilledBytes,
+		MemoryPeak:         m.MemoryPeak,
+	}
+}
+
+// Result-blob kinds. The encoding is canonical so the driver can
+// byte-compare ranks: matrices and vectors serialize their dense
+// float64 bits in row-major order, lists and scalars their rendered
+// text.
+const (
+	kindMatrix = 'M'
+	kindVector = 'V'
+	kindList   = 'L'
+	kindScalar = 'S'
+)
+
+// EncodeResult canonically serializes a query result.
+func EncodeResult(res *plan.Result) ([]byte, error) {
+	switch res.Kind() {
+	case "matrix":
+		d := res.Matrix.ToDense()
+		b := []byte{kindMatrix}
+		b = binary.AppendVarint(b, int64(d.Rows))
+		b = binary.AppendVarint(b, int64(d.Cols))
+		return appendF64s(b, d.Data), nil
+	case "vector":
+		v := res.Vector.ToDense()
+		b := []byte{kindVector}
+		b = binary.AppendVarint(b, int64(len(v.Data)))
+		return appendF64s(b, v.Data), nil
+	case "list":
+		var sb strings.Builder
+		for _, row := range res.List {
+			sb.WriteString(comp.Render(row))
+			sb.WriteByte('\n')
+		}
+		return append([]byte{kindList}, sb.String()...), nil
+	default:
+		return append([]byte{kindScalar}, comp.Render(res.Scalar)...), nil
+	}
+}
+
+func appendF64s(b []byte, vals []float64) []byte {
+	for _, v := range vals {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// FormatResult renders a result blob the way the CLI prints local
+// results: kind, shape, and a sum or preview.
+func FormatResult(blob []byte) string {
+	if len(blob) == 0 {
+		return "empty result"
+	}
+	kind, body := blob[0], blob[1:]
+	switch kind {
+	case kindMatrix:
+		rows, n := binary.Varint(body)
+		body = body[n:]
+		cols, n := binary.Varint(body)
+		body = body[n:]
+		return fmt.Sprintf("%dx%d tiled matrix (sum=%.4g)", rows, cols, sumF64s(body))
+	case kindVector:
+		size, n := binary.Varint(body)
+		body = body[n:]
+		return fmt.Sprintf("block vector of %d (sum=%.4g)", size, sumF64s(body))
+	case kindList:
+		lines := strings.Count(string(body), "\n")
+		return fmt.Sprintf("list of %d rows", lines)
+	case kindScalar:
+		return string(body)
+	default:
+		return fmt.Sprintf("unknown result kind %q (%d bytes)", kind, len(blob))
+	}
+}
+
+func sumF64s(b []byte) float64 {
+	var sum float64
+	for len(b) >= 8 {
+		sum += math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	return sum
+}

@@ -1,0 +1,105 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataflow"
+)
+
+// ClusterSession runs SAC queries on a worker cluster through a
+// driver, mirroring core.Session's query-then-metrics shape: Query
+// submits the "sac.query" program and Metrics returns the last job's
+// aggregated counters with one PerWorker row per rank — which also
+// makes it a debug.Source, so `sac -cluster -debug` serves the same
+// live endpoints as local mode.
+type ClusterSession struct {
+	driver  *cluster.Driver
+	base    QueryParams
+	timeout time.Duration
+
+	mu   sync.Mutex
+	last dataflow.MetricsSnapshot
+}
+
+// NewClusterSession wraps a driver. base supplies the input-generation
+// and planner parameters every query shares (Src is per-query).
+func NewClusterSession(d *cluster.Driver, base QueryParams, timeout time.Duration) *ClusterSession {
+	if timeout <= 0 {
+		timeout = 10 * time.Minute
+	}
+	return &ClusterSession{driver: d, base: base, timeout: timeout}
+}
+
+// Query runs one SAC query on the cluster and returns the canonical
+// result blob (see EncodeResult / FormatResult) plus the run detail.
+func (cs *ClusterSession) Query(src string) ([]byte, *cluster.RunResult, error) {
+	p := cs.base
+	p.Src = src
+	run, err := cs.driver.Run(QueryName, p.Encode(), cs.timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	cs.mu.Lock()
+	cs.last = snapshotFrom(run, cs.driver.Workers())
+	cs.mu.Unlock()
+	return run.Result, run, nil
+}
+
+// Metrics returns the last completed job's aggregated snapshot
+// (zero-valued before the first query). Satisfies debug.Source.
+func (cs *ClusterSession) Metrics() dataflow.MetricsSnapshot {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.last
+}
+
+// snapshotFrom folds per-worker reports into the cluster-wide totals
+// plus one PerWorker row per rank, annotated with the driver's
+// liveness view.
+func snapshotFrom(run *cluster.RunResult, infos []cluster.WorkerInfo) dataflow.MetricsSnapshot {
+	alive := make(map[string]bool, len(infos))
+	for _, wi := range infos {
+		alive[wi.ID] = wi.Alive
+	}
+	var snap dataflow.MetricsSnapshot
+	for _, wr := range run.Workers {
+		rep := wr.Report
+		snap.Tasks += rep.Tasks
+		snap.TaskFailures += rep.TaskFailures
+		snap.Stages += rep.Stages
+		snap.ShuffledRecords += rep.ShuffledRecords
+		snap.ShuffledBytes += rep.ShuffledBytes
+		snap.RemoteFetches += rep.RemoteFetches
+		snap.RemoteFetchedBytes += rep.RemoteFetchedBytes
+		snap.FetchFailures += rep.FetchFailures
+		snap.Resubmissions += rep.Resubmissions
+		snap.SpilledBytes += rep.SpilledBytes
+		if rep.MemoryPeak > snap.MemoryPeak {
+			snap.MemoryPeak = rep.MemoryPeak
+		}
+		snap.PerWorker = append(snap.PerWorker, dataflow.WorkerStat{
+			ID:                 wr.ID,
+			Addr:               wr.Addr,
+			Rank:               wr.Rank,
+			Alive:              alive[wr.ID],
+			Lost:               wr.Lost,
+			Tasks:              rep.Tasks,
+			TaskFailures:       rep.TaskFailures,
+			Stages:             rep.Stages,
+			ShuffledRecords:    rep.ShuffledRecords,
+			ShuffledBytes:      rep.ShuffledBytes,
+			RemoteFetches:      rep.RemoteFetches,
+			RemoteFetchedBytes: rep.RemoteFetchedBytes,
+			FetchFailures:      rep.FetchFailures,
+			Resubmissions:      rep.Resubmissions,
+			ServedFetches:      rep.ServedFetches,
+			ServedBytes:        rep.ServedBytes,
+			SpilledBytes:       rep.SpilledBytes,
+			MemoryPeak:         rep.MemoryPeak,
+			Wall:               time.Duration(rep.WallNanos),
+		})
+	}
+	return snap
+}

@@ -1,8 +1,14 @@
-// Package memory implements the process-wide budgeted memory manager
-// behind the engine's out-of-core execution: consumers (shuffle
-// buffers, Persist caches, merged shuffle reads) reserve tracked bytes
-// against a configurable budget and either get the grant, get denied
-// (and spill to disk), or wait for other holders to release.
+// Package memory implements the budgeted memory manager behind the
+// engine's out-of-core execution: consumers (shuffle buffers, Persist
+// caches, merged shuffle reads) reserve tracked bytes against a
+// configurable budget and either get the grant, get denied (and spill
+// to disk), or wait for other holders to release.
+//
+// A Manager is per-instance state, not a process singleton: each
+// dataflow.Context owns its own (so concurrent sessions in one process
+// never share or cross-contaminate budgets), and in a cluster each
+// worker process sizes its own manager from its -mem flag — the
+// per-worker budget.
 //
 // The API is nil-tolerant like the trace package: a nil *Manager means
 // "unlimited, no accounting" and every method degenerates to a nil

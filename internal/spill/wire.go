@@ -1,0 +1,65 @@
+package spill
+
+// Wire helpers: the cluster runtime reuses the spill codec registry as
+// its network serialization format, so tiles, pairs, and coordinates
+// cross process boundaries with the same hand-rolled codecs that write
+// run files — no gob on the hot path, and one set of fuzzers covers
+// both the disk and the network decoders.
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// init registers the primitive codecs so bare scalars (action partials,
+// counts) ship with the compact encoding instead of the gob fallback.
+func init() {
+	Register[float64](Float64Codec{})
+	Register[int64](Int64Codec{})
+	Register[int](IntCodec{})
+	Register[string](StringCodec{})
+	Register[[]float64](Float64SliceCodec{})
+}
+
+// EncodeRows serializes rows as one self-contained blob: a uvarint
+// record count followed by the records. The blob is what shuffle
+// publishers hand to the cluster transport.
+func EncodeRows[T any](rows []T, c Codec[T]) ([]byte, error) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uvarint(uint64(len(rows)))
+	for i := range rows {
+		c.Encode(w, rows[i])
+	}
+	if err := w.Flush(); err != nil {
+		return nil, fmt.Errorf("spill: encode rows: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRows reverses EncodeRows. Like the run-file readers it bounds
+// the upfront allocation: a corrupt count turns into a truncated-stream
+// error, not an arbitrarily large make.
+func DecodeRows[T any](blob []byte, c Codec[T]) ([]T, error) {
+	r := NewReader(bytes.NewReader(blob))
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("spill: decode rows: %w", err)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	alloc := n
+	if alloc > lenCheckChunk {
+		alloc = lenCheckChunk
+	}
+	out := make([]T, 0, alloc)
+	for i := uint64(0); i < n; i++ {
+		v := c.Decode(r)
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("spill: decode rows: record %d of %d: %w", i, n, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

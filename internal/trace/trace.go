@@ -51,6 +51,11 @@ type Tracer struct {
 	nextID int64
 	spans  []*Span
 	now    func() time.Time
+	// auto holds attributes stamped onto every span at Start — a
+	// distributed worker sets {"worker": tag} once so every stage, task,
+	// and kernel span it records is attributable after traces from
+	// several processes are merged.
+	auto []Attr
 }
 
 // New returns a Tracer that stamps spans with the wall clock.
@@ -72,9 +77,31 @@ func (t *Tracer) Start(parent *Span, name string) *Span {
 	if parent != nil {
 		s.ParentID = parent.ID
 	}
+	if len(t.auto) > 0 {
+		s.attrs = append(s.attrs, t.auto...)
+	}
 	t.spans = append(t.spans, s)
 	t.mu.Unlock()
 	return s
+}
+
+// SetAutoAttr registers an attribute stamped onto every subsequently
+// started span (replacing an earlier auto-attribute with the same key);
+// nil-safe. Cluster workers tag their spans with the worker identity
+// this way.
+func (t *Tracer) SetAutoAttr(key string, value any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.auto {
+		if t.auto[i].Key == key {
+			t.auto[i].Value = value
+			return
+		}
+	}
+	t.auto = append(t.auto, Attr{Key: key, Value: value})
 }
 
 // Spans returns a snapshot of all spans recorded so far, in creation

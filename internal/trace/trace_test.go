@@ -112,3 +112,32 @@ func TestTreeUnfinishedSpan(t *testing.T) {
 		t.Fatalf("Tree should mark never-ended spans:\n%s", out)
 	}
 }
+
+func TestAutoAttrs(t *testing.T) {
+	var nilTr *Tracer
+	nilTr.SetAutoAttr("worker", "w0") // must not panic
+
+	tr := New()
+	before := tr.Start(nil, "before")
+	tr.SetAutoAttr("worker", "w0")
+	tr.SetAutoAttr("rank", 2)
+	tr.SetAutoAttr("worker", "w1") // same key replaces
+	after := tr.Start(nil, "after")
+	after.End()
+	before.End()
+
+	attrs := func(s *Span) map[string]any {
+		m := map[string]any{}
+		for _, a := range s.Attrs() {
+			m[a.Key] = a.Value
+		}
+		return m
+	}
+	if got := attrs(before); got["worker"] != nil {
+		t.Fatalf("span started before SetAutoAttr got stamped: %v", got)
+	}
+	got := attrs(after)
+	if got["worker"] != "w1" || got["rank"] != 2 {
+		t.Fatalf("auto attrs = %v, want worker=w1 rank=2", got)
+	}
+}
