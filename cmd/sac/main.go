@@ -10,7 +10,10 @@
 // -analyze is EXPLAIN ANALYZE: it executes the query with tracing on
 // and prints the plan, the measured per-stage table with skew
 // statistics, and the span tree. -debug serves pprof and live metrics
-// over HTTP while queries run.
+// over HTTP while queries run. -adaptive turns on statistics-driven
+// planning (grid/partition counts from cardinality estimates) and
+// adaptive stage-boundary repartitioning for local sessions; plans then
+// show the picked knobs in their cost clause.
 package main
 
 import (
@@ -43,6 +46,7 @@ func main() {
 	debugAddr := flag.String("debug", "", "serve /debug endpoints (pprof, live metrics, stage table) on this address while running")
 	runStdin := flag.Bool("run-stdin", false, "read one query per line from stdin")
 	loop := flag.Bool("loop", false, "read a DIABLO loop program from stdin, translate and run it")
+	adaptive := flag.Bool("adaptive", false, "enable statistics-driven planning and adaptive stage-boundary repartitioning (local sessions only; cluster queries always run the static SPMD plan)")
 	noGBJ := flag.Bool("no-gbj", false, "disable the Section 5.4 group-by-join")
 	noRBK := flag.Bool("no-reducebykey", false, "disable Rule 13 (use groupByKey)")
 	seed := flag.Int64("seed", 1, "random seed for the generated matrices")
@@ -62,10 +66,15 @@ func main() {
 		}
 	}
 
+	// -adaptive only shapes the LOCAL session. Cluster queries are
+	// executed by jobs.QueryParams, which deliberately has no adaptive
+	// knob: SPMD ranks must build byte-identical stage graphs, and
+	// adaptive reshaping is driven by rank-local measurements.
 	s := core.NewSession(core.Config{
 		TileSize:             *tile,
 		MemoryBudget:         budget,
 		ShuffleCostNsPerByte: *shuffleCost,
+		AdaptiveShuffle:      *adaptive,
 		Optimizations: opt.Options{
 			DisableGBJ:         *noGBJ,
 			DisableReduceByKey: *noRBK,

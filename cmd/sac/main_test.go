@@ -76,6 +76,20 @@ func TestCLIQuery(t *testing.T) {
 	}
 }
 
+func TestCLIAdaptiveQuery(t *testing.T) {
+	out, err := runSac(t, "", "-n", "8", "-tile", "4", "-adaptive",
+		"-query", "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, let v = a*b, group by (i,j) ]")
+	if err != nil {
+		t.Fatalf("adaptive query failed: %v\n%s", err, out)
+	}
+	// The plan line must carry the cost clause with the adaptive knobs.
+	for _, want := range []string{"cost: summa-gbj", "rejected:", "parts ", "result:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestCLIStdin(t *testing.T) {
 	queries := "rdd[ ((i,j), a) | ((i,j),a) <- A, i == j ]\n+/[ a | ((i,j),a) <- A ]\n"
 	out, err := runSac(t, queries, "-n", "6", "-tile", "3", "-run-stdin")

@@ -9,12 +9,16 @@
 //	sacbench -fig all -quick      # everything, small sizes
 //	sacbench -fig stages          # per-stage timing table for a GBJ multiply
 //	sacbench -fig 4b -stages      # append the stage table to any figure run
+//	sacbench -fig adaptive -json BENCH_adaptive.json
+//	                              # skewed adaptive-vs-static suite + JSON artifact
+//	sacbench -fig 4b -json out.json  # machine-readable per-stage doc for any figure
 //	sacbench -trace out.json      # Chrome trace of a GBJ multiply (Perfetto)
 //	sacbench -fig 4b -mem 64MiB   # out-of-core run: spill columns appear in the tables
 //	sacbench -fig all -debug :6060  # live pprof/metrics while the run is hot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 4a, 4b, 4c, ablation, kernels, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 4a, 4b, 4c, ablation, kernels, adaptive, all")
 	tile := flag.Int("tile", 100, "tile size N (the paper used 1000)")
 	parts := flag.Int("parts", 8, "dataset partitions (the paper had 8 executors)")
 	k := flag.Int64("k", 100, "factorization rank k (the paper used 1000)")
@@ -38,6 +42,7 @@ func main() {
 	sizesFlag := flag.String("sizes", "", "comma-separated matrix side lengths, overriding defaults")
 	traceOut := flag.String("trace", "", "run a traced GBJ multiply, write Chrome trace JSON to this file, and exit")
 	debugAddr := flag.String("debug", "", "serve /debug endpoints (pprof, live metrics, stage table) on this address during the run")
+	jsonOut := flag.String("json", "", "write a machine-readable JSON artifact to this file: the adaptive suite for -fig adaptive, the per-stage/histogram document otherwise")
 	flag.Parse()
 
 	budget := memory.BudgetFromEnv(0)
@@ -127,6 +132,25 @@ func main() {
 		fmt.Println(bench.AblationCoordinate(cfg, []int64{100, 150}).Format())
 		fmt.Println(bench.AblationTileSize(cfg, mulSizes[0], []int{25, 50, 100, 200}).Format())
 	}
+	writeJSON := func(doc any) {
+		if *jsonOut == "" {
+			return
+		}
+		blob, err := json.MarshalIndent(doc, "", " ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sacbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	runAdaptive := func() {
+		s := bench.Adaptive(cfg)
+		fmt.Println(s.Format())
+		writeJSON(s)
+	}
 
 	switch *fig {
 	case "4a":
@@ -142,6 +166,9 @@ func main() {
 	case "stages":
 		runStages()
 		return
+	case "adaptive":
+		runAdaptive()
+		return
 	case "all":
 		run4a()
 		run4b()
@@ -154,6 +181,9 @@ func main() {
 	if *stages {
 		runStages()
 	}
+	// For figure runs, -json exports the per-stage counters and skew
+	// histograms of the most recent measured context.
+	writeJSON(debug.StagesJSON(bench.CurrentMetrics()))
 }
 
 func min(a, b int) int {

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/comp"
 	"repro/internal/dataflow"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/plan"
 	"repro/internal/sacparser"
+	"repro/internal/stats"
 	"repro/internal/tiled"
 )
 
@@ -52,6 +54,19 @@ type Config struct {
 	// ShuffleCostNsPerByte charges simulated serialization/network
 	// time per shuffled byte (see dataflow.Config).
 	ShuffleCostNsPerByte float64
+	// AdaptiveShuffle turns on statistics-driven execution: shuffle
+	// boundaries rebalance skewed partitions at stage granularity, the
+	// cost model's estimated grids/partition counts reshape physical
+	// plans, and measured query profiles feed back into repeat
+	// compilations. Local-only — a session with a Transport ignores it,
+	// because SPMD ranks must build byte-identical plans.
+	AdaptiveShuffle bool
+	// AdaptiveSkewFactor is the hot-partition threshold (hot when its
+	// row count exceeds factor x median); 0 uses the engine default.
+	AdaptiveSkewFactor float64
+	// AdaptiveMinRows is the minimum hot-partition row count worth
+	// rebalancing; 0 uses the engine default.
+	AdaptiveMinRows int
 	// Transport, when non-nil, makes this session one rank of a
 	// multi-process SPMD cluster: it runs the tasks it owns and
 	// exchanges shuffle buckets with its peers through the transport
@@ -65,9 +80,10 @@ type Config struct {
 
 // Session is the top-level handle; safe for sequential use.
 type Session struct {
-	conf Config
-	ctx  *dataflow.Context
-	cat  *plan.Catalog
+	conf  Config
+	ctx   *dataflow.Context
+	cat   *plan.Catalog
+	stats *stats.Cache
 }
 
 // NewSession creates a session with its own simulated cluster.
@@ -83,12 +99,22 @@ func NewSession(conf Config) *Session {
 		MemoryBudget:      conf.MemoryBudget,
 		SpillDir:          conf.SpillDir,
 
+		AdaptiveShuffle:    conf.AdaptiveShuffle,
+		AdaptiveSkewFactor: conf.AdaptiveSkewFactor,
+		AdaptiveMinRows:    conf.AdaptiveMinRows,
+
 		ShuffleCostNsPerByte: conf.ShuffleCostNsPerByte,
 		Transport:            conf.Transport,
 		WorkerTag:            conf.WorkerTag,
 	})
-	return &Session{conf: conf, ctx: ctx, cat: plan.NewCatalog(ctx)}
+	sc := stats.NewCache()
+	return &Session{conf: conf, ctx: ctx,
+		cat: plan.NewCatalog(ctx).SetStatsCache(sc), stats: sc}
 }
+
+// StatsCache exposes the session-level measured-statistics cache that
+// repeat compilations of the same query consult.
+func (s *Session) StatsCache() *stats.Cache { return s.stats }
 
 // Close releases session resources (spill files, if any). Queries must
 // not run after Close.
@@ -149,13 +175,25 @@ func (s *Session) Compile(src string) (*plan.Compiled, error) {
 	return plan.Compile(e, s.cat, s.conf.Optimizations)
 }
 
-// Query parses, plans, and executes a SAC query.
+// Query parses, plans, and executes a SAC query. Each run's measured
+// profile (wall time, shuffled bytes, worst task skew) is recorded in
+// the session stats cache, so a repeat compilation of the same source
+// sees the observation in its Decision. Tiled results are lazy — only
+// stages forced during Execute are captured here; Analyze forces the
+// result and measures it completely.
 func (s *Session) Query(src string) (*plan.Result, error) {
 	q, err := s.Compile(src)
 	if err != nil {
 		return nil, err
 	}
-	return q.Execute()
+	before := s.ctx.Metrics()
+	start := time.Now()
+	res, err := q.Execute()
+	if err != nil {
+		return nil, err
+	}
+	q.NoteObserved(stats.FromSnapshot(s.ctx.Metrics().Sub(before), time.Since(start).Nanoseconds()))
+	return res, nil
 }
 
 // QueryMatrix runs a query that must produce a tiled matrix.

@@ -1,0 +1,159 @@
+package dataflow
+
+import "sort"
+
+// This file implements adaptive stage boundaries: after a shuffle's
+// map side completes, the engine inspects the records-per-partition
+// histogram it just produced (the same Dist that powers skew warnings)
+// and, when one bucket is lopsided, moves whole key groups out of the
+// argmax bucket into the smallest ones before any reduce task runs.
+// One pass both splits the hot partition and fills the tiny ones; the
+// partition *count* never changes, so downstream lineage is untouched.
+//
+// Correctness hinges on moving only whole ord-groups (all rows whose
+// spill ordinal — a hash of the key — is equal): per-partition
+// grouping and folding then still see every record of a key in one
+// bucket, so results are exactly those of the static plan, merely
+// distributed differently. The rebalance is skipped on narrow reads
+// (nothing to move), spilled shuffles (buckets live in run files), and
+// under a cluster transport (every rank must build byte-identical
+// plans; see internal/jobs for the SPMD invariant).
+
+// adaptiveEnabled reports whether this context rebalances shuffle
+// buckets at stage boundaries. Never under SPMD: adaptive decisions
+// depend on runtime load, and diverging bucket layouts across ranks
+// would break the deterministic-graph contract.
+func (c *Context) adaptiveEnabled() bool {
+	return c.conf.AdaptiveShuffle && c.conf.Transport == nil
+}
+
+// withAdapt opts this shuffle into adaptive rebalancing, using ord —
+// the same key-hash ordinal the spill path sorts by — to delimit the
+// groups that must move atomically. No-op when the context is static.
+func (s *lazyBuckets[T]) withAdapt(ord func(T) uint64) *lazyBuckets[T] {
+	if s.ctx.adaptiveEnabled() {
+		s.adapt = ord
+	}
+	return s
+}
+
+// mayAdapt reports whether this shuffle's buckets can be rebalanced —
+// decidable at construction time, so callers also use it to decide
+// whether the output is still co-partitioned by key (it is not once
+// rows may move between buckets).
+func (s *lazyBuckets[T]) mayAdapt() bool {
+	return s.adapt != nil && !s.narrow && s.spill == nil && s.parts > 1
+}
+
+// rebalance runs once per shuffle, single-threaded, at the end of the
+// map-side stage body (after post-processing, before any reduce task
+// reads a bucket). It fires only when the hot bucket is both absolutely
+// large (AdaptiveMinRows) and relatively skewed (AdaptiveSkewFactor ×
+// the median), then greedily moves the hot bucket's largest key groups
+// to the smallest buckets while each move strictly improves balance. A
+// single giant key is unsplittable and stays put.
+func (s *lazyBuckets[T]) rebalance() {
+	if !s.mayAdapt() {
+		return
+	}
+	conf := s.ctx.conf
+	sizes := make([]int64, s.parts)
+	for b, rows := range s.buckets {
+		sizes[b] = int64(len(rows))
+	}
+	before := summarizeDist(append([]int64(nil), sizes...))
+	hot := before.ArgMax
+	p50 := before.P50
+	if p50 < 1 {
+		p50 = 1
+	}
+	if before.Max < int64(conf.AdaptiveMinRows) ||
+		float64(before.Max) <= conf.AdaptiveSkewFactor*float64(p50) {
+		return
+	}
+
+	// Partition the hot bucket into whole ord-groups, preserving
+	// first-seen order so the untouched remainder keeps its layout.
+	type group struct {
+		seen int
+		rows []T
+	}
+	idx := make(map[uint64]int)
+	var groups []group
+	for _, r := range s.buckets[hot] {
+		o := s.adapt(r)
+		g, ok := idx[o]
+		if !ok {
+			g = len(groups)
+			idx[o] = g
+			groups = append(groups, group{seen: g})
+		}
+		groups[g].rows = append(groups[g].rows, r)
+	}
+	if len(groups) < 2 {
+		return // one key owns the bucket: splitting it would break grouping
+	}
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		gi, gj := groups[order[i]], groups[order[j]]
+		if len(gi.rows) != len(gj.rows) {
+			return len(gi.rows) > len(gj.rows)
+		}
+		return gi.seen < gj.seen
+	})
+
+	hotSize := sizes[hot]
+	keep := make([]bool, len(groups))
+	dest := make([]int, len(groups))
+	var movedRecords, movedGroups int64
+	for _, gi := range order {
+		n := int64(len(groups[gi].rows))
+		dst := -1
+		for b := 0; b < s.parts; b++ {
+			if b != hot && (dst < 0 || sizes[b] < sizes[dst]) {
+				dst = b
+			}
+		}
+		// Move only while the shrunk hot bucket stays at least as large
+		// as the grown destination — otherwise the move just relocates
+		// the skew to another bucket.
+		if hotSize-n < sizes[dst]+n {
+			keep[gi] = true
+			continue
+		}
+		dest[gi] = dst
+		sizes[dst] += n
+		hotSize -= n
+		movedRecords += n
+		movedGroups++
+	}
+	if movedGroups == 0 {
+		return
+	}
+
+	kept := make([]T, 0, hotSize)
+	for gi := range groups {
+		if keep[gi] {
+			kept = append(kept, groups[gi].rows...)
+		} else {
+			s.buckets[dest[gi]] = append(s.buckets[dest[gi]], groups[gi].rows...)
+		}
+	}
+	s.buckets[hot] = kept
+	sizes[hot] = hotSize
+
+	m := &s.ctx.metrics
+	m.adaptiveRebalances.Add(1)
+	m.adaptiveMovedRecords.Add(movedRecords)
+	m.adaptiveMovedGroups.Add(movedGroups)
+	m.noteAdaptive(AdaptiveEvent{
+		Stage:        s.name,
+		Before:       before,
+		After:        summarizeDist(sizes),
+		MovedRecords: movedRecords,
+		MovedGroups:  movedGroups,
+	})
+}

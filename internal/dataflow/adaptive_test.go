@@ -1,0 +1,240 @@
+package dataflow
+
+// Adversarial-skew tests for adaptive stage-boundary rebalancing: keys
+// engineered to collide into one reduce partition (via KeyPartition),
+// zipf-like duplication, and single-giant-group inputs. Every test
+// cross-checks the adaptive result against the static plan — the
+// rebalance must be invisible in values, only in placement. The CI
+// race job runs these under -race, covering the rebalance's interaction
+// with concurrent bucket merges.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// adaptCtx builds a context with adaptive rebalancing on and a low
+// row floor so small test inputs qualify.
+func adaptCtx(t *testing.T, adaptive bool) *Context {
+	t.Helper()
+	ctx := NewContext(Config{
+		Parallelism:       8,
+		DefaultPartitions: 8,
+		AdaptiveShuffle:   adaptive,
+		AdaptiveMinRows:   8,
+	})
+	t.Cleanup(func() {
+		if err := ctx.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return ctx
+}
+
+// collideInto returns n distinct int64 keys all hashing to partition
+// p of parts.
+func collideInto(n, parts, p int) []int64 {
+	keys := make([]int64, 0, n)
+	for k := int64(0); len(keys) < n; k++ {
+		if KeyPartition(k, parts) == p {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func sortedPairs[V any](d *Dataset[Pair[int64, V]]) []Pair[int64, V] {
+	return SortedCollect(d, func(a, b Pair[int64, V]) bool { return a.Key < b.Key })
+}
+
+// TestAdaptiveReduceByKeyExactAndBalanced: all keys in one bucket;
+// adaptive must produce the exact static result while splitting the
+// hot bucket down to (near) even.
+func TestAdaptiveReduceByKeyExactAndBalanced(t *testing.T) {
+	const parts, nKeys, rowsPerKey = 8, 64, 5
+	keys := collideInto(nKeys, parts, 0)
+	rows := make([]Pair[int64, float64], 0, nKeys*rowsPerKey)
+	for i, k := range keys {
+		for r := 0; r < rowsPerKey; r++ {
+			rows = append(rows, KV(k, float64(i*r)+0.5))
+		}
+	}
+	run := func(adaptive bool) ([]Pair[int64, float64], MetricsSnapshot) {
+		ctx := adaptCtx(t, adaptive)
+		red := ReduceByKey(Parallelize(ctx, rows, parts), func(a, b float64) float64 { return a + b }, parts)
+		return sortedPairs(red), ctx.Metrics()
+	}
+	want, staticM := run(false)
+	got, adaptM := run(true)
+	if len(got) != len(want) {
+		t.Fatalf("adaptive returned %d pairs, static %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: adaptive %v != static %v", i, got[i], want[i])
+		}
+	}
+	if staticM.AdaptiveRebalances != 0 {
+		t.Fatalf("static run rebalanced %d times", staticM.AdaptiveRebalances)
+	}
+	if adaptM.AdaptiveRebalances == 0 {
+		t.Fatal("adaptive run never rebalanced a fully-colliding input")
+	}
+	if len(adaptM.AdaptiveEvents) == 0 {
+		t.Fatal("no adaptive events recorded")
+	}
+	e := adaptM.AdaptiveEvents[0]
+	if e.Before.Max != nKeys {
+		t.Fatalf("hot bucket held %d records before, want %d", e.Before.Max, nKeys)
+	}
+	if e.After.Max >= e.Before.Max {
+		t.Fatalf("rebalance did not shrink the hot bucket: before max %d, after max %d",
+			e.Before.Max, e.After.Max)
+	}
+	if e.After.Max > 2*nKeys/parts {
+		t.Fatalf("post-split hot bucket still holds %d of %d records (parts=%d)",
+			e.After.Max, nKeys, parts)
+	}
+}
+
+// TestAdaptiveGroupByKeyPreservesGroups: zipf-like duplication; every
+// group must stay intact (same members) after rows move between
+// buckets, because ord-groups move atomically.
+func TestAdaptiveGroupByKeyPreservesGroups(t *testing.T) {
+	const parts, records = 8, 4000
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.3, 1, 255)
+	rows := make([]Pair[int64, int64], records)
+	for i := range rows {
+		rows[i] = KV(int64(zipf.Uint64()), int64(i))
+	}
+	run := func(adaptive bool) []Pair[int64, []int64] {
+		ctx := adaptCtx(t, adaptive)
+		g := GroupByKey(Parallelize(ctx, rows, parts), parts)
+		out := sortedPairs(g)
+		for _, p := range out {
+			sort.Slice(p.Value, func(i, j int) bool { return p.Value[i] < p.Value[j] })
+		}
+		return out
+	}
+	want := run(false)
+	got := run(true)
+	if len(got) != len(want) {
+		t.Fatalf("adaptive produced %d groups, static %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key || len(got[i].Value) != len(want[i].Value) {
+			t.Fatalf("group %d differs: adaptive (%d, %d members) vs static (%d, %d members)",
+				i, got[i].Key, len(got[i].Value), want[i].Key, len(want[i].Value))
+		}
+		for j := range want[i].Value {
+			if got[i].Value[j] != want[i].Value[j] {
+				t.Fatalf("group %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestAdaptiveSingleGroupNoop: one giant key group is unsplittable —
+// whole groups move atomically — so the rebalancer must leave the
+// bucket alone and the result must still be exact.
+func TestAdaptiveSingleGroupNoop(t *testing.T) {
+	const parts, records = 8, 512
+	rows := make([]Pair[int64, float64], records)
+	for i := range rows {
+		rows[i] = KV(int64(42), float64(i))
+	}
+	ctx := adaptCtx(t, true)
+	g := GroupByKey(Parallelize(ctx, rows, parts), parts)
+	out := sortedPairs(g)
+	if len(out) != 1 || len(out[0].Value) != records {
+		t.Fatalf("giant group mangled: %d groups, first has %d members", len(out), len(out[0].Value))
+	}
+	if m := ctx.Metrics(); m.AdaptiveMovedRecords != 0 {
+		t.Fatalf("rebalancer moved %d records out of a single-group bucket", m.AdaptiveMovedRecords)
+	}
+}
+
+// TestAdaptivePartitionByKeyProperty is the randomized property test:
+// across seeds, partition counts, and skew shapes, adaptive
+// ReduceByKey must agree with a local reference fold.
+func TestAdaptivePartitionByKeyProperty(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			parts := 2 + rng.Intn(9)
+			records := 200 + rng.Intn(2000)
+			keySpace := int64(1 + rng.Intn(64))
+			rows := make([]Pair[int64, int64], records)
+			ref := map[int64]int64{}
+			for i := range rows {
+				k := rng.Int63n(keySpace)
+				if rng.Intn(3) == 0 {
+					k = 0 // extra mass on one key
+				}
+				v := rng.Int63n(1000)
+				rows[i] = KV(k, v)
+				ref[k] += v
+			}
+			ctx := adaptCtx(t, true)
+			red := ReduceByKey(Parallelize(ctx, rows, parts), func(a, b int64) int64 { return a + b }, parts)
+			got := sortedPairs(red)
+			if len(got) != len(ref) {
+				t.Fatalf("got %d keys, want %d", len(got), len(ref))
+			}
+			for _, p := range got {
+				if ref[p.Key] != p.Value {
+					t.Fatalf("key %d: got %d, want %d", p.Key, p.Value, ref[p.Key])
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveBeatsStaticWallClock: latency-bound downstream work per
+// key. The static plan serializes all keys behind one straggler task;
+// the rebalanced plan overlaps them, so adaptive must win wall-clock
+// with a 2x margin (expected ~6-8x).
+func TestAdaptiveBeatsStaticWallClock(t *testing.T) {
+	const parts, nKeys, perKey = 8, 64, 2 * time.Millisecond
+	keys := collideInto(nKeys, parts, 0)
+	rows := make([]Pair[int64, float64], len(keys))
+	for i, k := range keys {
+		rows[i] = KV(k, float64(i))
+	}
+	run := func(adaptive bool) (time.Duration, float64) {
+		ctx := adaptCtx(t, adaptive)
+		start := time.Now()
+		red := ReduceByKey(Parallelize(ctx, rows, parts), func(a, b float64) float64 { return a + b }, parts)
+		slow := Map(red, func(p Pair[int64, float64]) float64 {
+			time.Sleep(perKey)
+			return p.Value
+		})
+		sum := Reduce(slow, func(a, b float64) float64 { return a + b })
+		return time.Since(start), sum
+	}
+	staticWall, staticSum := run(false)
+	adaptiveWall, adaptiveSum := run(true)
+	if staticSum != adaptiveSum {
+		t.Fatalf("checksum diverged: static %v, adaptive %v", staticSum, adaptiveSum)
+	}
+	if 2*adaptiveWall >= staticWall {
+		t.Fatalf("adaptive (%v) not at least 2x faster than static (%v) on a fully-colliding input",
+			adaptiveWall, staticWall)
+	}
+}
+
+// TestAdaptiveKeyPartitionContract pins the property the colliding-key
+// construction depends on: KeyPartition is the engine's actual routing
+// function.
+func TestAdaptiveKeyPartitionContract(t *testing.T) {
+	for _, k := range collideInto(16, 8, 3) {
+		if got := partitionOf(k, 8); got != 3 {
+			t.Fatalf("KeyPartition and partitionOf disagree for %d: %d", k, got)
+		}
+	}
+}

@@ -74,6 +74,22 @@ type Config struct {
 	// fresh directory under the OS temp dir, created on first spill
 	// and removed by Close.
 	SpillDir string
+	// AdaptiveShuffle enables adaptive stage boundaries: after each
+	// shuffle map-side, the engine rebalances lopsided reduce buckets
+	// by moving whole key groups out of the argmax-skewed bucket into
+	// the smallest ones (see adaptive.go). Results are unchanged; only
+	// their distribution across reduce tasks is. Ignored — always off —
+	// under a cluster Transport, where every rank must make identical
+	// decisions.
+	AdaptiveShuffle bool
+	// AdaptiveSkewFactor is the records max/median ratio a reduce
+	// bucket must exceed before it is rebalanced. Defaults to
+	// DefaultSkewThreshold.
+	AdaptiveSkewFactor float64
+	// AdaptiveMinRows is the minimum record count of the hot bucket
+	// before rebalancing is considered, so tiny shuffles are never
+	// touched. Defaults to 32.
+	AdaptiveMinRows int
 	// Transport, when non-nil, switches the context into distributed
 	// SPMD execution: this process is one rank of Transport.World()
 	// identical processes all building the same deterministic graph.
@@ -173,6 +189,12 @@ func NewContext(conf Config) *Context {
 	}
 	if conf.MaxTaskRetries <= 0 {
 		conf.MaxTaskRetries = 4
+	}
+	if conf.AdaptiveSkewFactor <= 0 {
+		conf.AdaptiveSkewFactor = DefaultSkewThreshold
+	}
+	if conf.AdaptiveMinRows <= 0 {
+		conf.AdaptiveMinRows = 32
 	}
 	ctx := &Context{
 		conf: conf,

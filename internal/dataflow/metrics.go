@@ -41,11 +41,21 @@ type Metrics struct {
 	fetchFailures      atomic.Int64
 	resubmissions      atomic.Int64
 
+	// Adaptive-boundary counters: shuffle map-sides whose buckets were
+	// rebalanced, and the records / whole key groups moved out of hot
+	// buckets. Zero when AdaptiveShuffle is off.
+	adaptiveRebalances   atomic.Int64
+	adaptiveMovedRecords atomic.Int64
+	adaptiveMovedGroups  atomic.Int64
+
 	stagesInFlight atomic.Int64
 	maxInFlight    atomic.Int64
 
 	stageMu  sync.Mutex
 	perStage []StageMetric
+
+	adaptiveMu     sync.Mutex
+	adaptiveEvents []AdaptiveEvent
 }
 
 // Dist is a compact distribution summary of one per-task quantity
@@ -121,6 +131,21 @@ type StageMetric struct {
 // DefaultSkewThreshold is the task-duration p99/p50 ratio above which a
 // stage is flagged as skewed.
 const DefaultSkewThreshold = 4.0
+
+// AdaptiveEvent records one adaptive stage-boundary rebalance: the
+// records-per-partition distribution of the shuffle's buckets before
+// and after, and the volume moved out of the hot (argmax) bucket.
+type AdaptiveEvent struct {
+	// Stage is the shuffle's name (e.g. "shuffle(reduceByKey)").
+	Stage string
+	// Before and After summarize records per reduce bucket around the
+	// rebalance; Before.ArgMax is the hot bucket that was split.
+	Before, After Dist
+	// MovedRecords and MovedGroups count the rows and whole key groups
+	// relocated from the hot bucket to the smallest ones.
+	MovedRecords int64
+	MovedGroups  int64
+}
 
 // SkewWarning reports a human-readable skew diagnosis when the stage's
 // task-duration p99/p50 exceeds threshold (<= 0 uses
@@ -200,6 +225,16 @@ type MetricsSnapshot struct {
 	RemoteFetchedBytes int64
 	FetchFailures      int64
 	Resubmissions      int64
+	// AdaptiveRebalances / AdaptiveMovedRecords / AdaptiveMovedGroups
+	// count adaptive stage-boundary rebalances: shuffles whose reduce
+	// buckets were reshaped after the map side completed, and the rows /
+	// whole key groups moved out of hot buckets. All zero when
+	// Config.AdaptiveShuffle is off (the default) and always under SPMD.
+	AdaptiveRebalances   int64
+	AdaptiveMovedRecords int64
+	AdaptiveMovedGroups  int64
+	// AdaptiveEvents details each rebalance in completion order.
+	AdaptiveEvents []AdaptiveEvent
 	// PerStage lists every completed stage in completion order with its
 	// wall time, task count, records in/out, shuffled bytes, and
 	// task-duration / records-per-partition distributions.
@@ -263,6 +298,13 @@ func (m *Metrics) recordStage(s StageMetric) {
 	m.stageMu.Unlock()
 }
 
+// noteAdaptive appends one adaptive rebalance record.
+func (m *Metrics) noteAdaptive(e AdaptiveEvent) {
+	m.adaptiveMu.Lock()
+	m.adaptiveEvents = append(m.adaptiveEvents, e)
+	m.adaptiveMu.Unlock()
+}
+
 // noteSpill credits one spill event: bytes and rows written across
 // files new run files.
 func (m *Metrics) noteSpill(bytes, rows, files int64) {
@@ -276,25 +318,32 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.stageMu.Lock()
 	perStage := append([]StageMetric(nil), m.perStage...)
 	m.stageMu.Unlock()
+	m.adaptiveMu.Lock()
+	adaptive := append([]AdaptiveEvent(nil), m.adaptiveEvents...)
+	m.adaptiveMu.Unlock()
 	return MetricsSnapshot{
-		Tasks:               m.tasks.Load(),
-		TaskFailures:        m.taskFailures.Load(),
-		Stages:              m.stages.Load(),
-		Shuffles:            m.shuffles.Load(),
-		ShuffledRecords:     m.shuffledRecords.Load(),
-		ShuffledBytes:       m.shuffledBytes.Load(),
-		CollectedRecords:    m.collectedRecords.Load(),
-		CachedBytes:         m.cachedBytes.Load(),
-		SpilledBytes:        m.spilledBytes.Load(),
-		SpilledRecords:      m.spilledRecords.Load(),
-		SpillFiles:          m.spillFiles.Load(),
-		MergePasses:         m.mergePasses.Load(),
-		RemoteFetches:       m.remoteFetches.Load(),
-		RemoteFetchedBytes:  m.remoteFetchedBytes.Load(),
-		FetchFailures:       m.fetchFailures.Load(),
-		Resubmissions:       m.resubmissions.Load(),
-		MaxConcurrentStages: m.maxInFlight.Load(),
-		PerStage:            perStage,
+		Tasks:                m.tasks.Load(),
+		TaskFailures:         m.taskFailures.Load(),
+		Stages:               m.stages.Load(),
+		Shuffles:             m.shuffles.Load(),
+		ShuffledRecords:      m.shuffledRecords.Load(),
+		ShuffledBytes:        m.shuffledBytes.Load(),
+		CollectedRecords:     m.collectedRecords.Load(),
+		CachedBytes:          m.cachedBytes.Load(),
+		SpilledBytes:         m.spilledBytes.Load(),
+		SpilledRecords:       m.spilledRecords.Load(),
+		SpillFiles:           m.spillFiles.Load(),
+		MergePasses:          m.mergePasses.Load(),
+		RemoteFetches:        m.remoteFetches.Load(),
+		RemoteFetchedBytes:   m.remoteFetchedBytes.Load(),
+		FetchFailures:        m.fetchFailures.Load(),
+		Resubmissions:        m.resubmissions.Load(),
+		MaxConcurrentStages:  m.maxInFlight.Load(),
+		AdaptiveRebalances:   m.adaptiveRebalances.Load(),
+		AdaptiveMovedRecords: m.adaptiveMovedRecords.Load(),
+		AdaptiveMovedGroups:  m.adaptiveMovedGroups.Load(),
+		AdaptiveEvents:       adaptive,
+		PerStage:             perStage,
 	}
 }
 
@@ -317,9 +366,15 @@ func (m *Metrics) Reset() {
 	m.fetchFailures.Store(0)
 	m.resubmissions.Store(0)
 	m.maxInFlight.Store(0)
+	m.adaptiveRebalances.Store(0)
+	m.adaptiveMovedRecords.Store(0)
+	m.adaptiveMovedGroups.Store(0)
 	m.stageMu.Lock()
 	m.perStage = nil
 	m.stageMu.Unlock()
+	m.adaptiveMu.Lock()
+	m.adaptiveEvents = nil
+	m.adaptiveMu.Unlock()
 }
 
 // String formats the snapshot as a single diagnostics line.
@@ -333,6 +388,10 @@ func (s MetricsSnapshot) String() string {
 	if s.RemoteFetches > 0 || s.FetchFailures > 0 || s.Resubmissions > 0 {
 		out += fmt.Sprintf(" remoteFetches=%d remoteFetchedBytes=%d fetchFailures=%d resubmissions=%d",
 			s.RemoteFetches, s.RemoteFetchedBytes, s.FetchFailures, s.Resubmissions)
+	}
+	if s.AdaptiveRebalances > 0 {
+		out += fmt.Sprintf(" adaptiveRebalances=%d adaptiveMovedRecords=%d",
+			s.AdaptiveRebalances, s.AdaptiveMovedRecords)
 	}
 	return out
 }
@@ -363,6 +422,15 @@ func (s MetricsSnapshot) FormatStages() string {
 	}
 	for _, w := range s.SkewWarnings(0) {
 		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
+	if s.AdaptiveRebalances > 0 {
+		fmt.Fprintf(&b, "adaptive: %d rebalances moved %d records (%d key groups)\n",
+			s.AdaptiveRebalances, s.AdaptiveMovedRecords, s.AdaptiveMovedGroups)
+		for _, e := range s.AdaptiveEvents {
+			fmt.Fprintf(&b, "  %s: bucket %d held %d records (p50=%d) -> max %d after moving %d records in %d groups\n",
+				e.Stage, e.Before.ArgMax, e.Before.Max, e.Before.P50,
+				e.After.Max, e.MovedRecords, e.MovedGroups)
+		}
 	}
 	fmt.Fprintf(&b, "max concurrent stages: %d\n", s.MaxConcurrentStages)
 	if gets := s.PoolHits + s.PoolMisses; gets > 0 {
@@ -453,34 +521,42 @@ func (s MetricsSnapshot) Sub(t MetricsSnapshot) MetricsSnapshot {
 	if len(s.PerStage) > len(t.PerStage) {
 		per = s.PerStage[len(t.PerStage):]
 	}
+	var adaptive []AdaptiveEvent
+	if len(s.AdaptiveEvents) > len(t.AdaptiveEvents) {
+		adaptive = s.AdaptiveEvents[len(t.AdaptiveEvents):]
+	}
 	return MetricsSnapshot{
-		Tasks:               s.Tasks - t.Tasks,
-		TaskFailures:        s.TaskFailures - t.TaskFailures,
-		Stages:              s.Stages - t.Stages,
-		Shuffles:            s.Shuffles - t.Shuffles,
-		ShuffledRecords:     s.ShuffledRecords - t.ShuffledRecords,
-		ShuffledBytes:       s.ShuffledBytes - t.ShuffledBytes,
-		CollectedRecords:    s.CollectedRecords - t.CollectedRecords,
-		CachedBytes:         s.CachedBytes,
-		SpilledBytes:        s.SpilledBytes - t.SpilledBytes,
-		SpilledRecords:      s.SpilledRecords - t.SpilledRecords,
-		SpillFiles:          s.SpillFiles - t.SpillFiles,
-		MergePasses:         s.MergePasses - t.MergePasses,
-		BudgetWaits:         s.BudgetWaits - t.BudgetWaits,
-		MemoryOvercommits:   s.MemoryOvercommits - t.MemoryOvercommits,
-		MemoryBudget:        s.MemoryBudget,
-		MemoryUsed:          s.MemoryUsed,
-		MemoryPeak:          s.MemoryPeak,
-		PoolHits:            s.PoolHits - t.PoolHits,
-		PoolMisses:          s.PoolMisses - t.PoolMisses,
-		PoolReturns:         s.PoolReturns - t.PoolReturns,
-		RemoteFetches:       s.RemoteFetches - t.RemoteFetches,
-		RemoteFetchedBytes:  s.RemoteFetchedBytes - t.RemoteFetchedBytes,
-		FetchFailures:       s.FetchFailures - t.FetchFailures,
-		Resubmissions:       s.Resubmissions - t.Resubmissions,
-		MaxConcurrentStages: maxOverlap(per),
-		PerStage:            per,
-		PerWorker:           s.PerWorker,
+		Tasks:                s.Tasks - t.Tasks,
+		TaskFailures:         s.TaskFailures - t.TaskFailures,
+		Stages:               s.Stages - t.Stages,
+		Shuffles:             s.Shuffles - t.Shuffles,
+		ShuffledRecords:      s.ShuffledRecords - t.ShuffledRecords,
+		ShuffledBytes:        s.ShuffledBytes - t.ShuffledBytes,
+		CollectedRecords:     s.CollectedRecords - t.CollectedRecords,
+		CachedBytes:          s.CachedBytes,
+		SpilledBytes:         s.SpilledBytes - t.SpilledBytes,
+		SpilledRecords:       s.SpilledRecords - t.SpilledRecords,
+		SpillFiles:           s.SpillFiles - t.SpillFiles,
+		MergePasses:          s.MergePasses - t.MergePasses,
+		BudgetWaits:          s.BudgetWaits - t.BudgetWaits,
+		MemoryOvercommits:    s.MemoryOvercommits - t.MemoryOvercommits,
+		MemoryBudget:         s.MemoryBudget,
+		MemoryUsed:           s.MemoryUsed,
+		MemoryPeak:           s.MemoryPeak,
+		PoolHits:             s.PoolHits - t.PoolHits,
+		PoolMisses:           s.PoolMisses - t.PoolMisses,
+		PoolReturns:          s.PoolReturns - t.PoolReturns,
+		RemoteFetches:        s.RemoteFetches - t.RemoteFetches,
+		RemoteFetchedBytes:   s.RemoteFetchedBytes - t.RemoteFetchedBytes,
+		FetchFailures:        s.FetchFailures - t.FetchFailures,
+		Resubmissions:        s.Resubmissions - t.Resubmissions,
+		MaxConcurrentStages:  maxOverlap(per),
+		AdaptiveRebalances:   s.AdaptiveRebalances - t.AdaptiveRebalances,
+		AdaptiveMovedRecords: s.AdaptiveMovedRecords - t.AdaptiveMovedRecords,
+		AdaptiveMovedGroups:  s.AdaptiveMovedGroups - t.AdaptiveMovedGroups,
+		AdaptiveEvents:       adaptive,
+		PerStage:             per,
+		PerWorker:            s.PerWorker,
 	}
 }
 

@@ -77,6 +77,12 @@ func partitionOf[K comparable](k K, n int) int {
 	return int(hashAny(k) % uint64(n))
 }
 
+// KeyPartition reports the reduce partition the engine's hash
+// partitioner assigns key k among n partitions. Exported so benchmarks
+// and tests can construct deliberately colliding (adversarially
+// skewed) key sets and verify routing from outside the package.
+func KeyPartition[K comparable](k K, n int) int { return partitionOf(k, n) }
+
 // GridPartition maps a block coordinate to a partition the way Spark
 // MLlib's GridPartitioner does: the (rowsPerPart x colsPerPart) grid
 // cell of the coordinate, linearized.

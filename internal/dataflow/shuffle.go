@@ -33,6 +33,10 @@ type lazyBuckets[T any] struct {
 	// the in-memory buckets with published blobs fetched from the
 	// owning ranks; see cluster.go.
 	spmd *spmdState[T]
+	// adapt, when non-nil, opts the shuffle into adaptive stage-boundary
+	// rebalancing; it maps a row to its key-group ordinal, the unit that
+	// must move between buckets atomically. See adaptive.go.
+	adapt func(T) uint64
 }
 
 // merge concatenates the per-parent bucket outputs into reduce
@@ -61,6 +65,9 @@ func (s *lazyBuckets[T]) merge(st *Stage, outputs [][]bucketed[T]) {
 			s.buckets[b] = s.post(s.buckets[b])
 		}
 	}
+	// Post runs first so the histogram sees the folded sizes (one row
+	// per key for reduceByKey), not the pre-combine volume.
+	s.rebalance()
 }
 
 // get reads one reduce partition. The stage must have run (it is a
@@ -159,7 +166,8 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(V, V)
 		numPartitions = d.ctx.DefaultPartitions()
 	}
 	lb := (&lazyBuckets[Pair[K, V]]{ctx: d.ctx, parts: numPartitions}).
-		withSpill("shuffle(reduceByKey)", pairOrd[K, V])
+		withSpill("shuffle(reduceByKey)", pairOrd[K, V]).
+		withAdapt(pairOrd[K, V])
 	// Reduce side: fold the shuffled partials per key, exactly once
 	// (combine may mutate its first argument). Installed before the
 	// stage body so the budgeted path can fold run-free partitions at
@@ -204,8 +212,14 @@ func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], combine func(V, V)
 			return in
 		})
 	})
-	return newSliceDataset(d.ctx, numPartitions, "reduceByKey", []*Stage{lb.stage}, lb.get).
-		withKeyParts(numPartitions)
+	out := newSliceDataset(d.ctx, numPartitions, "reduceByKey", []*Stage{lb.stage}, lb.get)
+	if lb.mayAdapt() {
+		// Rebalancing may move keys off their hash bucket, so the output
+		// is no longer hash-co-partitioned: downstream keyed operators
+		// must do a full exchange rather than a narrow read.
+		return out
+	}
+	return out.withKeyParts(numPartitions)
 }
 
 // foldPairs merges a slice of pairs by key preserving first-seen key
@@ -236,7 +250,8 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], numPartitions int) 
 	if numPartitions <= 0 {
 		numPartitions = d.ctx.DefaultPartitions()
 	}
-	lb := exchange(d, numPartitions, pairRoute[K, V](numPartitions), pairOrd[K, V], true)
+	lb := exchange(d, numPartitions, pairRoute[K, V](numPartitions), pairOrd[K, V], true).
+		withAdapt(pairOrd[K, V])
 	ds := newStreamDataset(d.ctx, numPartitions, "groupByKey", []*Stage{lb.stage},
 		func(p int, emit func(Pair[K, []V])) {
 			if lb.spill != nil {
@@ -260,6 +275,9 @@ func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], numPartitions int) 
 				emit(KV(k, acc[k]))
 			}
 		})
+	if lb.mayAdapt() {
+		return ds // rebalancing breaks hash-co-partitioning; see ReduceByKey
+	}
 	return ds.withKeyParts(numPartitions)
 }
 
@@ -443,9 +461,13 @@ func PartitionByKey[K comparable, V any](d *Dataset[Pair[K, V]], numPartitions i
 	if numPartitions <= 0 {
 		numPartitions = d.ctx.DefaultPartitions()
 	}
-	lb := exchange(d, numPartitions, pairRoute[K, V](numPartitions), pairOrd[K, V], true)
-	return newSliceDataset(d.ctx, numPartitions, "partitionBy", []*Stage{lb.stage}, lb.get).
-		withKeyParts(numPartitions)
+	lb := exchange(d, numPartitions, pairRoute[K, V](numPartitions), pairOrd[K, V], true).
+		withAdapt(pairOrd[K, V])
+	out := newSliceDataset(d.ctx, numPartitions, "partitionBy", []*Stage{lb.stage}, lb.get)
+	if lb.mayAdapt() {
+		return out // rebalancing breaks hash-co-partitioning; see ReduceByKey
+	}
+	return out.withKeyParts(numPartitions)
 }
 
 // CollectAsMap collects a pair dataset into a map; later duplicates of

@@ -42,6 +42,90 @@ type spillSnapshot struct {
 	MergePasses int64 `json:"merge_passes"`
 }
 
+// distJSON is a dataflow.Dist with stable lowercase keys, so external
+// tooling does not depend on the Go field names.
+type distJSON struct {
+	N      int   `json:"n"`
+	Min    int64 `json:"min"`
+	P50    int64 `json:"p50"`
+	P99    int64 `json:"p99"`
+	Max    int64 `json:"max"`
+	ArgMax int   `json:"argmax"`
+}
+
+func toDistJSON(d dataflow.Dist) distJSON {
+	return distJSON{N: d.N, Min: d.Min, P50: d.P50, P99: d.P99, Max: d.Max, ArgMax: d.ArgMax}
+}
+
+// stageJSON is one row of the /debug/stages.json document: the
+// per-stage shuffle counters plus both skew histograms.
+type stageJSON struct {
+	ID            int64    `json:"id"`
+	Name          string   `json:"name"`
+	WallNs        int64    `json:"wall_ns"`
+	Tasks         int64    `json:"tasks"`
+	RecordsIn     int64    `json:"records_in"`
+	RecordsOut    int64    `json:"records_out"`
+	ShuffledBytes int64    `json:"shuffled_bytes"`
+	TaskDurNs     distJSON `json:"task_dur_ns"`
+	PartRecords   distJSON `json:"part_records"`
+	Skew          float64  `json:"skew"`
+	SkewWarning   string   `json:"skew_warning,omitempty"`
+}
+
+// adaptiveJSON is one stage-boundary rebalance event.
+type adaptiveJSON struct {
+	Stage        string   `json:"stage"`
+	Before       distJSON `json:"before"`
+	After        distJSON `json:"after"`
+	MovedRecords int64    `json:"moved_records"`
+	MovedGroups  int64    `json:"moved_groups"`
+}
+
+// stagesDoc is the /debug/stages.json document.
+type stagesDoc struct {
+	Stages   []stageJSON    `json:"stages"`
+	Adaptive []adaptiveJSON `json:"adaptive,omitempty"`
+	Totals   struct {
+		ShuffledBytes   int64 `json:"shuffled_bytes"`
+		ShuffledRecords int64 `json:"shuffled_records"`
+		Rebalances      int64 `json:"adaptive_rebalances"`
+		MovedRecords    int64 `json:"adaptive_moved_records"`
+	} `json:"totals"`
+}
+
+// StagesJSON builds the machine-readable per-stage document from a
+// snapshot; exported so sacbench can embed the same shape in its
+// benchmark artifacts.
+func StagesJSON(m dataflow.MetricsSnapshot) any {
+	var doc stagesDoc
+	doc.Stages = make([]stageJSON, 0, len(m.PerStage))
+	for _, st := range m.PerStage {
+		row := stageJSON{
+			ID: st.ID, Name: st.Name, WallNs: int64(st.Wall),
+			Tasks: st.Tasks, RecordsIn: st.RecordsIn, RecordsOut: st.RecordsOut,
+			ShuffledBytes: st.ShuffledBytes,
+			TaskDurNs:     toDistJSON(st.TaskDur), PartRecords: toDistJSON(st.PartRecords),
+			Skew: st.TaskDur.Skew(),
+		}
+		if w, ok := st.SkewWarning(0); ok {
+			row.SkewWarning = w
+		}
+		doc.Stages = append(doc.Stages, row)
+	}
+	for _, e := range m.AdaptiveEvents {
+		doc.Adaptive = append(doc.Adaptive, adaptiveJSON{
+			Stage: e.Stage, Before: toDistJSON(e.Before), After: toDistJSON(e.After),
+			MovedRecords: e.MovedRecords, MovedGroups: e.MovedGroups,
+		})
+	}
+	doc.Totals.ShuffledBytes = m.ShuffledBytes
+	doc.Totals.ShuffledRecords = m.ShuffledRecords
+	doc.Totals.Rebalances = m.AdaptiveRebalances
+	doc.Totals.MovedRecords = m.AdaptiveMovedRecords
+	return doc
+}
+
 // Server is a running debug endpoint.
 type Server struct {
 	srv *http.Server
@@ -51,10 +135,12 @@ type Server struct {
 // Serve starts the endpoint on addr (for example "localhost:6060";
 // ":0" picks a free port — read it back with Addr). Routes:
 //
-//	/debug/pprof/   the standard pprof index and profiles
-//	/debug/metrics  the current MetricsSnapshot as JSON
-//	/debug/stages   the per-stage execution table as text
-//	/debug/memory   memory budget and spill gauges as JSON
+//	/debug/pprof/       the standard pprof index and profiles
+//	/debug/metrics      the current MetricsSnapshot as JSON
+//	/debug/stages       the per-stage execution table as text
+//	/debug/stages.json  per-stage counters, Dist histograms, and
+//	                    adaptive rebalance events as JSON
+//	/debug/memory       memory budget and spill gauges as JSON
 func Serve(addr string, src Source) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -73,6 +159,14 @@ func Serve(addr string, src Source) (*Server, error) {
 	mux.HandleFunc("/debug/stages", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, src.Metrics().FormatStages())
+	})
+	mux.HandleFunc("/debug/stages.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(StagesJSON(src.Metrics())); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.HandleFunc("/debug/memory", func(w http.ResponseWriter, r *http.Request) {
 		m := src.Metrics()
@@ -105,6 +199,7 @@ func Serve(addr string, src Source) (*Server, error) {
 		fmt.Fprint(w, `<html><body><h1>SAC engine debug</h1><ul>
 <li><a href="/debug/metrics">/debug/metrics</a> — live metrics snapshot (JSON)</li>
 <li><a href="/debug/stages">/debug/stages</a> — per-stage execution table</li>
+<li><a href="/debug/stages.json">/debug/stages.json</a> — per-stage counters, skew histograms, adaptive rebalances (JSON)</li>
 <li><a href="/debug/memory">/debug/memory</a> — memory budget and spill gauges (JSON)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiles</li>
 </ul></body></html>`)

@@ -58,6 +58,38 @@ func TestServe(t *testing.T) {
 		t.Fatalf("/debug/stages missing shuffle stage row:\n%s", body)
 	}
 
+	code, body = get(t, base+"/debug/stages.json")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/stages.json status %d", code)
+	}
+	var doc struct {
+		Stages []struct {
+			Name        string `json:"name"`
+			WallNs      int64  `json:"wall_ns"`
+			PartRecords *struct {
+				Max int64 `json:"max"`
+			} `json:"part_records"`
+		} `json:"stages"`
+		Totals struct {
+			ShuffledRecords int64 `json:"shuffled_records"`
+		} `json:"totals"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/stages.json is not valid JSON: %v\n%s", err, body)
+	}
+	if len(doc.Stages) == 0 || doc.Totals.ShuffledRecords == 0 {
+		t.Fatalf("/debug/stages.json shows no stages:\n%s", body)
+	}
+	foundShuffle := false
+	for _, st := range doc.Stages {
+		if strings.Contains(st.Name, "shuffle") && st.PartRecords != nil && st.PartRecords.Max > 0 {
+			foundShuffle = true
+		}
+	}
+	if !foundShuffle {
+		t.Fatalf("/debug/stages.json missing shuffle stage with a partition histogram:\n%s", body)
+	}
+
 	code, _ = get(t, base+"/debug/pprof/")
 	if code != http.StatusOK {
 		t.Fatalf("/debug/pprof/ status %d", code)

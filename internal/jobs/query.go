@@ -112,7 +112,7 @@ func init() {
 		if err != nil {
 			return nil, cluster.Report{}, err
 		}
-		blob, snap, err := runQuery(p, func(c *core.Config) {
+		blob, snap, err := runQuery(p, env.World, func(c *core.Config) {
 			c.Parallelism = env.Parallelism
 			c.MemoryBudget = env.MemoryBudget
 			c.Transport = env.Exchange
@@ -127,13 +127,9 @@ func init() {
 // serializes the result. The metrics snapshot is taken after
 // serialization: results materialize lazily (ToDense drives the final
 // stages), so an earlier snapshot would miss most of the work.
-func runQuery(p QueryParams, override func(*core.Config)) ([]byte, dataflow.MetricsSnapshot, error) {
+func runQuery(p QueryParams, world int, override func(*core.Config)) ([]byte, dataflow.MetricsSnapshot, error) {
 	if p.Partitions <= 0 {
-		// A fixed default: the partition count shapes the stage graph,
-		// so it must not fall through to the engine's
-		// parallelism-derived default — ranks with different core
-		// counts or -parallelism flags would build divergent graphs.
-		p.Partitions = 8
+		p.Partitions = int64(defaultPartitions(world))
 	}
 	conf := core.Config{
 		TileSize:             int(p.Tile),
@@ -164,8 +160,29 @@ func runQuery(p QueryParams, override func(*core.Config)) ([]byte, dataflow.Metr
 // the reference the distributed runtime's results are byte-compared
 // against in tests and EXPERIMENTS.md.
 func RunQueryLocal(p QueryParams) ([]byte, error) {
-	blob, _, err := runQuery(p, nil)
+	blob, _, err := runQuery(p, 1, nil)
 	return blob, err
+}
+
+// defaultPartitions derives the fallback partition count from the
+// cluster world size: four partitions per rank so each owns several
+// waves of tasks, floored at the historical single-process default of
+// 8 (world <= 2 collapses to it, so local reference runs are byte-for-
+// byte unchanged).
+//
+// Invariant: this must be a pure function of the WORLD SIZE only —
+// never of per-rank properties like core count, -parallelism, or load.
+// The partition count shapes the stage graph, and SPMD correctness
+// requires every rank to build the byte-identical graph; rank-local
+// inputs here would make the ranks' shuffles disagree silently.
+// Adaptive (statistics-driven) partition choices are likewise local-
+// mode-only for the same reason: core.Config.AdaptiveShuffle is never
+// set on cluster sessions.
+func defaultPartitions(world int) int {
+	if p := 4 * world; p > 8 {
+		return p
+	}
+	return 8
 }
 
 func reportFrom(m dataflow.MetricsSnapshot) cluster.Report {

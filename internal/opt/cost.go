@@ -1,0 +1,265 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/memory"
+	"repro/internal/stats"
+)
+
+// This file adds the cost model on top of the structural strategy
+// selection in strategy.go: Choose decides which translations are
+// *applicable* (the paper's Rules 12-19), ChooseWithStats prices the
+// applicable candidates with the internal/stats estimates and records
+// the outcome — chosen estimate, rejected alternatives, and the
+// physical knobs (SUMMA grid, reduce partition counts) derived from
+// the statistics — in a Decision attached to the strategy, which
+// Explain and sac -analyze render.
+
+// StatsProvider supplies the estimation inputs at selection time;
+// internal/plan's Catalog implements it over the registered arrays.
+type StatsProvider interface {
+	// ArrayStats returns size metadata for a registered array name.
+	ArrayStats(name string) (stats.TableStats, bool)
+	// Parallelism is the engine's concurrent-task budget.
+	Parallelism() int
+	// Adaptive reports whether statistics may reshape the physical plan
+	// (coarsened SUMMA grids, estimated partition counts). When false —
+	// static mode, and always under SPMD — the Decision still prices
+	// the candidates but leaves the executors' fixed defaults in place.
+	Adaptive() bool
+}
+
+// CostEstimate prices one candidate physical translation.
+type CostEstimate struct {
+	// Strategy names the candidate: "summa-gbj", "join+reduceByKey",
+	// "join+groupByKey", "reduceByKey", "groupByKey".
+	Strategy string
+	// ShuffleBytes is the estimated volume crossing shuffle boundaries.
+	ShuffleBytes int64
+	// TempBytes is the estimated intermediate state materialized beyond
+	// the inputs and output (the join strategies' partial-product tiles).
+	TempBytes int64
+	// Reason is empty for the chosen candidate; otherwise why it lost.
+	Reason string
+}
+
+func (c CostEstimate) render() string {
+	s := fmt.Sprintf("%s %s", c.Strategy, memory.FormatBytes(c.ShuffleBytes))
+	if c.TempBytes > 0 {
+		s += fmt.Sprintf("+%s temp", memory.FormatBytes(c.TempBytes))
+	}
+	if c.Reason != "" {
+		s += " (" + c.Reason + ")"
+	}
+	return s
+}
+
+// Decision records why the optimizer picked the plan it did and which
+// physical knobs the estimates chose. Attached to cost-ranked
+// strategies; nil when no statistics were available.
+type Decision struct {
+	Chosen   CostEstimate
+	Rejected []CostEstimate
+	// GridP x GridQ is the SUMMA processor grid picked for a
+	// group-by-join; 0,0 means the full output-tile grid (the static
+	// default, exact SUMMA replication).
+	GridP, GridQ int64
+	// Parts is the reduce-side partition count picked from the output
+	// cardinality estimate; 0 means the executor's fixed default.
+	Parts int
+	// Observed is non-empty when a session stats cache supplied
+	// measured (rather than estimated) statistics for this query.
+	Observed string
+}
+
+// Summary renders the decision as a single bracketed clause appended
+// to Explain lines.
+func (d *Decision) Summary() string {
+	if d == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cost: %s est %s shuffle", d.Chosen.Strategy, memory.FormatBytes(d.Chosen.ShuffleBytes))
+	if d.Chosen.TempBytes > 0 {
+		fmt.Fprintf(&b, " +%s temp", memory.FormatBytes(d.Chosen.TempBytes))
+	}
+	if len(d.Rejected) > 0 {
+		parts := make([]string, len(d.Rejected))
+		for i, r := range d.Rejected {
+			parts[i] = r.render()
+		}
+		fmt.Fprintf(&b, "; rejected: %s", strings.Join(parts, ", "))
+	}
+	if d.GridP > 0 && d.GridQ > 0 {
+		fmt.Fprintf(&b, "; grid %dx%d", d.GridP, d.GridQ)
+	}
+	if d.Parts > 0 {
+		fmt.Fprintf(&b, "; parts %d", d.Parts)
+	}
+	if d.Observed != "" {
+		fmt.Fprintf(&b, "; stats: %s", d.Observed)
+	}
+	return b.String()
+}
+
+// ChooseWithStats selects the physical strategy like Choose, then —
+// when a provider supplies input statistics — prices the applicable
+// candidates, re-ranks the cost-sensitive choices within the ablation
+// flags, and attaches the Decision. Ranking is by Pareto dominance
+// over (shuffle bytes, temp bytes) with the paper's structural
+// preference order as the tie-break, so a candidate is only displaced
+// by one that is at least as good on both axes.
+func ChooseWithStats(info *QueryInfo, opts Options, prov StatsProvider) (Strategy, error) {
+	s, err := Choose(info, opts)
+	if err != nil || prov == nil {
+		return s, err
+	}
+	switch st := s.(type) {
+	case *GroupByJoinStrategy:
+		st.Decision = decideGroupByJoin(st, opts, prov)
+	case *TileAggStrategy:
+		st.Decision = decideTileAgg(st, opts, prov)
+	}
+	return s, nil
+}
+
+// dimAt maps an index-variable position to the array extent it ranges
+// over: position 0 is the row index, position 1 the column index.
+func dimAt(s stats.TableStats, pos int) int64 {
+	if pos == 0 {
+		return s.Rows
+	}
+	return s.Cols
+}
+
+func decideGroupByJoin(st *GroupByJoinStrategy, opts Options, prov StatsProvider) *Decision {
+	sa, okA := prov.ArrayStats(st.GenA.Name)
+	sb, okB := prov.ArrayStats(st.GenB.Name)
+	if !okA || !okB || sa.Tile <= 0 || sb.Tile <= 0 {
+		return nil
+	}
+	// Orient both inputs into the roles the estimator expects:
+	// A-role = (output rows x contracted), B-role = (contracted x
+	// output cols); OutA/OutB name which original axis survives, so
+	// this also covers the transposed multiplies.
+	aEff := stats.TableStats{Rows: dimAt(sa, st.OutA), Cols: dimAt(sa, st.JoinA), Tile: sa.Tile, Density: sa.Density}
+	bEff := stats.TableStats{Rows: dimAt(sb, st.JoinB), Cols: dimAt(sb, st.OutB), Tile: sb.Tile, Density: sb.Density}
+	par := prov.Parallelism()
+	var gridP, gridQ int64
+	if prov.Adaptive() {
+		gridP, gridQ = stats.PickGrid(aEff, bEff, 2*par)
+		if gridP == aEff.BlockRows() && gridQ == bEff.BlockCols() {
+			gridP, gridQ = 0, 0 // full grid: the executor's exact default
+		}
+	}
+	est := stats.EstimateMatmul(aEff, bEff, gridP, gridQ, 2*par)
+	cands := []CostEstimate{
+		{Strategy: "summa-gbj", ShuffleBytes: est.GBJShuffleBytes},
+		{Strategy: "join+reduceByKey", ShuffleBytes: est.JoinShuffleBytes, TempBytes: est.JoinTempBytes},
+		{Strategy: "join+groupByKey", ShuffleBytes: est.GroupByShuffleBytes, TempBytes: est.JoinTempBytes},
+	}
+	allowed := []bool{!opts.DisableGBJ, !opts.DisableReduceByKey, true}
+
+	// Preference order is the candidate order; a candidate loses only
+	// to an allowed one that dominates it (no worse on both axes).
+	best := -1
+	for i := range cands {
+		if !allowed[i] {
+			continue
+		}
+		dominated := false
+		for j := range cands {
+			if j != i && allowed[j] && dominates(cands[j], cands[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			best = i
+			break
+		}
+	}
+	if best < 0 {
+		best = len(cands) - 1
+	}
+	st.UseGBJ = best == 0
+	if !st.UseGBJ {
+		st.UseReduceBy = best == 1
+	}
+
+	d := &Decision{Chosen: cands[best]}
+	if st.UseGBJ {
+		d.GridP, d.GridQ = gridP, gridQ
+	}
+	if prov.Adaptive() {
+		d.Parts = stats.PickPartitions(est.OutTiles, par)
+	}
+	for i := range cands {
+		if i == best {
+			continue
+		}
+		r := cands[i]
+		switch {
+		case !allowed[i]:
+			r.Reason = "disabled"
+		case cands[best].ShuffleBytes > 0:
+			r.Reason = fmt.Sprintf("%.1fx shuffle", float64(r.ShuffleBytes)/float64(cands[best].ShuffleBytes))
+		}
+		d.Rejected = append(d.Rejected, r)
+	}
+	return d
+}
+
+// dominates reports whether a is at least as cheap as b on both cost
+// axes and strictly cheaper on one.
+func dominates(a, b CostEstimate) bool {
+	if a.ShuffleBytes > b.ShuffleBytes || a.TempBytes > b.TempBytes {
+		return false
+	}
+	return a.ShuffleBytes < b.ShuffleBytes || a.TempBytes < b.TempBytes
+}
+
+func decideTileAgg(st *TileAggStrategy, opts Options, prov StatsProvider) *Decision {
+	sm, ok := prov.ArrayStats(st.Gen.Name)
+	if !ok || sm.Tile <= 0 {
+		return nil
+	}
+	// Grouped output cardinality in blocks: the product of the kept
+	// axes' block counts. Partial blocks carry Tile elements per kept
+	// axis (a vector block for 1-D group keys).
+	groups := int64(1)
+	blockElems := int64(1)
+	for _, pos := range st.KeyPos {
+		if pos == 0 {
+			groups *= sm.BlockRows()
+		} else {
+			groups *= sm.BlockCols()
+		}
+		blockElems *= int64(sm.Tile)
+	}
+	blockBytes := blockElems*8 + 16
+	par := prov.Parallelism()
+	rbk, gbk := stats.EstimateAggregate(sm, groups, 2*par, blockBytes)
+	cands := []CostEstimate{
+		{Strategy: "reduceByKey", ShuffleBytes: rbk},
+		{Strategy: "groupByKey", ShuffleBytes: gbk},
+	}
+	best := 0
+	if opts.DisableReduceByKey || !st.UseReduceBy {
+		best = 1
+	}
+	d := &Decision{Chosen: cands[best]}
+	if prov.Adaptive() {
+		d.Parts = stats.PickPartitions(groups, par)
+	}
+	r := cands[1-best]
+	if best == 1 {
+		r.Reason = "disabled"
+	} else if rbk > 0 {
+		r.Reason = fmt.Sprintf("%.1fx shuffle", float64(gbk)/float64(rbk))
+	}
+	d.Rejected = append(d.Rejected, r)
+	return d
+}

@@ -1,0 +1,160 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// fakeProvider supplies fixed square-matrix statistics.
+type fakeProvider struct {
+	n        int64
+	tile     int
+	par      int
+	adaptive bool
+}
+
+func (p fakeProvider) ArrayStats(string) (stats.TableStats, bool) {
+	return stats.TableStats{Rows: p.n, Cols: p.n, Tile: p.tile, Density: 1}, true
+}
+func (p fakeProvider) Parallelism() int { return p.par }
+func (p fakeProvider) Adaptive() bool   { return p.adaptive }
+
+const matmulSrc = `tiled(6,6)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B,
+        kk == k, let v = a*b, group by (i,j) ]`
+
+func chooseStats(t *testing.T, src string, opts Options, prov StatsProvider) Strategy {
+	t.Helper()
+	s, err := ChooseWithStats(extract(t, src), opts, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCostKeepsGBJ: GBJ materializes no intermediate tiles, so it is
+// never Pareto-dominated and the paper's preferred translation must
+// survive cost ranking on ANY machine shape — including low-core hosts
+// where join+reduceByKey has fewer estimated shuffle bytes.
+func TestCostKeepsGBJ(t *testing.T) {
+	for _, par := range []int{1, 2, 8, 64} {
+		s := chooseStats(t, matmulSrc, Options{}, fakeProvider{n: 800, tile: 100, par: par})
+		gbj, ok := s.(*GroupByJoinStrategy)
+		if !ok {
+			t.Fatalf("par=%d: got %T", par, s)
+		}
+		if !gbj.UseGBJ {
+			t.Fatalf("par=%d: cost ranking flipped UseGBJ off", par)
+		}
+		d := gbj.Decision
+		if d == nil {
+			t.Fatalf("par=%d: no decision attached", par)
+		}
+		if d.Chosen.Strategy != "summa-gbj" {
+			t.Fatalf("par=%d: chose %q", par, d.Chosen.Strategy)
+		}
+		if len(d.Rejected) != 2 {
+			t.Fatalf("par=%d: %d rejected candidates, want 2", par, len(d.Rejected))
+		}
+	}
+}
+
+// TestCostRespectsAblation: with GBJ disabled the decision must fall to
+// join+reduceByKey and record why GBJ lost.
+func TestCostRespectsAblation(t *testing.T) {
+	s := chooseStats(t, matmulSrc, Options{DisableGBJ: true}, fakeProvider{n: 800, tile: 100, par: 8})
+	gbj := s.(*GroupByJoinStrategy)
+	if gbj.UseGBJ || !gbj.UseReduceBy {
+		t.Fatalf("ablation ignored: UseGBJ=%v UseReduceBy=%v", gbj.UseGBJ, gbj.UseReduceBy)
+	}
+	d := gbj.Decision
+	if d.Chosen.Strategy != "join+reduceByKey" {
+		t.Fatalf("chose %q", d.Chosen.Strategy)
+	}
+	found := false
+	for _, r := range d.Rejected {
+		if r.Strategy == "summa-gbj" && r.Reason == "disabled" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("GBJ rejection not recorded as disabled: %+v", d.Rejected)
+	}
+}
+
+// TestCostStaticLeavesKnobsAlone: without adaptive mode the decision
+// prices candidates but must not reshape the physical plan.
+func TestCostStaticLeavesKnobsAlone(t *testing.T) {
+	s := chooseStats(t, matmulSrc, Options{}, fakeProvider{n: 3200, tile: 100, par: 4})
+	d := s.(*GroupByJoinStrategy).Decision
+	if d.GridP != 0 || d.GridQ != 0 || d.Parts != 0 {
+		t.Fatalf("static mode set physical knobs: grid %dx%d parts %d", d.GridP, d.GridQ, d.Parts)
+	}
+}
+
+// TestCostAdaptivePicksKnobs: in adaptive mode a large output must get
+// a coarsened grid and an estimated partition count.
+func TestCostAdaptivePicksKnobs(t *testing.T) {
+	s := chooseStats(t, matmulSrc, Options{}, fakeProvider{n: 3200, tile: 100, par: 4, adaptive: true})
+	d := s.(*GroupByJoinStrategy).Decision
+	if d.GridP <= 0 || d.GridQ <= 0 {
+		t.Fatalf("no grid picked: %dx%d", d.GridP, d.GridQ)
+	}
+	if d.GridP >= 32 || d.GridQ >= 32 {
+		t.Fatalf("grid %dx%d not coarsened below the 32x32 output", d.GridP, d.GridQ)
+	}
+	if d.Parts <= 0 {
+		t.Fatal("no partition count picked")
+	}
+	if d.Parts != stats.PickPartitions(32*32, 4) {
+		t.Fatalf("parts %d disagrees with PickPartitions", d.Parts)
+	}
+}
+
+// TestDecisionSummary: the Explain clause must name the chosen
+// strategy, the rejected alternatives, and the estimates.
+func TestDecisionSummary(t *testing.T) {
+	s := chooseStats(t, matmulSrc, Options{}, fakeProvider{n: 800, tile: 100, par: 8, adaptive: true})
+	sum := s.(*GroupByJoinStrategy).Decision.Summary()
+	for _, want := range []string{"cost: summa-gbj", "shuffle", "rejected:", "join+reduceByKey", "join+groupByKey", "parts "} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary %q missing %q", sum, want)
+		}
+	}
+	var nilD *Decision
+	if nilD.Summary() != "" {
+		t.Fatal("nil decision must render empty")
+	}
+}
+
+// TestCostTileAgg: the single-input aggregation decision prefers
+// reduceByKey and flips only under the ablation flag.
+func TestCostTileAgg(t *testing.T) {
+	src := `tiledvec(6)[ (i, +/m) | ((i,j),m) <- M, group by i ]`
+	s := chooseStats(t, src, Options{}, fakeProvider{n: 800, tile: 100, par: 8})
+	agg, ok := s.(*TileAggStrategy)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if agg.Decision == nil || agg.Decision.Chosen.Strategy != "reduceByKey" {
+		t.Fatalf("decision %+v", agg.Decision)
+	}
+	s2 := chooseStats(t, src, Options{DisableReduceByKey: true}, fakeProvider{n: 800, tile: 100, par: 8})
+	d2 := s2.(*TileAggStrategy).Decision
+	if d2.Chosen.Strategy != "groupByKey" {
+		t.Fatalf("ablated decision chose %q", d2.Chosen.Strategy)
+	}
+}
+
+// TestChooseWithStatsNilProvider: a nil provider degrades to plain
+// Choose with no decision.
+func TestChooseWithStatsNilProvider(t *testing.T) {
+	s, err := ChooseWithStats(extract(t, matmulSrc), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.(*GroupByJoinStrategy).Decision; d != nil {
+		t.Fatalf("nil provider attached a decision: %+v", d)
+	}
+}

@@ -100,6 +100,9 @@ type GroupByJoinStrategy struct {
 	Lets         []comp.LetQual
 	UseGBJ       bool
 	UseReduceBy  bool // false = groupByKey (ablation of Rule 13)
+	// Decision, when non-nil, records the cost-model ranking that chose
+	// (or confirmed) this translation; see ChooseWithStats.
+	Decision *Decision
 }
 
 // Kind identifies the strategy.
@@ -135,6 +138,9 @@ type TileAggStrategy struct {
 	Lets        []comp.LetQual
 	Filters     []comp.Expr // element filters applied before aggregating
 	UseReduceBy bool
+	// Decision, when non-nil, records the cost-model ranking for the
+	// aggregation's shuffle; see ChooseWithStats.
+	Decision *Decision
 }
 
 // Kind identifies the strategy.

@@ -203,11 +203,20 @@ func (q *Compiled) execGroupByJoin(s *opt.GroupByJoinStrategy) (*Result, error) 
 		return nil, fmt.Errorf("plan: contracted dimensions differ: %d vs %d", a.Cols, b.Rows)
 	}
 
+	// The cost model's physical knobs (SUMMA grid, partition count) are
+	// zero unless adaptive planning is on, in which case the tuned
+	// entry points apply them; zero knobs reproduce the static plan.
+	var gridP, gridQ int64
+	var pickedParts int
+	if d := s.Decision; d != nil {
+		gridP, gridQ, pickedParts = d.GridP, d.GridQ, d.Parts
+	}
+
 	if isMulOfValues(s.CombineExpr, s.Lets, s.GenA.ValueVar, s.GenB.ValueVar) {
 		var out *tiled.Matrix
 		switch {
 		case s.UseGBJ:
-			out = a.MultiplyGBJ(b)
+			out = a.MultiplyGBJTuned(b, gridP, gridQ, pickedParts)
 		case s.UseReduceBy:
 			out = a.Multiply(b)
 		default:
@@ -231,6 +240,7 @@ func (q *Compiled) execGroupByJoin(s *opt.GroupByJoinStrategy) (*Result, error) 
 	}
 	if s.UseGBJ {
 		out := tiled.GroupByJoin(a, b, tiled.GBJSpec{
+			GridP: gridP, GridQ: gridQ, Parts: pickedParts,
 			OutRows: a.Rows, OutCols: b.Cols,
 			GroupsX: b.BlockCols(), GroupsY: a.BlockRows(),
 			GX: func(c tiled.Coord) int64 { return c.I },
@@ -248,6 +258,9 @@ func (q *Compiled) execGroupByJoin(s *opt.GroupByJoinStrategy) (*Result, error) 
 	// tiles come from the context's tile pool and the dead reduce
 	// operand goes back (same ownership argument as tiled.Multiply).
 	parts := a.Tiles.NumPartitions()
+	if pickedParts > 0 {
+		parts = pickedParts
+	}
 	pool := a.Tiles.Context().TilePool()
 	left := dataflow.Map(a.Tiles, func(t tiled.Block) dataflow.Pair[int64, tiled.Block] {
 		return dataflow.KV(t.Key.J, t)
@@ -365,6 +378,9 @@ func (q *Compiled) execTileAgg(s *opt.TileAggStrategy) (*Result, error) {
 	byRow := s.KeyPos[0] == 0
 	n, rows, cols := m.N, m.Rows, m.Cols
 	parts := m.Tiles.NumPartitions()
+	if d := s.Decision; d != nil && d.Parts > 0 {
+		parts = d.Parts
+	}
 
 	newBlock := func() *aggBlock {
 		b := &aggBlock{Accs: make([]*linalg.Vector, nAggs), Touched: make([]bool, n)}

@@ -10,19 +10,23 @@ package plan
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/comp"
 	"repro/internal/dataflow"
 	"repro/internal/opt"
+	"repro/internal/stats"
 	"repro/internal/tiled"
 	"repro/internal/trace"
 )
 
 // Catalog binds query-visible names to distributed arrays and scalar
-// constants.
+// constants. It also implements opt.StatsProvider, turning the bound
+// arrays' metadata into the size statistics the cost model prices.
 type Catalog struct {
-	ctx  *dataflow.Context
-	vals map[string]any
+	ctx   *dataflow.Context
+	vals  map[string]any
+	cache *stats.Cache
 }
 
 // NewCatalog creates an empty catalog bound to an engine context.
@@ -49,6 +53,43 @@ func (c *Catalog) BindVector(name string, v *tiled.Vector) *Catalog {
 func (c *Catalog) BindScalar(name string, v comp.Value) *Catalog {
 	c.vals[name] = v
 	return c
+}
+
+// SetStatsCache installs a session-level measured-statistics cache;
+// compiled queries record their observed run profile into it and
+// repeat compilations of the same source annotate their Decision with
+// the measurement.
+func (c *Catalog) SetStatsCache(sc *stats.Cache) *Catalog {
+	c.cache = sc
+	return c
+}
+
+// StatsCache returns the installed cache (nil if none).
+func (c *Catalog) StatsCache() *stats.Cache { return c.cache }
+
+// ArrayStats implements opt.StatsProvider over the bound arrays.
+// Density is 1 — the tiled layer stores dense blocks; sparsified
+// inputs would refine this from measured statistics.
+func (c *Catalog) ArrayStats(name string) (stats.TableStats, bool) {
+	switch arr := c.vals[name].(type) {
+	case *tiled.Matrix:
+		return stats.TableStats{Rows: arr.Rows, Cols: arr.Cols, Tile: arr.N, Density: 1}, true
+	case *tiled.Vector:
+		return stats.TableStats{Rows: arr.Size, Cols: 1, Tile: arr.N, Density: 1}, true
+	}
+	return stats.TableStats{}, false
+}
+
+// Parallelism implements opt.StatsProvider.
+func (c *Catalog) Parallelism() int { return c.ctx.Conf().Parallelism }
+
+// Adaptive implements opt.StatsProvider: physical reshaping is only
+// allowed when the engine runs adaptively and locally — under SPMD
+// every rank must build the byte-identical plan, so estimates may
+// annotate but never reshape.
+func (c *Catalog) Adaptive() bool {
+	conf := c.ctx.Conf()
+	return conf.AdaptiveShuffle && conf.Transport == nil
 }
 
 // lookup resolves a name.
@@ -162,10 +203,49 @@ func (q *Compiled) Explain() string {
 			desc += "; " + detail
 		}
 	}
+	if d := q.Decision(); d != nil {
+		desc += " [" + d.Summary() + "]"
+	}
 	if q.reduce != "" {
 		return fmt.Sprintf("total %s-aggregation over %s", q.reduce, desc)
 	}
 	return fmt.Sprintf("%s(%v) <- %s", q.builder, q.dims, desc)
+}
+
+// Decision exposes the cost model's record for cost-ranked strategies
+// (nil when no statistics were available or the strategy is not
+// cost-sensitive).
+func (q *Compiled) Decision() *opt.Decision { return decisionOf(q.strategy) }
+
+func decisionOf(s opt.Strategy) *opt.Decision {
+	switch st := s.(type) {
+	case *opt.GroupByJoinStrategy:
+		return st.Decision
+	case *opt.TileAggStrategy:
+		return st.Decision
+	}
+	return nil
+}
+
+// NoteObserved records one execution's measured profile into the
+// catalog's stats cache (if installed) and annotates the decision, so
+// a repeat of the same query compiles against observation. Lazy tiled
+// results only account the stages forced before the snapshot was
+// taken; core.Session forces results before recording.
+func (q *Compiled) NoteObserved(m stats.Measured) {
+	if q.cat.cache != nil {
+		q.cat.cache.Record(q.src.String(), m)
+		// Re-read the merged entry so the annotation carries the
+		// cumulative run count, not the raw single-run profile.
+		if merged, ok := q.cat.cache.Lookup(q.src.String()); ok {
+			m = merged
+		}
+	} else if m.Runs == 0 {
+		m.Runs = 1
+	}
+	if d := q.Decision(); d != nil {
+		d.Observed = m.String()
+	}
 }
 
 // coordDetail inspects the coordinate pipeline the executor would run.
@@ -290,11 +370,15 @@ func forceResult(res *Result) {
 func (q *Compiled) Analyze() (*Result, string, error) {
 	ctx := q.cat.ctx
 	before := ctx.Metrics()
+	start := time.Now()
 	res, tr, err := q.ExecuteTraced()
 	if err != nil {
 		return nil, "", err
 	}
 	diff := ctx.Metrics().Sub(before)
+	// The traced run forces lazy results, so this measurement is
+	// complete; the plan line below then carries the observation.
+	q.NoteObserved(stats.FromSnapshot(diff, time.Since(start).Nanoseconds()))
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan: %s\n", q.Explain())
 	fmt.Fprintf(&b, "totals: %s\n\nstages:\n", diff)
@@ -376,9 +460,16 @@ func compileBuild(b comp.BuildExpr, cat *Catalog, opts opt.Options) (*Compiled, 
 
 	var strat opt.Strategy
 	if b.Builder == "tiled" || b.Builder == "tiledvec" {
-		strat, err = opt.Choose(info, opts)
+		strat, err = opt.ChooseWithStats(info, opts, cat)
 		if err != nil {
 			return nil, err
+		}
+		if cat.cache != nil {
+			if m, ok := cat.cache.Lookup(b.String()); ok {
+				if d := decisionOf(strat); d != nil {
+					d.Observed = m.String()
+				}
+			}
 		}
 	} else {
 		strat = &opt.CoordStrategy{Info: info, Reason: "rdd builder"}

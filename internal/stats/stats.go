@@ -1,0 +1,284 @@
+// Package stats is the estimation layer under cost-based planning: it
+// turns input metadata (dimensions, tile size, observed density) and
+// the engine's measured signals (MetricsSnapshot, per-stage Dist
+// histograms) into the cardinality, shuffle-volume, and FLOP estimates
+// the optimizer ranks strategies with, and it picks the physical knobs
+// — reduce-side partition counts and the SUMMA processor grid — that
+// the planner previously hard-coded. A session-level Cache keeps
+// measured per-query stats so repeated queries (k-means/factorization
+// iterations) start from observation rather than estimation.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/memory"
+)
+
+// TableStats is the size metadata of one input array.
+type TableStats struct {
+	Rows, Cols int64
+	Tile       int // tile side N (vectors: block length)
+	// Density is the observed nonzero fraction in [0,1]; 1 when unknown
+	// (the engine stores dense tiles, so shuffle volume is density-
+	// independent today, but FLOP estimates for the sparse path in
+	// ROADMAP item 3 will not be).
+	Density float64
+}
+
+// BlockRows is the number of tile rows.
+func (t TableStats) BlockRows() int64 { return ceilDiv(t.Rows, int64(t.Tile)) }
+
+// BlockCols is the number of tile columns.
+func (t TableStats) BlockCols() int64 { return ceilDiv(t.Cols, int64(t.Tile)) }
+
+// NumTiles is the tile cardinality of the array.
+func (t TableStats) NumTiles() int64 { return t.BlockRows() * t.BlockCols() }
+
+// TileBytes is the shuffle payload of one tile (dense float64 data
+// plus the coordinate key).
+func (t TableStats) TileBytes() int64 { return int64(t.Tile)*int64(t.Tile)*8 + 16 }
+
+// TotalBytes is the materialized size of the whole array.
+func (t TableStats) TotalBytes() int64 { return t.NumTiles() * t.TileBytes() }
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// MatmulEst holds the per-strategy cost estimates for one group-by-join
+// shaped query (A[m,k] x B[k,n]): predicted shuffle bytes, bytes of
+// intermediate tiles materialized outside the inputs/outputs, and the
+// contraction FLOPs (shared by every strategy, since they compute the
+// same products).
+type MatmulEst struct {
+	// GBJShuffleBytes is the SUMMA group-by-join volume on a p x q
+	// processor grid: every A tile is replicated to q grid columns and
+	// every B tile to p grid rows, and nothing else crosses the wire.
+	GBJShuffleBytes int64
+	// JoinShuffleBytes is the Section 5.3 join+reduceByKey volume: both
+	// inputs cross the join shuffle once, then the partial-product
+	// tiles cross the reduce shuffle — map-side combining caps them at
+	// one tile per (map partition, output coordinate).
+	JoinShuffleBytes int64
+	// GroupByShuffleBytes is the Rule 13 ablation (groupByKey): every
+	// partial-product tile crosses the shuffle uncombined.
+	GroupByShuffleBytes int64
+	// JoinTempBytes is the partial-product tiles the join strategies
+	// materialize before reducing; the GBJ accumulates in place and
+	// materializes nothing extra.
+	JoinTempBytes int64
+	// Flops is the contraction work, scaled by both densities.
+	Flops float64
+	// OutTiles is the output cardinality in tiles.
+	OutTiles int64
+}
+
+// EstimateMatmul prices the strategies for A x B given the inputs,
+// a p x q SUMMA grid (0 means the full output-tile grid), and the
+// map-side parallelism (input partition count) that bounds the
+// combiner's effectiveness.
+func EstimateMatmul(a, b TableStats, gridP, gridQ int64, mapParts int) MatmulEst {
+	brA, bcB := a.BlockRows(), b.BlockCols()
+	bk := a.BlockCols() // contracted block count
+	if gridP <= 0 || gridP > brA {
+		gridP = brA
+	}
+	if gridQ <= 0 || gridQ > bcB {
+		gridQ = bcB
+	}
+	outTiles := brA * bcB
+	partials := brA * bcB * bk
+	// Map-side combine folds partials per (map partition, out coord):
+	// at most min(partials, mapParts * outTiles) tiles survive.
+	combined := int64(mapParts) * outTiles
+	if combined > partials || mapParts <= 0 {
+		combined = partials
+	}
+	tb := a.TileBytes()
+	if bt := b.TileBytes(); bt > tb {
+		tb = bt
+	}
+	return MatmulEst{
+		GBJShuffleBytes:     (a.NumTiles()*gridQ + b.NumTiles()*gridP) * tb,
+		JoinShuffleBytes:    (a.NumTiles() + b.NumTiles() + combined) * tb,
+		GroupByShuffleBytes: (a.NumTiles() + b.NumTiles() + partials) * tb,
+		JoinTempBytes:       partials * tb,
+		Flops:               2 * float64(a.Rows) * float64(a.Cols) * float64(b.Cols) * density(a) * density(b),
+		OutTiles:            outTiles,
+	}
+}
+
+// EstimateAggregate prices a grouped single-input aggregation
+// (Section 5.3, row/col sums): reduceByKey shuffles one partial block
+// per (map partition, group block), groupByKey one per input tile.
+func EstimateAggregate(m TableStats, groups int64, mapParts int, blockBytes int64) (rbkBytes, gbkBytes int64) {
+	partials := m.NumTiles() // one partial block per tile
+	combined := int64(mapParts) * groups
+	if combined > partials || mapParts <= 0 {
+		combined = partials
+	}
+	return combined * blockBytes, partials * blockBytes
+}
+
+func density(t TableStats) float64 {
+	if t.Density <= 0 || t.Density > 1 {
+		return 1
+	}
+	return t.Density
+}
+
+// PickPartitions chooses a reduce-side partition count from the
+// estimated output cardinality: about two waves per core (Spark's
+// rule of thumb) but never more partitions than items to put in them.
+func PickPartitions(items int64, parallelism int) int {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	p := int64(2 * parallelism)
+	if items > 0 && p > items {
+		p = items
+	}
+	if p < 1 {
+		p = 1
+	}
+	return int(p)
+}
+
+// PickGrid chooses the SUMMA processor grid for an A[m,k] x B[k,n]
+// group-by-join: the p x q grid (p over output tile rows, q over
+// output tile columns) minimizing the replication volume
+// tilesA*q + tilesB*p subject to p*q >= target cells (enough
+// parallelism), p <= blockRows(A), q <= blockCols(B). Full replication
+// (p = blockRows, q = blockCols) is today's behavior and the fallback
+// whenever the output grid is already no larger than the target.
+func PickGrid(a, b TableStats, target int) (p, q int64) {
+	brA, bcB := a.BlockRows(), b.BlockCols()
+	if brA < 1 {
+		brA = 1
+	}
+	if bcB < 1 {
+		bcB = 1
+	}
+	if target < 1 {
+		target = 1
+	}
+	if brA*bcB <= int64(target) {
+		return brA, bcB
+	}
+	ta, tbt := a.NumTiles(), b.NumTiles()
+	bestP, bestQ := brA, bcB
+	bestCost := ta*bcB + tbt*brA
+	for cp := int64(1); cp <= brA; cp++ {
+		cq := ceilDiv(int64(target), cp)
+		if cq > bcB {
+			continue
+		}
+		if cq < 1 {
+			cq = 1
+		}
+		cost := ta*cq + tbt*cp
+		if cost < bestCost || (cost == bestCost && cp*cq < bestP*bestQ) {
+			bestP, bestQ, bestCost = cp, cq, cost
+		}
+	}
+	return bestP, bestQ
+}
+
+// Measured is the observed execution profile of one query, fed back
+// into planning on repeats.
+type Measured struct {
+	Runs          int64
+	WallNs        int64 // most recent run
+	ShuffledBytes int64
+	Records       int64
+	// MaxSkew is the worst per-stage task-duration p99/p50 observed.
+	MaxSkew float64
+	// PartRecords is the records-per-partition distribution of the most
+	// skewed stage — the histogram adaptive rebalancing acts on.
+	PartRecords dataflow.Dist
+}
+
+// String renders the profile compactly for Explain annotations.
+func (m Measured) String() string {
+	s := fmt.Sprintf("observed %d run(s), %v wall, %s shuffled",
+		m.Runs, time.Duration(m.WallNs).Round(time.Millisecond), memory.FormatBytes(m.ShuffledBytes))
+	if m.MaxSkew > 0 {
+		s += fmt.Sprintf(", task skew %.1fx", m.MaxSkew)
+	}
+	return s
+}
+
+// Cache is a session-level store of measured query stats, keyed by the
+// normalized query source. Safe for concurrent use.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]Measured
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: map[string]Measured{}} }
+
+// Key normalizes query source for cache lookup: whitespace runs
+// collapse so reformatted repeats of the same query share an entry.
+func Key(src string) string { return strings.Join(strings.Fields(src), " ") }
+
+// Lookup returns the measured stats for a query, if any.
+func (c *Cache) Lookup(src string) (Measured, bool) {
+	if c == nil {
+		return Measured{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.m[Key(src)]
+	return m, ok
+}
+
+// Record merges one run's observations into the entry for src.
+func (c *Cache) Record(src string, m Measured) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.m[Key(src)]
+	m.Runs = prev.Runs + 1
+	if m.MaxSkew < prev.MaxSkew {
+		m.MaxSkew = prev.MaxSkew
+	}
+	c.m[Key(src)] = m
+}
+
+// FromSnapshot extracts a Measured profile from a metrics diff
+// (typically MetricsSnapshot.Sub around one query execution).
+func FromSnapshot(s dataflow.MetricsSnapshot, wallNs int64) Measured {
+	m := Measured{
+		WallNs:        wallNs,
+		ShuffledBytes: s.ShuffledBytes,
+		Records:       s.ShuffledRecords,
+	}
+	for _, st := range s.PerStage {
+		if sk := st.TaskDur.Skew(); sk > m.MaxSkew {
+			m.MaxSkew = sk
+			m.PartRecords = st.PartRecords
+		}
+	}
+	return m
+}
+
+// Len reports the number of cached queries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

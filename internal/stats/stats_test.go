@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+)
+
+func sq(n int64, tile int) TableStats {
+	return TableStats{Rows: n, Cols: n, Tile: tile, Density: 1}
+}
+
+func TestTableStatsBlocks(t *testing.T) {
+	s := TableStats{Rows: 250, Cols: 100, Tile: 100}
+	if s.BlockRows() != 3 || s.BlockCols() != 1 {
+		t.Fatalf("blocks: %dx%d, want 3x1", s.BlockRows(), s.BlockCols())
+	}
+	if s.TileBytes() != 100*100*8+16 {
+		t.Fatalf("tile bytes %d", s.TileBytes())
+	}
+	if s.NumTiles() != 3 {
+		t.Fatalf("num tiles %d", s.NumTiles())
+	}
+}
+
+func TestEstimateMatmulFullGrid(t *testing.T) {
+	a, b := sq(400, 100), sq(400, 100) // 4x4 blocks each
+	est := EstimateMatmul(a, b, 0, 0, 8)
+	tb := a.TileBytes()
+	// Full grid: every A tile to 4 grid cols, every B tile to 4 rows.
+	if want := (16*4 + 16*4) * tb; est.GBJShuffleBytes != want {
+		t.Fatalf("GBJ bytes %d, want %d", est.GBJShuffleBytes, want)
+	}
+	// join: both inputs once + combined partials (min(4*4*4, 8*16)=64).
+	if want := (16 + 16 + 64) * tb; est.JoinShuffleBytes != want {
+		t.Fatalf("join bytes %d, want %d", est.JoinShuffleBytes, want)
+	}
+	// With 4x4 blocks the combiner cannot help (64 partials vs a
+	// 128-slot combine budget), so the two reduce flavors tie; on a
+	// deeper contraction the combiner wins.
+	if est.GroupByShuffleBytes != est.JoinShuffleBytes {
+		t.Fatal("uncombinable shape: flavors should tie")
+	}
+	deep := EstimateMatmul(sq(800, 100), sq(800, 100), 0, 0, 4)
+	if deep.GroupByShuffleBytes <= deep.JoinShuffleBytes {
+		t.Fatal("groupByKey estimate must exceed combined reduceByKey on a deep contraction")
+	}
+	if est.JoinTempBytes != 64*tb {
+		t.Fatalf("temp bytes %d", est.JoinTempBytes)
+	}
+	if est.OutTiles != 16 {
+		t.Fatalf("out tiles %d", est.OutTiles)
+	}
+}
+
+func TestEstimateMatmulCoarseGridCheaper(t *testing.T) {
+	a, b := sq(1600, 100), sq(1600, 100) // 16x16 blocks
+	full := EstimateMatmul(a, b, 0, 0, 8)
+	coarse := EstimateMatmul(a, b, 4, 4, 8)
+	if coarse.GBJShuffleBytes >= full.GBJShuffleBytes {
+		t.Fatalf("coarse grid (%d) not cheaper than full (%d)",
+			coarse.GBJShuffleBytes, full.GBJShuffleBytes)
+	}
+}
+
+func TestPickPartitions(t *testing.T) {
+	if got := PickPartitions(1000, 8); got != 16 {
+		t.Fatalf("PickPartitions(1000, 8) = %d, want 16", got)
+	}
+	if got := PickPartitions(3, 8); got != 3 {
+		t.Fatalf("never more partitions than items: got %d", got)
+	}
+	if got := PickPartitions(0, 0); got < 1 {
+		t.Fatalf("must stay positive: got %d", got)
+	}
+}
+
+func TestPickGrid(t *testing.T) {
+	a, b := sq(1600, 100), sq(1600, 100) // 16x16 output blocks
+	p, q := PickGrid(a, b, 16)
+	if p*q < 16 {
+		t.Fatalf("grid %dx%d under target", p, q)
+	}
+	if p > a.BlockRows() || q > b.BlockCols() {
+		t.Fatalf("grid %dx%d exceeds output blocks", p, q)
+	}
+	// Square inputs: replication is symmetric, so the minimizer is the
+	// balanced grid.
+	if p != 4 || q != 4 {
+		t.Fatalf("grid %dx%d, want 4x4", p, q)
+	}
+	// Small output: full grid fallback.
+	a2, b2 := sq(200, 100), sq(200, 100)
+	p2, q2 := PickGrid(a2, b2, 16)
+	if p2 != a2.BlockRows() || q2 != b2.BlockCols() {
+		t.Fatalf("small output should use the full grid, got %dx%d", p2, q2)
+	}
+}
+
+func TestCacheRecordLookup(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.Lookup("q"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Record("tiled(2,2)[ x ]", Measured{WallNs: 100, MaxSkew: 2})
+	c.Record("tiled(2,2)[  x ]", Measured{WallNs: 50, MaxSkew: 1}) // same query, reformatted
+	m, ok := c.Lookup(" tiled(2,2)[ x ] ")
+	if !ok {
+		t.Fatal("normalized lookup missed")
+	}
+	if m.Runs != 2 {
+		t.Fatalf("runs %d, want 2 (normalized keys must merge)", m.Runs)
+	}
+	if m.WallNs != 50 {
+		t.Fatalf("wall %d, want most recent 50", m.WallNs)
+	}
+	if m.MaxSkew != 2 {
+		t.Fatalf("skew %v, want max-so-far 2", m.MaxSkew)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache
+	c.Record("q", Measured{})
+	if _, ok := c.Lookup("q"); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache len")
+	}
+}
+
+func TestFromSnapshotPicksMostSkewedStage(t *testing.T) {
+	snap := dataflow.MetricsSnapshot{
+		ShuffledBytes:   123,
+		ShuffledRecords: 7,
+		PerStage: []dataflow.StageMetric{
+			{Name: "even", TaskDur: dataflow.Dist{N: 4, P50: 10, P99: 12},
+				PartRecords: dataflow.Dist{N: 4, Max: 5}},
+			{Name: "skewed", TaskDur: dataflow.Dist{N: 4, P50: 10, P99: 90},
+				PartRecords: dataflow.Dist{N: 4, Max: 40}},
+		},
+	}
+	m := FromSnapshot(snap, 55)
+	if m.WallNs != 55 || m.ShuffledBytes != 123 || m.Records != 7 {
+		t.Fatalf("totals wrong: %+v", m)
+	}
+	if m.MaxSkew != 9 {
+		t.Fatalf("skew %v, want 9", m.MaxSkew)
+	}
+	if m.PartRecords.Max != 40 {
+		t.Fatalf("picked wrong stage's histogram: %+v", m.PartRecords)
+	}
+}
+
+func TestMeasuredString(t *testing.T) {
+	s := Measured{Runs: 3, WallNs: 2_000_000, ShuffledBytes: 1 << 20, MaxSkew: 4.5}.String()
+	for _, want := range []string{"3 run(s)", "2ms", "skew 4.5x"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("%q missing %q", s, want)
+		}
+	}
+}

@@ -35,16 +35,18 @@ func (taggedTileCodec) Decode(r *spill.Reader) taggedTile {
 	return taggedTile{src: src, tile: dataflow.DenseCodec{}.Decode(r)}
 }
 
-// keyedTileCodec spills a tile tagged with its SUMMA join key.
+// keyedTileCodec spills a tile tagged with its SUMMA join key and
+// group — dropping the group would misroute matches after a spill.
 type keyedTileCodec struct{}
 
 func (keyedTileCodec) Encode(w *spill.Writer, t keyedTile) {
 	w.Varint(t.K)
+	w.Varint(t.G)
 	dataflow.DenseCodec{}.Encode(w, t.Tile)
 }
 
 func (keyedTileCodec) Decode(r *spill.Reader) keyedTile {
-	return keyedTile{K: r.Varint(), Tile: dataflow.DenseCodec{}.Decode(r)}
+	return keyedTile{K: r.Varint(), G: r.Varint(), Tile: dataflow.DenseCodec{}.Decode(r)}
 }
 
 func init() {

@@ -61,9 +61,9 @@ func TestTaggedTileCodecRoundTrip(t *testing.T) {
 }
 
 func TestKeyedTileCodecRoundTrip(t *testing.T) {
-	v := keyedTile{K: -42, Tile: &linalg.Dense{Rows: 1, Cols: 3, Data: []float64{0, -0.0, 7}}}
+	v := keyedTile{K: -42, G: 9, Tile: &linalg.Dense{Rows: 1, Cols: 3, Data: []float64{0, -0.0, 7}}}
 	got := tiledRoundTrip[keyedTile](t, keyedTileCodec{}, v)
-	if got.K != v.K || got.Tile.Rows != 1 || got.Tile.Cols != 3 || got.Tile.Data[2] != 7 {
+	if got.K != v.K || got.G != v.G || got.Tile.Rows != 1 || got.Tile.Cols != 3 || got.Tile.Data[2] != 7 {
 		t.Fatalf("keyed tile %+v -> %+v", v, got)
 	}
 }

@@ -22,14 +22,17 @@ import (
 // join+reduceByKey translation it shuffles each input tile a bounded
 // number of times instead of shuffling every partial-product tile.
 
-// keyedTile tags a tile with its join key kx/ky.
+// keyedTile tags a tile with its join key kx/ky and its group gx/gy —
+// the group travels with the tile so a coarsened grid cell holding
+// several groups can still route each match to the right output tile.
 type keyedTile struct {
 	K    int64
+	G    int64
 	Tile *linalg.Dense
 }
 
 // NumBytes reports the tile payload for shuffle accounting.
-func (k keyedTile) NumBytes() int64 { return 8 + k.Tile.NumBytes() }
+func (k keyedTile) NumBytes() int64 { return 16 + k.Tile.NumBytes() }
 
 // GBJSpec describes a group-by-join instance: coordinate projections
 // for the group (gx, gy) and join keys (kx, ky), the per-match tile
@@ -49,28 +52,59 @@ type GBJSpec struct {
 	// FlopsPerMatch, when positive, is the flop count of one H call;
 	// kernel spans use it to report achieved GFLOP/s.
 	FlopsPerMatch float64
+	// GridP x GridQ, when positive, coarsen the cogroup onto a p x q
+	// processor grid instead of the full GroupsY x GroupsX output grid:
+	// contiguous group ranges share a cell, so each A tile is
+	// replicated GridQ times (instead of GroupsX) and each B tile
+	// GridP times, and a cell emits one output tile per group pair it
+	// holds. Zero means the full grid — exact SUMMA replication and
+	// the cost model's static default.
+	GridP, GridQ int64
+	// Parts overrides the cogroup's partition count; 0 uses the A
+	// input's (the static default).
+	Parts int
 }
 
 // GroupByJoin runs the generic GBJ operator on two tiled matrices.
+// With the full grid (GridP/GridQ zero or equal to the group counts)
+// every cell holds exactly one output tile and the plan is the exact
+// SUMMA replication; a coarsened grid trades per-tile replication for
+// multi-group cells, cutting shuffle volume when the output grid is
+// much larger than the machine.
 func GroupByJoin(a, b *Matrix, spec GBJSpec) *Matrix {
-	parts := a.Tiles.NumPartitions()
+	parts := spec.Parts
+	if parts <= 0 {
+		parts = a.Tiles.NumPartitions()
+	}
 	n := a.N
+	gridP, gridQ := spec.GridP, spec.GridQ
+	if gridP <= 0 || gridP > spec.GroupsY {
+		gridP = spec.GroupsY
+	}
+	if gridQ <= 0 || gridQ > spec.GroupsX {
+		gridQ = spec.GroupsX
+	}
+	// Contiguous group ranges share a cell; with the full grid this is
+	// the identity, reproducing the exact per-group routing.
+	groupsY, groupsX := spec.GroupsY, spec.GroupsX
+	cellRow := func(g int64) int64 { return g * gridP / groupsY }
+	cellCol := func(g int64) int64 { return g * gridQ / groupsX }
 
 	as := dataflow.FlatMap(a.Tiles, func(t Block) []dataflow.Pair[Coord, keyedTile] {
-		out := make([]dataflow.Pair[Coord, keyedTile], 0, spec.GroupsX)
+		out := make([]dataflow.Pair[Coord, keyedTile], 0, gridQ)
 		g := spec.GX(t.Key)
 		k := spec.KX(t.Key)
-		for jj := int64(0); jj < spec.GroupsX; jj++ {
-			out = append(out, dataflow.KV(Coord{I: g, J: jj}, keyedTile{K: k, Tile: t.Value}))
+		for jj := int64(0); jj < gridQ; jj++ {
+			out = append(out, dataflow.KV(Coord{I: cellRow(g), J: jj}, keyedTile{K: k, G: g, Tile: t.Value}))
 		}
 		return out
 	})
 	bs := dataflow.FlatMap(b.Tiles, func(t Block) []dataflow.Pair[Coord, keyedTile] {
-		out := make([]dataflow.Pair[Coord, keyedTile], 0, spec.GroupsY)
+		out := make([]dataflow.Pair[Coord, keyedTile], 0, gridP)
 		g := spec.GY(t.Key)
 		k := spec.KY(t.Key)
-		for ii := int64(0); ii < spec.GroupsY; ii++ {
-			out = append(out, dataflow.KV(Coord{I: ii, J: g}, keyedTile{K: k, Tile: t.Value}))
+		for ii := int64(0); ii < gridP; ii++ {
+			out = append(out, dataflow.KV(Coord{I: ii, J: cellCol(g)}, keyedTile{K: k, G: g, Tile: t.Value}))
 		}
 		return out
 	})
@@ -78,40 +112,71 @@ func GroupByJoin(a, b *Matrix, spec GBJSpec) *Matrix {
 	ctx := a.Tiles.Context()
 	pool := ctx.TilePool()
 	cg := dataflow.CoGroup(as, bs, parts)
-	tiles := dataflow.Map(cg, func(g dataflow.Pair[Coord, dataflow.CoGrouped[keyedTile, keyedTile]]) Block {
-		sp := ctx.StartSpan("kernel: gbj-tile")
+	tiles := dataflow.FlatMap(cg, func(g dataflow.Pair[Coord, dataflow.CoGrouped[keyedTile, keyedTile]]) []Block {
+		sp := ctx.StartSpan("kernel: gbj-cell")
 		var start time.Time
 		if sp != nil {
 			start = time.Now()
 		}
-		// The output tile escapes into the result dataset, so it is
+		par := ctx.KernelBudget()
+		// Hash the B side by join key; collect each side's distinct
+		// groups in first-seen order — their cross product is the
+		// cell's output tiles (one tile per group pair, exactly the
+		// single cogroup coordinate under the full grid).
+		right := make(map[int64][]keyedTile, len(g.Value.Right))
+		rseen := make(map[int64]bool)
+		var rgroups []int64
+		for _, kt := range g.Value.Right {
+			if !rseen[kt.G] {
+				rseen[kt.G] = true
+				rgroups = append(rgroups, kt.G)
+			}
+			right[kt.K] = append(right[kt.K], kt)
+		}
+		lseen := make(map[int64]bool)
+		var lgroups []int64
+		for _, at := range g.Value.Left {
+			if !lseen[at.G] {
+				lseen[at.G] = true
+				lgroups = append(lgroups, at.G)
+			}
+		}
+		// The output tiles escape into the result dataset, so they are
 		// drawn from the pool but never Put back here; recycling happens
 		// when the result matrix is drained (Matrix.Recycle / Drain).
-		out, hit := pool.TryGet(n, n)
-		par := ctx.KernelBudget()
-		// Hash the smaller side by join key, probe with the other.
-		right := make(map[int64][]*linalg.Dense, len(g.Value.Right))
-		for _, kt := range g.Value.Right {
-			right[kt.K] = append(right[kt.K], kt.Tile)
+		idx := make(map[Coord]int, len(lgroups)*len(rgroups))
+		out := make([]Block, 0, len(lgroups)*len(rgroups))
+		hits := 0
+		for _, gx := range lgroups {
+			for _, gy := range rgroups {
+				t, hit := pool.TryGet(n, n)
+				if hit {
+					hits++
+				}
+				c := Coord{I: gx, J: gy}
+				idx[c] = len(out)
+				out = append(out, dataflow.KV(c, t))
+			}
 		}
 		matches := 0
 		for _, at := range g.Value.Left {
 			for _, bt := range right[at.K] {
-				spec.H(out, at.Tile, bt, par)
+				spec.H(out[idx[Coord{I: at.G, J: bt.G}]].Value, at.Tile, bt.Tile, par)
 				matches++
 			}
 		}
 		if sp != nil {
-			sp.SetAttr("tile", fmt.Sprintf("(%d,%d)", g.Key.I, g.Key.J))
+			sp.SetAttr("cell", fmt.Sprintf("(%d,%d)", g.Key.I, g.Key.J))
 			sp.SetAttr("left", len(g.Value.Left))
 			sp.SetAttr("right", len(g.Value.Right))
+			sp.SetAttr("tiles", len(out))
 			sp.SetAttr("matches", matches)
 			if spec.FlopsPerMatch > 0 {
-				setKernelAttrs(sp, spec.FlopsPerMatch*float64(matches), time.Since(start), hit)
+				setKernelAttrs(sp, spec.FlopsPerMatch*float64(matches), time.Since(start), hits == len(out) && len(out) > 0)
 			}
 			sp.End()
 		}
-		return dataflow.KV(g.Key, out)
+		return out
 	})
 	return &Matrix{Rows: spec.OutRows, Cols: spec.OutCols, N: n, Tiles: tiles}
 }
@@ -119,10 +184,20 @@ func GroupByJoin(a, b *Matrix, spec GBJSpec) *Matrix {
 // MultiplyGBJ computes A * B with the SUMMA-style group-by-join:
 // gx(i,k)=i, kx(i,k)=k, gy(k,j)=j, ky(k,j)=k, h = tile GEMM.
 func (a *Matrix) MultiplyGBJ(b *Matrix) *Matrix {
+	return a.MultiplyGBJTuned(b, 0, 0, 0)
+}
+
+// MultiplyGBJTuned is MultiplyGBJ with the physical knobs the cost
+// model picks exposed: a gridP x gridQ processor grid (0 = the full
+// output-tile grid) and the cogroup partition count (0 = the A
+// input's). The result is numerically identical for any grid choice —
+// only replication volume and cell granularity change.
+func (a *Matrix) MultiplyGBJTuned(b *Matrix, gridP, gridQ int64, parts int) *Matrix {
 	if a.Cols != b.Rows || a.N != b.N {
 		panic("tiled: multiply shape mismatch")
 	}
 	return GroupByJoin(a, b, GBJSpec{
+		GridP: gridP, GridQ: gridQ, Parts: parts,
 		OutRows: a.Rows, OutCols: b.Cols,
 		GroupsX: b.BlockCols(), GroupsY: a.BlockRows(),
 		GX: func(c Coord) int64 { return c.I },
