@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet fmt race test bench bench-adaptive bench-smoke bench-kernels bench-spill spill-test cluster-test fuzz stages trace check
+.PHONY: all tier1 vet fmt race test bench bench-adaptive bench-smoke bench-kernels bench-spill spill-test cluster-test obs-test fuzz stages trace check
 
 all: tier1
 
@@ -56,6 +56,12 @@ spill-test:
 cluster-test:
 	$(GO) test -count=1 ./internal/cluster ./internal/jobs
 	$(GO) test -race -count=1 -run 'SPMD|MetricsIsolation' ./internal/dataflow
+
+# Observability-plane gate: the metrics registry (concurrent scrape
+# hammer), span ring buffer and cluster trace merge, query event-log
+# replay, and debug HTTP endpoints, all under the race detector.
+obs-test:
+	$(GO) test -race -count=1 ./internal/obs ./internal/trace ./internal/eventlog ./internal/debug
 
 # One iteration of every benchmark — catches bit-rotted bench code
 # without paying for real measurements (the CI bench smoke).

@@ -9,11 +9,19 @@
 //
 // -analyze is EXPLAIN ANALYZE: it executes the query with tracing on
 // and prints the plan, the measured per-stage table with skew
-// statistics, and the span tree. -debug serves pprof and live metrics
-// over HTTP while queries run. -adaptive turns on statistics-driven
-// planning (grid/partition counts from cardinality estimates) and
-// adaptive stage-boundary repartitioning for local sessions; plans then
-// show the picked knobs in their cost clause.
+// statistics, and the span tree; with -cluster the report merges every
+// rank's telemetry (one trace lane per worker, straggler warnings
+// naming machines). -debug serves pprof, a Prometheus scrape target,
+// and live metrics over HTTP while queries run. -trace writes the last
+// executed query's spans as Chrome trace_event JSON. -eventlog records
+// one JSONL file per query, replayable offline:
+//
+//	sac history eventlog/query-*.jsonl
+//
+// -adaptive turns on statistics-driven planning (grid/partition counts
+// from cardinality estimates) and adaptive stage-boundary
+// repartitioning for local sessions; plans then show the picked knobs
+// in their cost clause.
 package main
 
 import (
@@ -22,22 +30,54 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/comp"
 	"repro/internal/core"
+	"repro/internal/dataflow"
 	"repro/internal/debug"
 	"repro/internal/diablo"
+	"repro/internal/eventlog"
 	"repro/internal/jobs"
 	"repro/internal/memory"
 	"repro/internal/opt"
 	"repro/internal/plan"
 	"repro/internal/tiled"
+	"repro/internal/trace"
 )
 
+// runHistory is the `sac history <file>...` subcommand: it replays
+// query event logs and prints each run's report — no session, no
+// cluster, just the files.
+func runHistory(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sac history <query-log.jsonl> ...")
+		return 2
+	}
+	exit := 0
+	for i, path := range paths {
+		run, err := eventlog.ReplayFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sac: history: %v\n", err)
+			exit = 1
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== %s ==\n", path)
+		fmt.Print(run.Format())
+	}
+	return exit
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "history" {
+		os.Exit(runHistory(os.Args[2:]))
+	}
 	n := flag.Int64("n", 200, "side length of the generated square matrices A and B")
 	tile := flag.Int("tile", 100, "tile size N")
 	explain := flag.String("explain", "", "explain the plan for this query and exit")
@@ -55,6 +95,8 @@ func main() {
 	clusterWorkers := flag.Int("cluster-workers", 1, "with -cluster: how many workers to wait for before running queries")
 	clusterWait := flag.Duration("cluster-wait", time.Minute, "with -cluster: how long to wait for workers to register")
 	shuffleCost := flag.Float64("shuffle-cost", 0, "simulated serialization/network cost in ns per shuffled byte")
+	traceOut := flag.String("trace", "", "write the last executed query's spans as Chrome trace_event JSON to this file (cluster runs record every rank, one lane per worker)")
+	eventlogDir := flag.String("eventlog", "", "record one replayable JSONL event log per query under this directory (read them back with `sac history <file>`)")
 	flag.Parse()
 
 	budget := memory.BudgetFromEnv(0)
@@ -113,6 +155,9 @@ func main() {
 			DisableGBJ:           *noGBJ,
 			DisableRBK:           *noRBK,
 			ShuffleCostNsPerByte: *shuffleCost,
+			// -trace needs spans shipped from every rank; without it
+			// only stage rows and counter reports cross the wire.
+			Trace: *traceOut != "",
 		}, 10*time.Minute)
 	}
 
@@ -131,6 +176,38 @@ func main() {
 	}
 
 	exit := 0
+	// logRun appends one query's event log (a no-op without -eventlog).
+	// Files are named after the session start plus a per-session query
+	// counter, so a scripted -run-stdin session leaves an ordered trail.
+	sessionStart := time.Now()
+	queryN := 0
+	logRun := func(src, planStr string, snap dataflow.MetricsSnapshot, wall time.Duration, result string, runErr error) {
+		if *eventlogDir == "" {
+			return
+		}
+		queryN++
+		path := filepath.Join(*eventlogDir, eventlog.FileName(sessionStart, queryN))
+		w, err := eventlog.NewWriter(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sac: eventlog: %v\n", err)
+			exit = 1
+			return
+		}
+		err = eventlog.LogRun(w, src, planStr, snap, wall, result, runErr)
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sac: eventlog: %v\n", err)
+			exit = 1
+			return
+		}
+		fmt.Printf("eventlog: %s\n", path)
+	}
+	// lastLocalTrace holds the most recent local traced execution; the
+	// cluster equivalent lives in clusterSess.LastTrace(). Either feeds
+	// the -trace file written before exit.
+	var lastLocalTrace *trace.Tracer
 	runOne := func(src string) {
 		src = strings.TrimSpace(src)
 		if src == "" {
@@ -139,18 +216,22 @@ func main() {
 		ex, err := s.Explain(src)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+			logRun(src, "", dataflow.MetricsSnapshot{}, 0, "", err)
 			exit = 1
 			return
 		}
 		fmt.Printf("plan: %s\n", ex)
+		qstart := time.Now()
 		if clusterSess != nil {
 			blob, run, err := clusterSess.Query(src)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+				logRun(src, ex, dataflow.MetricsSnapshot{}, time.Since(qstart), "", err)
 				exit = 1
 				return
 			}
-			fmt.Printf("result: %s\n", jobs.FormatResult(blob))
+			result := jobs.FormatResult(blob)
+			fmt.Printf("result: %s\n", result)
 			m := clusterSess.Metrics()
 			fmt.Printf("metrics: %s\n", m)
 			if tbl := m.FormatWorkers(); tbl != "" {
@@ -160,29 +241,49 @@ func main() {
 				fmt.Printf("lost %d worker(s); %d map task(s) resubmitted from lineage\n",
 					run.LostWorkers, run.Resubmissions)
 			}
+			logRun(src, ex, m, time.Since(qstart), result, nil)
 			return
 		}
-		res, err := s.Query(src)
+		var res *plan.Result
+		if *traceOut != "" {
+			// Traced execution forces lazy results inside the traced
+			// window, so the Chrome file sees every stage.
+			var q *plan.Compiled
+			if q, err = s.Compile(src); err == nil {
+				var tr *trace.Tracer
+				res, tr, err = q.ExecuteTraced()
+				if tr != nil {
+					lastLocalTrace = tr
+				}
+			}
+		} else {
+			res, err = s.Query(src)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+			logRun(src, ex, s.Metrics(), time.Since(qstart), "", err)
 			exit = 1
 			return
 		}
+		var result string
 		switch res.Kind() {
 		case "matrix":
 			d := res.Matrix.ToDense()
-			fmt.Printf("result: %dx%d tiled matrix (sum=%.4g)\n", res.Matrix.Rows, res.Matrix.Cols, d.Sum())
+			result = fmt.Sprintf("%dx%d tiled matrix (sum=%.4g)", res.Matrix.Rows, res.Matrix.Cols, d.Sum())
+			fmt.Printf("result: %s\n", result)
 			if d.Rows <= 8 && d.Cols <= 8 {
 				fmt.Println(d)
 			}
 		case "vector":
 			v := res.Vector.ToDense()
-			fmt.Printf("result: block vector of %d (sum=%.4g)\n", res.Vector.Size, v.Sum())
+			result = fmt.Sprintf("block vector of %d (sum=%.4g)", res.Vector.Size, v.Sum())
+			fmt.Printf("result: %s\n", result)
 			if v.Len() <= 16 {
 				fmt.Println(v.Data)
 			}
 		case "list":
-			fmt.Printf("result: list of %d rows\n", len(res.List))
+			result = fmt.Sprintf("list of %d rows", len(res.List))
+			fmt.Printf("result: %s\n", result)
 			for i, row := range res.List {
 				if i == 10 {
 					fmt.Println("  ...")
@@ -191,10 +292,12 @@ func main() {
 				fmt.Printf("  %s\n", comp.Render(row))
 			}
 		default:
-			fmt.Printf("result: %s\n", comp.Render(res.Scalar))
+			result = comp.Render(res.Scalar)
+			fmt.Printf("result: %s\n", result)
 		}
 		m := s.Metrics()
 		fmt.Printf("metrics: %s\n", m)
+		logRun(src, ex, m, time.Since(qstart), result, nil)
 		s.ResetMetrics()
 	}
 
@@ -232,12 +335,29 @@ func main() {
 		}
 		fmt.Println(ex)
 	case *analyze != "":
-		report, err := s.Analyze(*analyze)
+		qstart := time.Now()
+		var report string
+		var err error
+		if clusterSess != nil {
+			// Cluster EXPLAIN ANALYZE: every rank ships spans and stage
+			// rows, and the report shows the merged stage table (with
+			// straggler warnings naming workers) plus one trace lane
+			// per rank.
+			report, err = clusterSess.Analyze(*analyze)
+		} else {
+			report, err = s.Analyze(*analyze)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sac: %v\n", err)
+			logRun(*analyze, "", dataflow.MetricsSnapshot{}, time.Since(qstart), "", err)
 			os.Exit(1)
 		}
 		fmt.Print(report)
+		if clusterSess != nil {
+			logRun(*analyze, "", clusterSess.Metrics(), time.Since(qstart), "", nil)
+		} else {
+			logRun(*analyze, "", s.Metrics(), time.Since(qstart), "", nil)
+		}
 	case *query != "":
 		runOne(*query)
 	case *runStdin:
@@ -249,6 +369,26 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *traceOut != "" {
+		tr := lastLocalTrace
+		if clusterSess != nil {
+			tr = clusterSess.LastTrace()
+		}
+		switch {
+		case tr == nil:
+			fmt.Fprintln(os.Stderr, "sac: -trace: no trace recorded (run a query with -query, -run-stdin, or -cluster -analyze)")
+			if exit == 0 {
+				exit = 1
+			}
+		default:
+			if err := tr.WriteChromeFile(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "sac: -trace: %v\n", err)
+				exit = 1
+			} else {
+				fmt.Printf("trace: wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+			}
+		}
 	}
 	// Disconnect workers and remove the session's spill directory
 	// (os.Exit skips defers).

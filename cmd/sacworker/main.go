@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/debug"
 	"repro/internal/memory"
 
 	// Job programs register themselves; linking the package is what
@@ -34,6 +35,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "task slots per job (default 1)")
 	mem := flag.String("mem", "", "per-worker memory budget (e.g. 256MiB); work past it spills to disk. Default: $SAC_MEMORY_BUDGET, else unlimited")
 	connectWait := flag.Duration("connect-wait", 30*time.Second, "how long to keep retrying the initial driver connection")
+	debugAddr := flag.String("debug", "", "serve /debug endpoints (pprof and the Prometheus metrics registry) on this address while running")
 	flag.Parse()
 
 	if *id == "" {
@@ -50,6 +52,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sacworker: %v\n", err)
 			os.Exit(2)
 		}
+	}
+
+	// The worker has no session of its own, but the process-wide
+	// instrument registry (stage/task/shuffle/telemetry counters) and
+	// pprof are live from the first job — a nil Source serves those and
+	// answers 503 on the snapshot routes.
+	if *debugAddr != "" {
+		srv, err := debug.Serve(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sacworker: debug endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint: http://%s/\n", srv.Addr())
 	}
 
 	cfg := cluster.WorkerConfig{

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // DriverConfig configures the cluster control plane.
@@ -41,12 +43,36 @@ func (ws *workerState) send(typ byte, payload []byte) error {
 	return writeFrame(ws.conn, typ, payload)
 }
 
+// RankTelemetry accumulates one rank's observability batches over a
+// job: every span shipped (across all flushes, in order), the stage
+// rows completed so far, and the latest cumulative counters. A lost
+// rank keeps whatever its periodic flushes delivered — that partial
+// trace is exactly the evidence of what it was doing when it died.
+type RankTelemetry struct {
+	Received     bool // at least one batch arrived
+	Final        bool // the pre-reply flush arrived (rank finished cleanly)
+	DroppedSpans int64
+	Spans        []trace.SpanRec
+	Stages       []StageRow
+	Report       Report
+}
+
+func (t *RankTelemetry) absorb(m *telemetryMsg) {
+	t.Received = true
+	t.Final = t.Final || m.Final
+	t.DroppedSpans = m.Dropped // cumulative, last write wins
+	t.Spans = append(t.Spans, m.Spans...)
+	t.Stages = append(t.Stages, m.Stages...)
+	t.Report = m.Report
+}
+
 // jobState tracks one submitted job until every rank has either
 // replied or been declared lost.
 type jobState struct {
 	ranks   []*workerState
-	replies []*jobDoneMsg // indexed by rank, nil until JobDone
-	lost    []bool        // indexed by rank, true when the worker died first
+	replies []*jobDoneMsg   // indexed by rank, nil until JobDone
+	lost    []bool          // indexed by rank, true when the worker died first
+	telem   []RankTelemetry // indexed by rank
 }
 
 func (j *jobState) settled() bool {
@@ -200,6 +226,22 @@ func (d *Driver) handleWorker(conn net.Conn) {
 				d.cond.Broadcast()
 			}
 			d.mu.Unlock()
+		case msgTelemetry:
+			tm, err := decodeTelemetry(payload)
+			if err != nil {
+				// A malformed telemetry frame is diagnostic loss, not a
+				// reason to kill the worker's jobs.
+				continue
+			}
+			d.mu.Lock()
+			if job, ok := d.jobs[tm.JobID]; ok {
+				for r, w := range job.ranks {
+					if w == ws {
+						job.telem[r].absorb(&tm)
+					}
+				}
+			}
+			d.mu.Unlock()
 		}
 	}
 }
@@ -323,6 +365,10 @@ type WorkerRun struct {
 	Lost   bool // worker died before replying
 	Err    string
 	Report Report
+	// Telemetry is the rank's accumulated observability stream: spans,
+	// stage rows, and the dropped-span count. Empty (Received=false)
+	// when the program never flushed — e.g. tracing was not requested.
+	Telemetry RankTelemetry
 }
 
 // RunResult is a completed job: the (cross-checked) result bytes plus
@@ -332,6 +378,29 @@ type RunResult struct {
 	Workers       []WorkerRun
 	Resubmissions int64 // total lineage resubmissions across survivors
 	LostWorkers   int   // ranks that died before replying
+}
+
+// MergedTrace reassembles every rank's shipped spans into one tracer
+// (one synthetic lane per worker, in rank order), or nil when no rank
+// shipped any spans — tracing was off for the job, even if stage rows
+// and reports still flowed.
+func (r *RunResult) MergedTrace() *trace.Tracer {
+	var groups []trace.WorkerTrace
+	for _, w := range r.Workers {
+		if !w.Telemetry.Received ||
+			(len(w.Telemetry.Spans) == 0 && w.Telemetry.DroppedSpans == 0) {
+			continue
+		}
+		groups = append(groups, trace.WorkerTrace{
+			Worker:  w.ID,
+			Dropped: w.Telemetry.DroppedSpans,
+			Spans:   w.Telemetry.Spans,
+		})
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	return trace.Merge(groups)
 }
 
 // Run submits the named program to every live worker and waits for
@@ -351,6 +420,7 @@ func (d *Driver) Run(program string, params []byte, timeout time.Duration) (*Run
 		ranks:   ranks,
 		replies: make([]*jobDoneMsg, len(ranks)),
 		lost:    make([]bool, len(ranks)),
+		telem:   make([]RankTelemetry, len(ranks)),
 	}
 	d.jobs[jobID] = job
 	peers := make([]string, len(ranks))
@@ -403,7 +473,7 @@ func (d *Driver) Run(program string, params []byte, timeout time.Duration) (*Run
 	var result []byte
 	haveResult := false
 	for r, ws := range ranks {
-		run := WorkerRun{ID: ws.id, Addr: ws.dataAddr, Rank: r}
+		run := WorkerRun{ID: ws.id, Addr: ws.dataAddr, Rank: r, Telemetry: job.telem[r]}
 		switch {
 		case job.lost[r]:
 			run.Lost = true

@@ -7,6 +7,22 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Process-wide wire gauges: shuffle traffic in and out of this worker,
+// scrapable mid-query at /debug/metrics. The per-job equivalents ride
+// the Report so the driver can attribute traffic to ranks.
+var (
+	obsWireFetchedBytes = obs.Default.Counter("sac_cluster_wire_fetched_bytes_total",
+		"shuffle bytes pulled over TCP from peer data servers")
+	obsWireServedBytes = obs.Default.Counter("sac_cluster_wire_served_bytes_total",
+		"shuffle bytes served over TCP to peer workers")
+	obsFetchRetries = obs.Default.Counter("sac_cluster_fetch_retries_total",
+		"peer dial attempts that had to be retried")
+	obsFetchGone = obs.Default.Counter("sac_cluster_fetch_gone_total",
+		"FetchGone replies received (peer lost the bucket, forcing recompute)")
 )
 
 // jobStore holds one job's locally-produced shuffle buckets. Fetches
@@ -83,6 +99,20 @@ type Exchange struct {
 	dialBackoff  time.Duration
 
 	dead []atomic.Bool // ranks this exchange has given up on
+
+	// Wire counters for this job's traffic through this rank: bytes
+	// actually pulled over TCP, dial retries spent reaching peers, and
+	// FetchGone replies received. Folded into the rank's Report.
+	wireFetchedBytes atomic.Int64
+	fetchRetries     atomic.Int64
+	fetchGone        atomic.Int64
+}
+
+// fillReport copies the exchange's wire counters into a Report.
+func (e *Exchange) fillReport(r *Report) {
+	r.WireFetchedBytes = e.wireFetchedBytes.Load()
+	r.FetchRetries = e.fetchRetries.Load()
+	r.FetchGoneEvents = e.fetchGone.Load()
 }
 
 func newExchange(jobID int64, rank int, peers []string, store *jobStore) *Exchange {
@@ -148,6 +178,8 @@ func (e *Exchange) fetchRemote(rank int, key string) ([]byte, error) {
 		if attempt >= e.dialRetries {
 			return nil, fmt.Errorf("cluster: dial rank %d (%s): %w", rank, e.peers[rank], err)
 		}
+		e.fetchRetries.Add(1)
+		obsFetchRetries.Inc()
 		time.Sleep(e.dialBackoff << uint(attempt))
 	}
 	defer conn.Close()
@@ -162,8 +194,12 @@ func (e *Exchange) fetchRemote(rank int, key string) ([]byte, error) {
 	}
 	switch typ {
 	case msgFetchOK:
+		e.wireFetchedBytes.Add(int64(len(payload)))
+		obsWireFetchedBytes.Add(int64(len(payload)))
 		return payload, nil
 	case msgFetchGone:
+		e.fetchGone.Add(1)
+		obsFetchGone.Inc()
 		return nil, fmt.Errorf("cluster: rank %d lost bucket %s: %s", rank, key, payload)
 	default:
 		return nil, fmt.Errorf("cluster: unexpected reply type %d from rank %d", typ, rank)

@@ -23,15 +23,16 @@ import (
 // Control- and data-plane message types. A frame is one type byte, a
 // uvarint payload length, then the payload.
 const (
-	msgRegister  = byte(1) // worker -> driver: id, data addr, capacity
-	msgWelcome   = byte(2) // driver -> worker: accepted, heartbeat period
-	msgHeartbeat = byte(3) // worker -> driver: liveness (empty payload)
-	msgJob       = byte(4) // driver -> worker: run program rank r of w
-	msgJobDone   = byte(5) // worker -> driver: result or error + report
-	msgJobEnd    = byte(6) // driver -> worker: job finished, drop its store
-	msgFetch     = byte(7) // worker -> worker: shuffle bucket request
-	msgFetchOK   = byte(8) // worker -> worker: bucket payload
-	msgFetchGone = byte(9) // worker -> worker: bucket unavailable (job failed here)
+	msgRegister  = byte(1)  // worker -> driver: id, data addr, capacity
+	msgWelcome   = byte(2)  // driver -> worker: accepted, heartbeat period
+	msgHeartbeat = byte(3)  // worker -> driver: liveness (empty payload)
+	msgJob       = byte(4)  // driver -> worker: run program rank r of w
+	msgJobDone   = byte(5)  // worker -> driver: result or error + report
+	msgJobEnd    = byte(6)  // driver -> worker: job finished, drop its store
+	msgFetch     = byte(7)  // worker -> worker: shuffle bucket request
+	msgFetchOK   = byte(8)  // worker -> worker: bucket payload
+	msgFetchGone = byte(9)  // worker -> worker: bucket unavailable (job failed here)
+	msgTelemetry = byte(10) // worker -> driver: span batch + stage rows + counter deltas
 )
 
 // maxFrame bounds a frame payload so a corrupt length prefix cannot
@@ -310,6 +311,11 @@ type Report struct {
 	FetchFailures, Resubmissions        int64
 	ServedFetches, ServedBytes          int64
 	SpilledBytes, MemoryPeak, WallNanos int64
+	// Wire-level shuffle counters (appended fields — older peers simply
+	// omit or ignore them): bytes pulled over TCP from peer data
+	// servers, dial attempts that had to be retried, and FetchGone
+	// replies received (a peer lost the bucket, forcing recompute).
+	WireFetchedBytes, FetchRetries, FetchGoneEvents int64
 }
 
 func (r *Report) fields() []*int64 {
@@ -320,6 +326,7 @@ func (r *Report) fields() []*int64 {
 		&r.FetchFailures, &r.Resubmissions,
 		&r.ServedFetches, &r.ServedBytes,
 		&r.SpilledBytes, &r.MemoryPeak, &r.WallNanos,
+		&r.WireFetchedBytes, &r.FetchRetries, &r.FetchGoneEvents,
 	}
 }
 

@@ -18,6 +18,13 @@ type JobEnv struct {
 	Parallelism  int
 	MemoryBudget int64
 	WorkerTag    string
+	// Telemetry, when non-nil, ships one observability batch to the
+	// driver. Programs call it from a periodic ticker with the spans /
+	// stage rows completed since the previous flush, and once more with
+	// Final=true right before returning — the worker sends that last
+	// batch ahead of the job reply on the same ordered connection. Nil
+	// when the runtime has no driver attached (local tests).
+	Telemetry func(TelemetryBatch) error
 }
 
 // Program is a deterministic SPMD job: every rank runs the same

@@ -1,0 +1,155 @@
+// Telemetry frames: the observability side-channel of the control
+// plane. While a job runs, each rank batches its ended trace spans and
+// newly completed stage rows and streams them to the driver as
+// msgTelemetry frames — periodically from a ticker, and once more with
+// Final set immediately before msgJobDone on the same ordered
+// connection, so by the time the driver sees the job reply it has the
+// rank's complete telemetry. The driver merges the per-rank batches
+// into one span tree / Chrome trace and a cluster-wide stage table;
+// a rank that dies mid-job leaves its periodic flushes behind, so the
+// merged trace still shows what it was doing when it was lost.
+
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// DistRow is a wire copy of dataflow.Dist (the per-stage task-duration
+// and records-per-partition summaries). The cluster package stays
+// independent of the dataflow engine, so the rows are mirrored here
+// and converted by the jobs layer.
+type DistRow struct {
+	N, ArgMax          int64
+	Min, P50, P99, Max int64
+}
+
+// StageRow is a wire copy of one completed stage's execution record.
+type StageRow struct {
+	ID                   int64
+	Name                 string
+	StartNs, WallNs      int64
+	Tasks                int64
+	RecordsIn            int64
+	RecordsOut           int64
+	ShuffledBytes        int64
+	TaskDur, PartRecords DistRow
+}
+
+// TelemetryBatch is one flush of observability data from a running
+// program: the spans that ended since the previous flush, the stage
+// rows completed since the previous flush, the cumulative
+// dropped-span count, and the rank's cumulative counters so far.
+type TelemetryBatch struct {
+	Final   bool
+	Dropped int64
+	Spans   []trace.SpanRec
+	Stages  []StageRow
+	Report  Report
+}
+
+type telemetryMsg struct {
+	JobID int64
+	Seq   int64
+	TelemetryBatch
+}
+
+func (w *wireBuf) dist(d DistRow) {
+	w.i64(d.N)
+	w.i64(d.ArgMax)
+	w.i64(d.Min)
+	w.i64(d.P50)
+	w.i64(d.P99)
+	w.i64(d.Max)
+}
+
+func (c *wireCur) dist() DistRow {
+	return DistRow{N: c.i64(), ArgMax: c.i64(), Min: c.i64(), P50: c.i64(), P99: c.i64(), Max: c.i64()}
+}
+
+func (m *telemetryMsg) encode() []byte {
+	var w wireBuf
+	w.i64(m.JobID)
+	w.i64(m.Seq)
+	final := int64(0)
+	if m.Final {
+		final = 1
+	}
+	w.i64(final)
+	w.i64(m.Dropped)
+	w.u64(uint64(len(m.Spans)))
+	for _, s := range m.Spans {
+		w.i64(s.ID)
+		w.i64(s.ParentID)
+		w.str(s.Name)
+		w.i64(s.StartNs)
+		w.i64(s.EndNs)
+		w.u64(uint64(len(s.Keys)))
+		for i := range s.Keys {
+			w.str(s.Keys[i])
+			w.str(s.Vals[i])
+		}
+	}
+	w.u64(uint64(len(m.Stages)))
+	for _, st := range m.Stages {
+		w.i64(st.ID)
+		w.str(st.Name)
+		w.i64(st.StartNs)
+		w.i64(st.WallNs)
+		w.i64(st.Tasks)
+		w.i64(st.RecordsIn)
+		w.i64(st.RecordsOut)
+		w.i64(st.ShuffledBytes)
+		w.dist(st.TaskDur)
+		w.dist(st.PartRecords)
+	}
+	w.blob(m.Report.encode())
+	return w.b
+}
+
+func decodeTelemetry(p []byte) (telemetryMsg, error) {
+	c := wireCur{b: p}
+	var m telemetryMsg
+	m.JobID = c.i64()
+	m.Seq = c.i64()
+	m.Final = c.i64() != 0
+	m.Dropped = c.i64()
+	nspans := c.u64()
+	if nspans > maxFrame {
+		return m, fmt.Errorf("cluster: telemetry span count %d exceeds limit", nspans)
+	}
+	m.Spans = make([]trace.SpanRec, 0, min(int(nspans), 1024))
+	for i := uint64(0); i < nspans && c.err == nil; i++ {
+		s := trace.SpanRec{ID: c.i64(), ParentID: c.i64(), Name: c.str(),
+			StartNs: c.i64(), EndNs: c.i64()}
+		nattrs := c.u64()
+		if nattrs > maxFrame {
+			c.fail("telemetry attr count")
+			break
+		}
+		for j := uint64(0); j < nattrs && c.err == nil; j++ {
+			s.Keys = append(s.Keys, c.str())
+			s.Vals = append(s.Vals, c.str())
+		}
+		m.Spans = append(m.Spans, s)
+	}
+	nstages := c.u64()
+	if c.err == nil && nstages > maxFrame {
+		return m, fmt.Errorf("cluster: telemetry stage count %d exceeds limit", nstages)
+	}
+	m.Stages = make([]StageRow, 0, min(int(nstages), 1024))
+	for i := uint64(0); i < nstages && c.err == nil; i++ {
+		st := StageRow{ID: c.i64(), Name: c.str(), StartNs: c.i64(), WallNs: c.i64(),
+			Tasks: c.i64(), RecordsIn: c.i64(), RecordsOut: c.i64(), ShuffledBytes: c.i64(),
+			TaskDur: c.dist(), PartRecords: c.dist()}
+		m.Stages = append(m.Stages, st)
+	}
+	rep, err := decodeReport(c.blob())
+	if c.err != nil {
+		return m, c.err
+	}
+	m.Report = rep
+	return m, err
+}

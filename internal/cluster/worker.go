@@ -198,6 +198,7 @@ func (w *Worker) storeFor(jobID int64) *jobStore {
 func (w *Worker) runJob(job jobMsg) {
 	store := w.storeFor(job.JobID)
 	exch := newExchange(job.JobID, int(job.Rank), job.Peers, store)
+	var telemSeq atomic.Int64
 	env := &JobEnv{
 		Rank:         int(job.Rank),
 		World:        int(job.World),
@@ -207,11 +208,19 @@ func (w *Worker) runJob(job jobMsg) {
 		MemoryBudget: w.cfg.MemoryBudget,
 		WorkerTag:    w.cfg.ID,
 	}
+	env.Telemetry = func(b TelemetryBatch) error {
+		b.Report.ServedFetches = w.servedFetches.Load()
+		b.Report.ServedBytes = w.servedBytes.Load()
+		exch.fillReport(&b.Report)
+		msg := telemetryMsg{JobID: job.JobID, Seq: telemSeq.Add(1), TelemetryBatch: b}
+		return w.send(msgTelemetry, msg.encode())
+	}
 	start := time.Now()
 	result, rep, err := w.runProgram(job.Program, env)
 	rep.WallNanos = time.Since(start).Nanoseconds()
 	rep.ServedFetches = w.servedFetches.Load()
 	rep.ServedBytes = w.servedBytes.Load()
+	exch.fillReport(&rep)
 	done := jobDoneMsg{JobID: job.JobID, OK: err == nil, Result: result, Report: rep}
 	if err != nil {
 		done.Err = err.Error()
@@ -271,6 +280,7 @@ func (w *Worker) serveData(conn net.Conn) {
 		}
 		w.servedFetches.Add(1)
 		w.servedBytes.Add(int64(len(blob)))
+		obsWireServedBytes.Add(int64(len(blob)))
 		if err := writeFrame(conn, msgFetchOK, blob); err != nil {
 			return
 		}

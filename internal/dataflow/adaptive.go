@@ -149,6 +149,8 @@ func (s *lazyBuckets[T]) rebalance() {
 	m.adaptiveRebalances.Add(1)
 	m.adaptiveMovedRecords.Add(movedRecords)
 	m.adaptiveMovedGroups.Add(movedGroups)
+	obsAdaptiveRebalances.Inc()
+	obsAdaptiveMovedRecords.Add(movedRecords)
 	m.noteAdaptive(AdaptiveEvent{
 		Stage:        s.name,
 		Before:       before,

@@ -106,6 +106,68 @@ func summarizeDist(vals []int64) Dist {
 	return d
 }
 
+// mergeDist folds two distribution summaries from disjoint sample
+// sets into one approximate summary: counts sum, extremes combine
+// exactly (ArgMax follows the larger Max), P50 is the N-weighted
+// average of the halves' medians, and P99 is the larger of the two —
+// conservative in the direction that matters for skew detection. The
+// exact percentiles would need the raw samples, which never leave the
+// workers.
+func mergeDist(a, b Dist) Dist {
+	if a.N == 0 {
+		return b
+	}
+	if b.N == 0 {
+		return a
+	}
+	out := Dist{N: a.N + b.N, Min: min(a.Min, b.Min), Max: a.Max, ArgMax: a.ArgMax}
+	if b.Max > a.Max {
+		out.Max, out.ArgMax = b.Max, b.ArgMax
+	}
+	out.P50 = (a.P50*int64(a.N) + b.P50*int64(b.N)) / int64(a.N+b.N)
+	out.P99 = max(a.P99, b.P99)
+	return out
+}
+
+// MergeStageRows folds per-worker copies of the same SPMD stages into
+// cluster-wide rows, keyed by (ID, Name) in first-seen order. Counts
+// sum across ranks; Wall is the maximum (ranks run the stage
+// concurrently, so the slowest rank is the stage's cluster wall);
+// Start is the earliest; distributions merge via mergeDist; Worker
+// names the rank that contributed the slowest task.
+func MergeStageRows(rows []StageMetric) []StageMetric {
+	type key struct {
+		id   int64
+		name string
+	}
+	idx := make(map[key]int)
+	var out []StageMetric
+	for _, r := range rows {
+		k := key{r.ID, r.Name}
+		i, ok := idx[k]
+		if !ok {
+			idx[k] = len(out)
+			out = append(out, r)
+			continue
+		}
+		m := &out[i]
+		if r.TaskDur.Max > m.TaskDur.Max {
+			m.Worker = r.Worker
+		}
+		if !r.Start.IsZero() && (m.Start.IsZero() || r.Start.Before(m.Start)) {
+			m.Start = r.Start
+		}
+		m.Wall = max(m.Wall, r.Wall)
+		m.Tasks += r.Tasks
+		m.RecordsIn += r.RecordsIn
+		m.RecordsOut += r.RecordsOut
+		m.ShuffledBytes += r.ShuffledBytes
+		m.TaskDur = mergeDist(m.TaskDur, r.TaskDur)
+		m.PartRecords = mergeDist(m.PartRecords, r.PartRecords)
+	}
+	return out
+}
+
 // StageMetric is the execution record of one completed stage.
 // RecordsIn counts the records that reached the stage's sink (after the
 // fused narrow-operator chain); RecordsOut counts the records the stage
@@ -120,6 +182,11 @@ type StageMetric struct {
 	RecordsIn     int64
 	RecordsOut    int64
 	ShuffledBytes int64
+	// Worker names the rank behind this row on distributed snapshots:
+	// the owning rank on per-worker rows (WorkerStages), the rank that
+	// contributed the slowest task on cluster-merged rows
+	// (MergeStageRows). Empty on local runs.
+	Worker string
 	// TaskDur summarizes per-task wall time in nanoseconds; a p99 far
 	// above p50 means one straggler task dominated the stage.
 	TaskDur Dist
@@ -168,6 +235,9 @@ func (st StageMetric) SkewWarning(threshold float64) (string, bool) {
 		time.Duration(st.TaskDur.P99).Round(time.Microsecond),
 		st.TaskDur.ArgMax,
 		time.Duration(st.TaskDur.Max).Round(time.Microsecond))
+	if st.Worker != "" {
+		w += fmt.Sprintf(" on worker %s", st.Worker)
+	}
 	if st.PartRecords.N > 0 && st.PartRecords.Skew() > threshold {
 		w += fmt.Sprintf("; hottest partition %d holds %d records (p50=%d)",
 			st.PartRecords.ArgMax, st.PartRecords.Max, st.PartRecords.P50)
@@ -225,6 +295,15 @@ type MetricsSnapshot struct {
 	RemoteFetchedBytes int64
 	FetchFailures      int64
 	Resubmissions      int64
+	// WireFetchedBytes / FetchRetries / FetchGoneEvents are the
+	// wire-level shuffle counters reported by the cluster exchange:
+	// bytes actually pulled over TCP, peer dials that had to be
+	// retried, and FetchGone replies (a peer lost the bucket). Zero on
+	// local contexts; on cluster-merged snapshots they sum the ranks'
+	// reports.
+	WireFetchedBytes int64
+	FetchRetries     int64
+	FetchGoneEvents  int64
 	// AdaptiveRebalances / AdaptiveMovedRecords / AdaptiveMovedGroups
 	// count adaptive stage-boundary rebalances: shuffles whose reduce
 	// buckets were reshaped after the map side completed, and the rows /
@@ -243,6 +322,11 @@ type MetricsSnapshot struct {
 	// that participated in the last job; empty on local contexts and on
 	// the workers themselves.
 	PerWorker []WorkerStat
+	// WorkerStages, on cluster-driver snapshots, holds every rank's
+	// per-stage rows (Worker set on each) in rank order; PerStage then
+	// carries the cluster-merged view (MergeStageRows). Empty on local
+	// contexts.
+	WorkerStages []StageMetric
 }
 
 // WorkerStat is one worker's row of a distributed job's metrics: the
@@ -271,9 +355,14 @@ type WorkerStat struct {
 	// served to its peers.
 	ServedFetches int64
 	ServedBytes   int64
-	SpilledBytes  int64
-	MemoryPeak    int64
-	Wall          time.Duration
+	// WireFetchedBytes / FetchRetries / FetchGoneEvents mirror the
+	// exchange's wire counters for this rank.
+	WireFetchedBytes int64
+	FetchRetries     int64
+	FetchGoneEvents  int64
+	SpilledBytes     int64
+	MemoryPeak       int64
+	Wall             time.Duration
 }
 
 // noteStageStart tracks the in-flight stage gauge and its high-water
@@ -311,6 +400,8 @@ func (m *Metrics) noteSpill(bytes, rows, files int64) {
 	m.spilledBytes.Add(bytes)
 	m.spilledRecords.Add(rows)
 	m.spillFiles.Add(files)
+	obsSpilledBytes.Add(bytes)
+	obsSpillFiles.Add(files)
 }
 
 // Snapshot copies the counters.
@@ -423,6 +514,9 @@ func (s MetricsSnapshot) FormatStages() string {
 	for _, w := range s.SkewWarnings(0) {
 		fmt.Fprintf(&b, "warning: %s\n", w)
 	}
+	for _, w := range s.StragglerWarnings(0) {
+		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
 	if s.AdaptiveRebalances > 0 {
 		fmt.Fprintf(&b, "adaptive: %d rebalances moved %d records (%d key groups)\n",
 			s.AdaptiveRebalances, s.AdaptiveMovedRecords, s.AdaptiveMovedGroups)
@@ -447,10 +541,21 @@ func (s MetricsSnapshot) FormatStages() string {
 			memory.FormatBytes(s.MemoryBudget), memory.FormatBytes(s.MemoryUsed),
 			memory.FormatBytes(s.MemoryPeak), s.MemoryOvercommits)
 	}
-	if s.RemoteFetches > 0 || s.FetchFailures > 0 || s.Resubmissions > 0 {
-		fmt.Fprintf(&b, "cluster: %d remote fetches (%s), %d fetch failures, %d resubmissions\n",
+	if s.RemoteFetches > 0 || s.FetchFailures > 0 || s.Resubmissions > 0 ||
+		s.WireFetchedBytes > 0 || s.FetchRetries > 0 || s.FetchGoneEvents > 0 {
+		line := fmt.Sprintf("cluster: %d remote fetches (%s), %d fetch failures, %d resubmissions",
 			s.RemoteFetches, memory.FormatBytes(s.RemoteFetchedBytes),
 			s.FetchFailures, s.Resubmissions)
+		if s.WireFetchedBytes > 0 {
+			line += fmt.Sprintf(", %s on the wire", memory.FormatBytes(s.WireFetchedBytes))
+		}
+		if s.FetchRetries > 0 {
+			line += fmt.Sprintf(", %d fetch retries", s.FetchRetries)
+		}
+		if s.FetchGoneEvents > 0 {
+			line += fmt.Sprintf(", %d buckets gone", s.FetchGoneEvents)
+		}
+		b.WriteString(line + "\n")
 	}
 	if len(s.PerWorker) > 0 {
 		b.WriteString(s.FormatWorkers())
@@ -508,6 +613,67 @@ func (s MetricsSnapshot) SkewWarnings(threshold float64) []string {
 	return out
 }
 
+// DefaultStragglerThreshold is the per-stage wall-time ratio (slowest
+// rank over median rank) above which a whole worker is flagged as the
+// stage's straggler.
+const DefaultStragglerThreshold = 2.0
+
+// StragglerWarnings compares each stage's wall time across ranks
+// (WorkerStages, so cluster snapshots only) and reports the stages
+// where one worker ran the stage more than threshold times longer than
+// the median rank (<= 0 uses DefaultStragglerThreshold). Task-level
+// skew (SkewWarnings) catches a hot partition; this catches a slow or
+// overloaded *machine*, which looks fine partition-by-partition but
+// drags every stage it touches.
+func (s MetricsSnapshot) StragglerWarnings(threshold float64) []string {
+	if threshold <= 0 {
+		threshold = DefaultStragglerThreshold
+	}
+	type key struct {
+		id   int64
+		name string
+	}
+	order := []key{}
+	byStage := map[key][]StageMetric{}
+	for _, st := range s.WorkerStages {
+		k := key{st.ID, st.Name}
+		if _, ok := byStage[k]; !ok {
+			order = append(order, k)
+		}
+		byStage[k] = append(byStage[k], st)
+	}
+	var out []string
+	for _, k := range order {
+		rows := byStage[k]
+		if len(rows) < 2 {
+			continue
+		}
+		walls := make([]int64, len(rows))
+		slowest := 0
+		for i, r := range rows {
+			walls[i] = int64(r.Wall)
+			if r.Wall > rows[slowest].Wall {
+				slowest = i
+			}
+		}
+		slices.Sort(walls)
+		median := walls[len(walls)/2]
+		if median == 0 {
+			continue
+		}
+		ratio := float64(rows[slowest].Wall) / float64(median)
+		if ratio <= threshold {
+			continue
+		}
+		out = append(out, fmt.Sprintf(
+			"straggler: stage %d %s took %s on worker %s, %.1fx the median rank (%s)",
+			k.id, k.name, rows[slowest].Wall.Round(time.Microsecond),
+			rows[slowest].Worker, ratio,
+			time.Duration(median).Round(time.Microsecond)))
+	}
+	return out
+}
+
 // Sub returns the difference s - t, useful to meter one query when the
 // context is reused: take t before, s after, and Sub reports only the
 // work in between. PerStage keeps only the stages completed after t
@@ -550,6 +716,9 @@ func (s MetricsSnapshot) Sub(t MetricsSnapshot) MetricsSnapshot {
 		RemoteFetchedBytes:   s.RemoteFetchedBytes - t.RemoteFetchedBytes,
 		FetchFailures:        s.FetchFailures - t.FetchFailures,
 		Resubmissions:        s.Resubmissions - t.Resubmissions,
+		WireFetchedBytes:     s.WireFetchedBytes - t.WireFetchedBytes,
+		FetchRetries:         s.FetchRetries - t.FetchRetries,
+		FetchGoneEvents:      s.FetchGoneEvents - t.FetchGoneEvents,
 		MaxConcurrentStages:  maxOverlap(per),
 		AdaptiveRebalances:   s.AdaptiveRebalances - t.AdaptiveRebalances,
 		AdaptiveMovedRecords: s.AdaptiveMovedRecords - t.AdaptiveMovedRecords,
@@ -557,6 +726,7 @@ func (s MetricsSnapshot) Sub(t MetricsSnapshot) MetricsSnapshot {
 		AdaptiveEvents:       adaptive,
 		PerStage:             per,
 		PerWorker:            s.PerWorker,
+		WorkerStages:         s.WorkerStages,
 	}
 }
 

@@ -3,6 +3,7 @@ package dataflow
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -199,5 +200,124 @@ func TestDistSummary(t *testing.T) {
 	one := summarizeDist([]int64{7})
 	if one.P50 != 7 || one.P99 != 7 || one.N != 1 {
 		t.Fatalf("singleton dist = %+v", one)
+	}
+}
+
+// TestMergeDist pins down the cross-rank distribution fold.
+func TestMergeDist(t *testing.T) {
+	a := Dist{N: 4, Min: 10, P50: 20, P99: 40, Max: 40, ArgMax: 3}
+	b := Dist{N: 2, Min: 5, P50: 50, P99: 90, Max: 95, ArgMax: 1}
+	m := mergeDist(a, b)
+	if m.N != 6 || m.Min != 5 || m.Max != 95 || m.ArgMax != 1 {
+		t.Fatalf("merged extremes: %+v", m)
+	}
+	if m.P99 != 90 {
+		t.Fatalf("p99 = %d, want max of halves (90)", m.P99)
+	}
+	if want := (int64(20)*4 + int64(50)*2) / 6; m.P50 != want {
+		t.Fatalf("p50 = %d, want N-weighted %d", m.P50, want)
+	}
+	// Empty halves pass the other side through unchanged.
+	if mergeDist(Dist{}, b) != b || mergeDist(a, Dist{}) != a {
+		t.Fatal("empty half not passed through")
+	}
+}
+
+// TestMergeStageRows folds three ranks' copies of two SPMD stages.
+func TestMergeStageRows(t *testing.T) {
+	base := time.Unix(100, 0)
+	row := func(id int64, worker string, startOff, wall time.Duration, tasks int64, maxDur int64) StageMetric {
+		return StageMetric{
+			ID: id, Name: "stage: s", Start: base.Add(startOff), Wall: wall,
+			Tasks: tasks, RecordsIn: 10, RecordsOut: 5, ShuffledBytes: 100,
+			Worker:  worker,
+			TaskDur: Dist{N: int(tasks), Min: 1, P50: 2, P99: maxDur, Max: maxDur},
+		}
+	}
+	rows := []StageMetric{
+		row(1, "w0", 10*time.Millisecond, 50*time.Millisecond, 4, 30),
+		row(2, "w0", 0, 20*time.Millisecond, 2, 10),
+		row(1, "w1", 5*time.Millisecond, 90*time.Millisecond, 4, 80), // slowest task
+		row(1, "w2", 20*time.Millisecond, 40*time.Millisecond, 4, 20),
+		row(2, "w1", 0, 25*time.Millisecond, 2, 12),
+	}
+	merged := MergeStageRows(rows)
+	if len(merged) != 2 {
+		t.Fatalf("got %d merged rows, want 2: %+v", len(merged), merged)
+	}
+	s1 := merged[0]
+	if s1.ID != 1 || s1.Tasks != 12 || s1.RecordsIn != 30 || s1.ShuffledBytes != 300 {
+		t.Fatalf("summed counts wrong: %+v", s1)
+	}
+	if s1.Wall != 90*time.Millisecond {
+		t.Fatalf("wall = %v, want max across ranks", s1.Wall)
+	}
+	if !s1.Start.Equal(base.Add(5 * time.Millisecond)) {
+		t.Fatalf("start = %v, want earliest rank start", s1.Start)
+	}
+	if s1.Worker != "w1" {
+		t.Fatalf("worker = %q, want rank with slowest task (w1)", s1.Worker)
+	}
+	if s1.TaskDur.N != 12 || s1.TaskDur.Max != 80 {
+		t.Fatalf("merged dist: %+v", s1.TaskDur)
+	}
+	// Single-rank stages pass through untouched.
+	solo := MergeStageRows(rows[:1])
+	if len(solo) != 1 || solo[0].Worker != "w0" || solo[0].Tasks != 4 {
+		t.Fatalf("single-row merge drifted: %+v", solo)
+	}
+}
+
+// TestStragglerWarnings names the slow rank when one worker's stage
+// wall dwarfs the median.
+func TestStragglerWarnings(t *testing.T) {
+	mk := func(worker string, wall time.Duration) StageMetric {
+		return StageMetric{ID: 3, Name: "stage: reduce", Worker: worker, Wall: wall}
+	}
+	s := MetricsSnapshot{WorkerStages: []StageMetric{
+		mk("w0", 10*time.Millisecond),
+		mk("w1", 11*time.Millisecond),
+		mk("w2", 95*time.Millisecond),
+	}}
+	warns := s.StragglerWarnings(0)
+	if len(warns) != 1 {
+		t.Fatalf("got %d warnings, want 1: %v", len(warns), warns)
+	}
+	if !strings.Contains(warns[0], "worker w2") || !strings.Contains(warns[0], "stage 3") {
+		t.Fatalf("warning does not name the straggler: %q", warns[0])
+	}
+	// Balanced ranks stay quiet.
+	bal := MetricsSnapshot{WorkerStages: []StageMetric{
+		mk("w0", 10*time.Millisecond), mk("w1", 12*time.Millisecond), mk("w2", 11*time.Millisecond),
+	}}
+	if w := bal.StragglerWarnings(0); len(w) != 0 {
+		t.Fatalf("balanced ranks warned: %v", w)
+	}
+	// A single rank cannot straggle relative to itself.
+	one := MetricsSnapshot{WorkerStages: []StageMetric{mk("w0", time.Second)}}
+	if w := one.StragglerWarnings(0); len(w) != 0 {
+		t.Fatalf("single rank warned: %v", w)
+	}
+	// And the warning surfaces in FormatStages output.
+	if out := s.FormatStages(); !strings.Contains(out, "straggler: stage 3") {
+		t.Fatalf("FormatStages missing straggler warning:\n%s", out)
+	}
+}
+
+// TestSkewWarningNamesWorker checks the worker attribution added to
+// cluster-merged rows.
+func TestSkewWarningNamesWorker(t *testing.T) {
+	st := StageMetric{
+		ID: 7, Name: "stage: join", Worker: "w3",
+		TaskDur: Dist{N: 8, Min: 1, P50: 10, P99: 500, Max: 600, ArgMax: 5},
+	}
+	w, ok := st.SkewWarning(0)
+	if !ok || !strings.Contains(w, "on worker w3") {
+		t.Fatalf("skew warning missing worker: ok=%v %q", ok, w)
+	}
+	st.Worker = ""
+	w, _ = st.SkewWarning(0)
+	if strings.Contains(w, "on worker") {
+		t.Fatalf("local skew warning mentions a worker: %q", w)
 	}
 }

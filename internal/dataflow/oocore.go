@@ -350,6 +350,7 @@ func (s *lazyBuckets[T]) getSpilled(p int) []T {
 		err = spill.Merge(runs, nil, sp.ord, sp.codec, account)
 	}
 	s.ctx.metrics.mergePasses.Add(1)
+	obsMergePasses.Inc()
 	// The merged slice is handed to the consumer as untracked consumer
 	// memory; the runs stay on disk as the partition's canonical copy.
 	s.ctx.mem.Release(resv)
@@ -376,6 +377,7 @@ func (s *lazyBuckets[T]) eachHashGroup(p int, fn func(group []T)) {
 	sp.mu.Unlock()
 	if len(runs) > 0 {
 		s.ctx.metrics.mergePasses.Add(1)
+		obsMergePasses.Inc()
 	}
 	span := s.ctx.StartSpan("merge: " + sp.name)
 	if err := spill.MergeGroups(runs, memRows, sp.ord, sp.codec, func(_ uint64, g []T) { fn(g) }); err != nil {

@@ -175,6 +175,7 @@ func (s *Stage) ensure() {
 				PartRecords:   summarizeDist(recs),
 			}
 			c.metrics.recordStage(sm)
+			obsRecordStage(sm, durs)
 			c.putStatBuf(durs)
 			c.putStatBuf(recs)
 			if sp := s.span; sp != nil {

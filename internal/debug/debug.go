@@ -1,8 +1,9 @@
 // Package debug provides an opt-in HTTP endpoint for long engine runs:
-// the standard net/http/pprof profiles plus a live JSON snapshot of the
-// engine metrics and the per-stage execution table. Nothing listens
-// unless a CLI is started with its -debug flag (or Serve is called
-// directly), so the engine itself stays network-free.
+// the standard net/http/pprof profiles, a Prometheus scrape target
+// backed by the process-wide metrics registry, and live JSON snapshots
+// of the engine metrics and the per-stage execution table. Nothing
+// listens unless a CLI is started with its -debug flag (or Serve is
+// called directly), so the engine itself stays network-free.
 package debug
 
 import (
@@ -13,10 +14,14 @@ import (
 	"net/http/pprof"
 
 	"repro/internal/dataflow"
+	"repro/internal/obs"
 )
 
 // Source supplies live engine metrics. *dataflow.Context satisfies it,
-// as does core.Session.
+// as does core.Session and jobs.ClusterSession. A nil Source is legal
+// (sacworker has no session of its own until a job arrives): the
+// registry-backed endpoints still serve, and the snapshot-backed ones
+// answer 503.
 type Source interface {
 	Metrics() dataflow.MetricsSnapshot
 }
@@ -58,10 +63,13 @@ func toDistJSON(d dataflow.Dist) distJSON {
 }
 
 // stageJSON is one row of the /debug/stages.json document: the
-// per-stage shuffle counters plus both skew histograms.
+// per-stage shuffle counters plus both skew histograms. Worker is set
+// on cluster snapshots: the owning rank on per-worker rows, the rank
+// with the slowest task on merged rows.
 type stageJSON struct {
 	ID            int64    `json:"id"`
 	Name          string   `json:"name"`
+	Worker        string   `json:"worker,omitempty"`
 	WallNs        int64    `json:"wall_ns"`
 	Tasks         int64    `json:"tasks"`
 	RecordsIn     int64    `json:"records_in"`
@@ -82,16 +90,34 @@ type adaptiveJSON struct {
 	MovedGroups  int64    `json:"moved_groups"`
 }
 
-// stagesDoc is the /debug/stages.json document.
+// stagesDoc is the /debug/stages.json document. On cluster snapshots
+// Stages carries the merged view and WorkerStages every rank's own
+// rows; locally WorkerStages is absent.
 type stagesDoc struct {
-	Stages   []stageJSON    `json:"stages"`
-	Adaptive []adaptiveJSON `json:"adaptive,omitempty"`
-	Totals   struct {
+	Stages       []stageJSON    `json:"stages"`
+	WorkerStages []stageJSON    `json:"worker_stages,omitempty"`
+	Stragglers   []string       `json:"stragglers,omitempty"`
+	Adaptive     []adaptiveJSON `json:"adaptive,omitempty"`
+	Totals       struct {
 		ShuffledBytes   int64 `json:"shuffled_bytes"`
 		ShuffledRecords int64 `json:"shuffled_records"`
 		Rebalances      int64 `json:"adaptive_rebalances"`
 		MovedRecords    int64 `json:"adaptive_moved_records"`
 	} `json:"totals"`
+}
+
+func toStageJSON(st dataflow.StageMetric) stageJSON {
+	row := stageJSON{
+		ID: st.ID, Name: st.Name, Worker: st.Worker, WallNs: int64(st.Wall),
+		Tasks: st.Tasks, RecordsIn: st.RecordsIn, RecordsOut: st.RecordsOut,
+		ShuffledBytes: st.ShuffledBytes,
+		TaskDurNs:     toDistJSON(st.TaskDur), PartRecords: toDistJSON(st.PartRecords),
+		Skew: st.TaskDur.Skew(),
+	}
+	if w, ok := st.SkewWarning(0); ok {
+		row.SkewWarning = w
+	}
+	return row
 }
 
 // StagesJSON builds the machine-readable per-stage document from a
@@ -101,18 +127,12 @@ func StagesJSON(m dataflow.MetricsSnapshot) any {
 	var doc stagesDoc
 	doc.Stages = make([]stageJSON, 0, len(m.PerStage))
 	for _, st := range m.PerStage {
-		row := stageJSON{
-			ID: st.ID, Name: st.Name, WallNs: int64(st.Wall),
-			Tasks: st.Tasks, RecordsIn: st.RecordsIn, RecordsOut: st.RecordsOut,
-			ShuffledBytes: st.ShuffledBytes,
-			TaskDurNs:     toDistJSON(st.TaskDur), PartRecords: toDistJSON(st.PartRecords),
-			Skew: st.TaskDur.Skew(),
-		}
-		if w, ok := st.SkewWarning(0); ok {
-			row.SkewWarning = w
-		}
-		doc.Stages = append(doc.Stages, row)
+		doc.Stages = append(doc.Stages, toStageJSON(st))
 	}
+	for _, st := range m.WorkerStages {
+		doc.WorkerStages = append(doc.WorkerStages, toStageJSON(st))
+	}
+	doc.Stragglers = m.StragglerWarnings(0)
 	for _, e := range m.AdaptiveEvents {
 		doc.Adaptive = append(doc.Adaptive, adaptiveJSON{
 			Stage: e.Stage, Before: toDistJSON(e.Before), After: toDistJSON(e.After),
@@ -133,13 +153,16 @@ type Server struct {
 }
 
 // Serve starts the endpoint on addr (for example "localhost:6060";
-// ":0" picks a free port — read it back with Addr). Routes:
+// ":0" picks a free port — read it back with Addr). src may be nil
+// (see Source). Routes:
 //
 //	/debug/pprof/       the standard pprof index and profiles
-//	/debug/metrics      the current MetricsSnapshot as JSON
+//	/debug/metrics      the process-wide instrument registry in
+//	                    Prometheus text exposition format
+//	/debug/metrics.json the current MetricsSnapshot as JSON
 //	/debug/stages       the per-stage execution table as text
-//	/debug/stages.json  per-stage counters, Dist histograms, and
-//	                    adaptive rebalance events as JSON
+//	/debug/stages.json  per-stage counters, Dist histograms, per-worker
+//	                    rows (cluster), and adaptive rebalances as JSON
 //	/debug/memory       memory budget and spill gauges as JSON
 func Serve(addr string, src Source) (*Server, error) {
 	mux := http.NewServeMux()
@@ -148,28 +171,58 @@ func Serve(addr string, src Source) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// snapshot gates the Source-backed handlers; the Prometheus and
+	// pprof routes work regardless.
+	snapshot := func(w http.ResponseWriter) (dataflow.MetricsSnapshot, bool) {
+		if src == nil {
+			http.Error(w, "no metrics source attached", http.StatusServiceUnavailable)
+			return dataflow.MetricsSnapshot{}, false
+		}
+		return src.Metrics(), true
+	}
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.Default.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := snapshot(w)
+		if !ok {
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
-		if err := enc.Encode(src.Metrics()); err != nil {
+		if err := enc.Encode(m); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	mux.HandleFunc("/debug/stages", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := snapshot(w)
+		if !ok {
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, src.Metrics().FormatStages())
+		fmt.Fprint(w, m.FormatStages())
 	})
 	mux.HandleFunc("/debug/stages.json", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := snapshot(w)
+		if !ok {
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
-		if err := enc.Encode(StagesJSON(src.Metrics())); err != nil {
+		if err := enc.Encode(StagesJSON(m)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	mux.HandleFunc("/debug/memory", func(w http.ResponseWriter, r *http.Request) {
-		m := src.Metrics()
+		m, ok := snapshot(w)
+		if !ok {
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
@@ -197,9 +250,10 @@ func Serve(addr string, src Source) (*Server, error) {
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprint(w, `<html><body><h1>SAC engine debug</h1><ul>
-<li><a href="/debug/metrics">/debug/metrics</a> — live metrics snapshot (JSON)</li>
+<li><a href="/debug/metrics">/debug/metrics</a> — Prometheus scrape target (text exposition)</li>
+<li><a href="/debug/metrics.json">/debug/metrics.json</a> — live metrics snapshot (JSON)</li>
 <li><a href="/debug/stages">/debug/stages</a> — per-stage execution table</li>
-<li><a href="/debug/stages.json">/debug/stages.json</a> — per-stage counters, skew histograms, adaptive rebalances (JSON)</li>
+<li><a href="/debug/stages.json">/debug/stages.json</a> — per-stage counters, skew histograms, per-worker rows, adaptive rebalances (JSON)</li>
 <li><a href="/debug/memory">/debug/memory</a> — memory budget and spill gauges (JSON)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiles</li>
 </ul></body></html>`)

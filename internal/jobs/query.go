@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/comp"
@@ -40,6 +41,14 @@ type QueryParams struct {
 	// shuffled byte; the worker-kill e2e test uses it to hold queries
 	// open long enough to lose a worker mid-shuffle.
 	ShuffleCostNsPerByte float64
+	// Trace asks every rank to record execution spans and stream them
+	// to the driver, which merges them into one cluster-wide trace
+	// (per-rank lanes). Stage rows and counter reports flow regardless;
+	// Trace only controls span recording.
+	Trace bool
+	// TelemetryMs overrides the periodic telemetry flush interval in
+	// milliseconds (0 uses the default).
+	TelemetryMs int64
 }
 
 // Encode serializes the params for the job message.
@@ -59,8 +68,12 @@ func (p *QueryParams) Encode() []byte {
 	if p.DisableRBK {
 		flags |= 2
 	}
+	if p.Trace {
+		flags |= 4
+	}
 	b = binary.AppendVarint(b, flags)
 	b = binary.AppendUvarint(b, math.Float64bits(p.ShuffleCostNsPerByte))
+	b = binary.AppendVarint(b, p.TelemetryMs)
 	return b
 }
 
@@ -99,7 +112,9 @@ func DecodeQueryParams(b []byte) (QueryParams, error) {
 	flags := i()
 	p.DisableGBJ = flags&1 != 0
 	p.DisableRBK = flags&2 != 0
+	p.Trace = flags&4 != 0
 	p.ShuffleCostNsPerByte = math.Float64frombits(u())
+	p.TelemetryMs = i()
 	if p.Src == "" || p.N <= 0 || p.Tile <= 0 {
 		return p, fmt.Errorf("jobs: invalid query params (src=%q n=%d tile=%d)", p.Src, p.N, p.Tile)
 	}
@@ -112,12 +127,17 @@ func init() {
 		if err != nil {
 			return nil, cluster.Report{}, err
 		}
+		var pump *telemetryPump
+		if env.Telemetry != nil {
+			pump = newTelemetryPump(env.Telemetry,
+				time.Duration(p.TelemetryMs)*time.Millisecond, p.Trace)
+		}
 		blob, snap, err := runQuery(p, env.World, func(c *core.Config) {
 			c.Parallelism = env.Parallelism
 			c.MemoryBudget = env.MemoryBudget
 			c.Transport = env.Exchange
 			c.WorkerTag = env.WorkerTag
-		})
+		}, pump)
 		return blob, reportFrom(snap), err
 	})
 }
@@ -127,7 +147,7 @@ func init() {
 // serializes the result. The metrics snapshot is taken after
 // serialization: results materialize lazily (ToDense drives the final
 // stages), so an earlier snapshot would miss most of the work.
-func runQuery(p QueryParams, world int, override func(*core.Config)) ([]byte, dataflow.MetricsSnapshot, error) {
+func runQuery(p QueryParams, world int, override func(*core.Config), pump *telemetryPump) ([]byte, dataflow.MetricsSnapshot, error) {
 	if p.Partitions <= 0 {
 		p.Partitions = int64(defaultPartitions(world))
 	}
@@ -145,6 +165,13 @@ func runQuery(p QueryParams, world int, override func(*core.Config)) ([]byte, da
 	}
 	s := core.NewSession(conf)
 	defer s.Close()
+	if pump != nil {
+		// finish runs before Close (LIFO), so the final flush still
+		// sees the session's metrics; the worker runtime sends it
+		// ahead of the job reply.
+		pump.attach(s, conf.WorkerTag, p.Src)
+		defer pump.finish()
+	}
 	s.RegisterRandMatrix("A", p.N, p.N, 0, 10, p.SeedA)
 	s.RegisterRandMatrix("B", p.N, p.N, 0, 10, p.SeedB)
 	s.RegisterScalar("n", p.N)
@@ -160,7 +187,7 @@ func runQuery(p QueryParams, world int, override func(*core.Config)) ([]byte, da
 // the reference the distributed runtime's results are byte-compared
 // against in tests and EXPERIMENTS.md.
 func RunQueryLocal(p QueryParams) ([]byte, error) {
-	blob, _, err := runQuery(p, 1, nil)
+	blob, _, err := runQuery(p, 1, nil, nil)
 	return blob, err
 }
 

@@ -1,26 +1,37 @@
 package jobs
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/comp"
 	"repro/internal/dataflow"
+	"repro/internal/sacparser"
+	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // ClusterSession runs SAC queries on a worker cluster through a
 // driver, mirroring core.Session's query-then-metrics shape: Query
 // submits the "sac.query" program and Metrics returns the last job's
-// aggregated counters with one PerWorker row per rank — which also
-// makes it a debug.Source, so `sac -cluster -debug` serves the same
-// live endpoints as local mode.
+// aggregated counters — cluster-merged per-stage rows (PerStage),
+// every rank's own rows (WorkerStages), and one PerWorker row per
+// rank — which also makes it a debug.Source, so `sac -cluster -debug`
+// serves the same live endpoints as local mode. Each run's measured
+// profile is recorded in a driver-side stats cache keyed like
+// core.Session's, so repeated queries observe their history.
 type ClusterSession struct {
 	driver  *cluster.Driver
 	base    QueryParams
 	timeout time.Duration
+	stats   *stats.Cache
 
-	mu   sync.Mutex
-	last dataflow.MetricsSnapshot
+	mu        sync.Mutex
+	last      dataflow.MetricsSnapshot
+	lastTrace *trace.Tracer
 }
 
 // NewClusterSession wraps a driver. base supplies the input-generation
@@ -29,22 +40,59 @@ func NewClusterSession(d *cluster.Driver, base QueryParams, timeout time.Duratio
 	if timeout <= 0 {
 		timeout = 10 * time.Minute
 	}
-	return &ClusterSession{driver: d, base: base, timeout: timeout}
+	return &ClusterSession{driver: d, base: base, timeout: timeout, stats: stats.NewCache()}
 }
 
 // Query runs one SAC query on the cluster and returns the canonical
 // result blob (see EncodeResult / FormatResult) plus the run detail.
+// Span recording follows the session's base.Trace flag.
 func (cs *ClusterSession) Query(src string) ([]byte, *cluster.RunResult, error) {
 	p := cs.base
 	p.Src = src
-	run, err := cs.driver.Run(QueryName, p.Encode(), cs.timeout)
+	run, _, err := cs.run(p)
 	if err != nil {
 		return nil, nil, err
 	}
-	cs.mu.Lock()
-	cs.last = snapshotFrom(run, cs.driver.Workers())
-	cs.mu.Unlock()
 	return run.Result, run, nil
+}
+
+// Analyze is the cluster's EXPLAIN ANALYZE: it runs the query with
+// tracing forced on and renders totals, the cluster-merged stage
+// table (skew and straggler warnings naming workers), the per-worker
+// rows, and the merged span tree with one lane per rank.
+func (cs *ClusterSession) Analyze(src string) (string, error) {
+	p := cs.base
+	p.Src = src
+	p.Trace = true
+	run, snap, err := cs.run(p)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "result: %s\n", FormatResult(run.Result))
+	fmt.Fprintf(&b, "totals: %s\n\nstages:\n", snap)
+	b.WriteString(snap.FormatStages())
+	if tr := run.MergedTrace(); tr != nil {
+		b.WriteString("\ntrace:\n")
+		b.WriteString(tr.Tree())
+	}
+	return b.String(), nil
+}
+
+// run submits one job and folds its results into the session state.
+func (cs *ClusterSession) run(p QueryParams) (*cluster.RunResult, dataflow.MetricsSnapshot, error) {
+	start := time.Now()
+	run, err := cs.driver.Run(QueryName, p.Encode(), cs.timeout)
+	if err != nil {
+		return nil, dataflow.MetricsSnapshot{}, err
+	}
+	snap := snapshotFrom(run, cs.driver.Workers())
+	cs.mu.Lock()
+	cs.last = snap
+	cs.lastTrace = run.MergedTrace()
+	cs.mu.Unlock()
+	cs.stats.Record(statsKey(p.Src), stats.FromSnapshot(snap, time.Since(start).Nanoseconds()))
+	return run, snap, nil
 }
 
 // Metrics returns the last completed job's aggregated snapshot
@@ -55,9 +103,36 @@ func (cs *ClusterSession) Metrics() dataflow.MetricsSnapshot {
 	return cs.last
 }
 
-// snapshotFrom folds per-worker reports into the cluster-wide totals
-// plus one PerWorker row per rank, annotated with the driver's
-// liveness view.
+// LastTrace returns the last job's merged cluster trace (one lane per
+// rank), or nil when no rank shipped spans — tracing off, or no query
+// yet. Render with Tree or export with WriteChrome.
+func (cs *ClusterSession) LastTrace() *trace.Tracer {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.lastTrace
+}
+
+// StatsCache exposes the driver-side measured-statistics cache; each
+// completed cluster query records its profile here under the same
+// canonical key core.Session uses.
+func (cs *ClusterSession) StatsCache() *stats.Cache { return cs.stats }
+
+// statsKey canonicalizes a query source the way plan.Compile keys the
+// session stats cache (the desugared expression's rendering), so
+// driver-side observations line up with compiler-side lookups.
+func statsKey(src string) string {
+	e, err := sacparser.Parse(src)
+	if err != nil {
+		return src
+	}
+	return comp.Desugar(e).String()
+}
+
+// snapshotFrom folds per-worker reports into the cluster-wide totals:
+// summed engine counters, one PerWorker row per rank annotated with
+// the driver's liveness view, every telemetry-reporting rank's stage
+// rows (WorkerStages, each stamped with its worker), and the
+// cluster-merged stage table (PerStage).
 func snapshotFrom(run *cluster.RunResult, infos []cluster.WorkerInfo) dataflow.MetricsSnapshot {
 	alive := make(map[string]bool, len(infos))
 	for _, wi := range infos {
@@ -75,6 +150,9 @@ func snapshotFrom(run *cluster.RunResult, infos []cluster.WorkerInfo) dataflow.M
 		snap.RemoteFetchedBytes += rep.RemoteFetchedBytes
 		snap.FetchFailures += rep.FetchFailures
 		snap.Resubmissions += rep.Resubmissions
+		snap.WireFetchedBytes += rep.WireFetchedBytes
+		snap.FetchRetries += rep.FetchRetries
+		snap.FetchGoneEvents += rep.FetchGoneEvents
 		snap.SpilledBytes += rep.SpilledBytes
 		if rep.MemoryPeak > snap.MemoryPeak {
 			snap.MemoryPeak = rep.MemoryPeak
@@ -96,10 +174,21 @@ func snapshotFrom(run *cluster.RunResult, infos []cluster.WorkerInfo) dataflow.M
 			Resubmissions:      rep.Resubmissions,
 			ServedFetches:      rep.ServedFetches,
 			ServedBytes:        rep.ServedBytes,
+			WireFetchedBytes:   rep.WireFetchedBytes,
+			FetchRetries:       rep.FetchRetries,
+			FetchGoneEvents:    rep.FetchGoneEvents,
 			SpilledBytes:       rep.SpilledBytes,
 			MemoryPeak:         rep.MemoryPeak,
 			Wall:               time.Duration(rep.WallNanos),
 		})
+		if wr.Telemetry.Received {
+			for _, row := range wr.Telemetry.Stages {
+				snap.WorkerStages = append(snap.WorkerStages, stageMetricOf(row, wr.ID))
+			}
+		}
+	}
+	if len(snap.WorkerStages) > 0 {
+		snap.PerStage = dataflow.MergeStageRows(snap.WorkerStages)
 	}
 	return snap
 }

@@ -1,0 +1,150 @@
+package jobs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataflow"
+)
+
+// TestClusterMergedStageTable is the observability acceptance test:
+// a 3-worker cluster query must yield a merged per-stage table built
+// from rows reported by EVERY rank, and Analyze must render it with
+// per-worker rows and a merged trace lane per rank.
+func TestClusterMergedStageTable(t *testing.T) {
+	d := startTestCluster(t, 3)
+	p := baseParams()
+	p.TelemetryMs = 50
+	cs := NewClusterSession(d, p, time.Minute)
+	src := fig4Queries[0].src
+	if _, _, err := cs.Query(src); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	snap := cs.Metrics()
+
+	// Every rank contributed stage rows, each stamped with its worker.
+	ranks := map[string]int{}
+	for _, st := range snap.WorkerStages {
+		if st.Worker == "" {
+			t.Fatalf("worker stage row without a worker: %+v", st)
+		}
+		ranks[st.Worker]++
+	}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("w%d", i)
+		if ranks[id] == 0 {
+			t.Fatalf("no stage rows from rank %s (got %v)", id, ranks)
+		}
+	}
+
+	// The merged table folds the ranks: every merged row's task count
+	// is the sum of that stage's per-rank rows, and stage IDs repeat
+	// nowhere.
+	if len(snap.PerStage) == 0 {
+		t.Fatal("no merged PerStage rows")
+	}
+	merged := map[string]dataflow.StageMetric{}
+	for _, st := range snap.PerStage {
+		k := fmt.Sprintf("%d/%s", st.ID, st.Name)
+		if _, dup := merged[k]; dup {
+			t.Fatalf("stage %s appears twice in merged table", k)
+		}
+		merged[k] = st
+	}
+	sums := map[string]int64{}
+	for _, st := range snap.WorkerStages {
+		sums[fmt.Sprintf("%d/%s", st.ID, st.Name)] += st.Tasks
+	}
+	for k, want := range sums {
+		if got := merged[k].Tasks; got != want {
+			t.Fatalf("stage %s merged tasks = %d, want sum %d", k, got, want)
+		}
+	}
+
+	// SPMD means every rank ran the same stages: each merged row has a
+	// contribution from all three ranks.
+	perStageRanks := map[string]map[string]bool{}
+	for _, st := range snap.WorkerStages {
+		k := fmt.Sprintf("%d/%s", st.ID, st.Name)
+		if perStageRanks[k] == nil {
+			perStageRanks[k] = map[string]bool{}
+		}
+		perStageRanks[k][st.Worker] = true
+	}
+	for k, rs := range perStageRanks {
+		if len(rs) != 3 {
+			t.Fatalf("stage %s has rows from %d ranks, want 3", k, len(rs))
+		}
+	}
+
+	// The formatted table renders without tracing; the per-worker rows
+	// name every rank.
+	out := snap.FormatStages()
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(out, fmt.Sprintf("w%d", i)) {
+			t.Fatalf("FormatStages missing rank w%d:\n%s", i, out)
+		}
+	}
+
+	// No tracing was requested, so no merged trace.
+	if cs.LastTrace() != nil {
+		t.Fatal("trace present without Trace flag")
+	}
+
+	// The run fed the driver-side stats cache under the canonical key.
+	if m, ok := cs.StatsCache().Lookup(statsKey(src)); !ok || m.Runs == 0 {
+		t.Fatalf("stats cache missing observation: ok=%v m=%+v", ok, m)
+	}
+}
+
+// TestClusterAnalyzeMergedTrace runs Analyze on a 3-worker cluster and
+// checks the report carries the merged stage table plus one trace lane
+// per rank.
+func TestClusterAnalyzeMergedTrace(t *testing.T) {
+	d := startTestCluster(t, 3)
+	cs := NewClusterSession(d, baseParams(), time.Minute)
+	report, err := cs.Analyze(fig4Queries[2].src)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	for _, want := range []string{"stages:", "trace:", "totals:"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(report, fmt.Sprintf("worker: w%d", i)) {
+			t.Fatalf("report missing rank w%d trace lane:\n%s", i, report)
+		}
+	}
+	// Stage spans from the engine made it across the wire into the
+	// merged tree.
+	if !strings.Contains(report, "stage:") {
+		t.Fatalf("report has no stage spans:\n%s", report)
+	}
+	if tr := cs.LastTrace(); tr == nil {
+		t.Fatal("LastTrace nil after Analyze")
+	}
+}
+
+// TestStageRowRoundTrip pins the StageMetric <-> StageRow conversion.
+func TestStageRowRoundTrip(t *testing.T) {
+	sm := dataflow.StageMetric{
+		ID: 5, Name: "stage: shuffle(join)",
+		Start: time.Unix(12, 345), Wall: 90 * time.Millisecond,
+		Tasks: 8, RecordsIn: 100, RecordsOut: 50, ShuffledBytes: 4096,
+		TaskDur:     dataflow.Dist{N: 8, Min: 1, P50: 5, P99: 80, Max: 90, ArgMax: 3},
+		PartRecords: dataflow.Dist{N: 8, Min: 10, P50: 12, P99: 15, Max: 16, ArgMax: 1},
+	}
+	got := stageMetricOf(stageRowOf(sm), "w7")
+	sm.Worker = "w7"
+	if !got.Start.Equal(sm.Start) {
+		t.Fatalf("start drifted: %v vs %v", got.Start, sm.Start)
+	}
+	got.Start, sm.Start = time.Time{}, time.Time{}
+	if got != sm {
+		t.Fatalf("round trip drifted:\ngot:  %+v\nwant: %+v", got, sm)
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that r is well-formed Prometheus text
+// exposition format (version 0.0.4): every line is a # HELP / # TYPE
+// comment or a `name[{labels}] value [timestamp]` sample, TYPE
+// declarations name a known metric type, and every sample's metric
+// name is a legal identifier. It returns the number of samples seen.
+// This is the smoke check CI runs against a live /debug/metrics.
+func ValidateExposition(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	typed := map[string]string{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 3 {
+					return samples, fmt.Errorf("obs: line %d: HELP without metric name", lineNo)
+				}
+			case "TYPE":
+				if len(fields) < 4 {
+					return samples, fmt.Errorf("obs: line %d: TYPE needs name and type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return samples, fmt.Errorf("obs: line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, rest := line, ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if !validMetricName(name) {
+			return samples, fmt.Errorf("obs: line %d: bad metric name %q", lineNo, name)
+		}
+		rest = strings.TrimSpace(rest)
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				return samples, fmt.Errorf("obs: line %d: unterminated label set", lineNo)
+			}
+			rest = strings.TrimSpace(rest[end+1:])
+		}
+		val := rest
+		if i := strings.IndexByte(rest, ' '); i >= 0 {
+			val = rest[:i] // a timestamp may follow the value
+		}
+		if val == "" {
+			return samples, fmt.Errorf("obs: line %d: sample %q has no value", lineNo, name)
+		}
+		switch val {
+		case "+Inf", "-Inf", "NaN":
+		default:
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				return samples, fmt.Errorf("obs: line %d: bad sample value %q: %v", lineNo, val, err)
+			}
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("obs: exposition contains no samples")
+	}
+	return samples, nil
+}
+
+// validMetricName reports whether s is a legal Prometheus metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*). Histogram series suffixes (_bucket,
+// _sum, _count) are ordinary names under this rule.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -74,10 +74,7 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			return last
 		}
 
-		children := make(map[int64][]*Span)
-		for _, s := range spans {
-			children[s.ParentID] = append(children[s.ParentID], s)
-		}
+		children := childIndex(spans)
 		for _, kids := range children {
 			sort.SliceStable(kids, func(i, j int) bool {
 				if !kids[i].Start.Equal(kids[j].Start) {

@@ -44,13 +44,26 @@ type Span struct {
 	attrs []Attr
 }
 
+// DefaultSpanLimit is the span-buffer capacity a fresh Tracer starts
+// with. Once the buffer is full the oldest span is overwritten and the
+// dropped counter advances, so a long-running or high-partition query
+// keeps a bounded trace of its most recent activity instead of growing
+// without limit.
+const DefaultSpanLimit = 1 << 16
+
 // Tracer records spans. All methods are safe for concurrent use, and
 // all are no-ops on a nil receiver.
 type Tracer struct {
 	mu     sync.Mutex
 	nextID int64
-	spans  []*Span
-	now    func() time.Time
+	// ring holds the retained spans: a ring buffer of capacity limit,
+	// with head indexing the oldest entry once full. While len(ring) <
+	// limit the buffer is a plain append-slice and head is 0.
+	ring    []*Span
+	head    int
+	limit   int
+	dropped int64
+	now     func() time.Time
 	// auto holds attributes stamped onto every span at Start — a
 	// distributed worker sets {"worker": tag} once so every stage, task,
 	// and kernel span it records is attributable after traces from
@@ -63,7 +76,42 @@ func New() *Tracer { return NewAt(time.Now) }
 
 // NewAt returns a Tracer with an injected clock, so tests can produce
 // deterministic traces.
-func NewAt(now func() time.Time) *Tracer { return &Tracer{now: now} }
+func NewAt(now func() time.Time) *Tracer {
+	return &Tracer{now: now, limit: DefaultSpanLimit}
+}
+
+// SetLimit changes the span-buffer capacity (minimum 1); if more spans
+// are already retained, the oldest are discarded and counted as
+// dropped. Nil-safe.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) > n {
+		ordered := t.orderedLocked()
+		drop := len(ordered) - n
+		t.dropped += int64(drop)
+		t.ring = append(t.ring[:0], ordered[drop:]...)
+		t.head = 0
+	}
+	t.limit = n
+}
+
+// Dropped reports how many spans have been discarded by the buffer
+// limit so far; nil-safe.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
 
 // Start opens a span under parent (nil parent makes a root span). On a
 // nil Tracer it returns nil, which every Span method tolerates.
@@ -80,7 +128,16 @@ func (t *Tracer) Start(parent *Span, name string) *Span {
 	if len(t.auto) > 0 {
 		s.attrs = append(s.attrs, t.auto...)
 	}
-	t.spans = append(t.spans, s)
+	if t.limit <= 0 {
+		t.limit = DefaultSpanLimit
+	}
+	if len(t.ring) < t.limit {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.head] = s
+		t.head = (t.head + 1) % t.limit
+		t.dropped++
+	}
 	t.mu.Unlock()
 	return s
 }
@@ -104,14 +161,23 @@ func (t *Tracer) SetAutoAttr(key string, value any) {
 	t.auto = append(t.auto, Attr{Key: key, Value: value})
 }
 
-// Spans returns a snapshot of all spans recorded so far, in creation
-// order.
+// orderedLocked returns the retained spans oldest-first; caller holds
+// t.mu.
+func (t *Tracer) orderedLocked() []*Span {
+	out := make([]*Span, 0, len(t.ring))
+	out = append(out, t.ring[t.head:]...)
+	out = append(out, t.ring[:t.head]...)
+	return out
+}
+
+// Spans returns a snapshot of the retained spans in creation order
+// (the oldest may have been dropped by the buffer limit; see Dropped).
 func (t *Tracer) Spans() []*Span {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
-	out := append([]*Span(nil), t.spans...)
+	out := t.orderedLocked()
 	t.mu.Unlock()
 	return out
 }
@@ -176,17 +242,35 @@ func (s *Span) endTime() time.Time {
 	return s.end
 }
 
+// childIndex maps parent span ID → children for a span snapshot. A
+// span whose parent is absent from the snapshot (dropped by the buffer
+// limit, or never shipped from a worker) is re-rooted under parent 0
+// so it still renders instead of silently vanishing.
+func childIndex(spans []*Span) map[int64][]*Span {
+	present := make(map[int64]bool, len(spans))
+	for _, s := range spans {
+		present[s.ID] = true
+	}
+	children := make(map[int64][]*Span)
+	for _, s := range spans {
+		p := s.ParentID
+		if p != 0 && !present[p] {
+			p = 0
+		}
+		children[p] = append(children[p], s)
+	}
+	return children
+}
+
 // Tree renders the recorded spans as an indented hierarchy with
-// durations and attributes — the human-readable exporter.
+// durations and attributes — the human-readable exporter. When the
+// buffer limit discarded spans, the header says how many.
 func (t *Tracer) Tree() string {
 	if t == nil {
 		return ""
 	}
 	spans := t.Spans()
-	children := make(map[int64][]*Span)
-	for _, s := range spans {
-		children[s.ParentID] = append(children[s.ParentID], s)
-	}
+	children := childIndex(spans)
 	for _, kids := range children {
 		sort.SliceStable(kids, func(i, j int) bool {
 			if !kids[i].Start.Equal(kids[j].Start) {
@@ -196,6 +280,9 @@ func (t *Tracer) Tree() string {
 		})
 	}
 	var b strings.Builder
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "[trace: %d span(s) dropped by buffer limit]\n", d)
+	}
 	var walk func(s *Span, prefix, childPrefix string)
 	walk = func(s *Span, prefix, childPrefix string) {
 		b.WriteString(prefix)
