@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet fmt race test bench bench-adaptive bench-smoke bench-kernels bench-spill spill-test cluster-test obs-test fuzz stages trace check
+.PHONY: all tier1 vet fmt race test bench bench-adaptive bench-smoke bench-kernels bench-spill spill-test cluster-test obs-test serve-test bench-serve fuzz stages trace check
 
 all: tier1
 
@@ -62,6 +62,23 @@ cluster-test:
 # replay, and debug HTTP endpoints, all under the race detector.
 obs-test:
 	$(GO) test -race -count=1 ./internal/obs ./internal/trace ./internal/eventlog ./internal/debug
+
+# Query-service gate (what the CI serve job runs first): the server
+# package under race — pool, plan cache (incl. the whitespace/structure
+# property tests), admission semaphore, HTTP endpoints, drain e2es —
+# plus the concurrent stats-cache feedback hammer and the worker drain
+# suite.
+serve-test:
+	$(GO) test -race -count=1 ./internal/server ./internal/stats
+	$(GO) test -count=1 -run Drain ./internal/cluster ./internal/jobs
+
+# Replay a mixed 2000-query workload against an in-process sacserver
+# and write p50/p99/qps + plan-cache/admission counters to
+# BENCH_serve.json. The hit-rate floor is the compile-amortization
+# tripwire: parameterized re-runs must skip parse/comp/opt.
+bench-serve:
+	$(GO) run ./cmd/sacload -local -queries 2000 -concurrency 32 \
+		-n 64 -tile 16 -out BENCH_serve.json -require-hit-rate 0.9
 
 # One iteration of every benchmark — catches bit-rotted bench code
 # without paying for real measurements (the CI bench smoke).

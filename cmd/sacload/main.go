@@ -1,0 +1,311 @@
+// Command sacload replays a mixed query workload against a sacserver
+// and reports latency percentiles, throughput, and plan-cache/admission
+// behaviour as BENCH_serve.json.
+//
+//	sacload -local -queries 1000 -concurrency 32 -out BENCH_serve.json
+//	sacload -url http://localhost:8080 -queries 5000 -concurrency 64
+//
+// -local spins an in-process server (no network setup needed); -url
+// targets a running sacserver, waiting for /healthz first. The workload
+// cycles through five query shapes over the pre-registered A/B/n and
+// randomizes formatting, so both plan-cache levels (alias and
+// canonical) are exercised. -require-hit-rate fails the run when cache
+// amortization falls below the floor — CI's regression tripwire.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/memory"
+	"repro/internal/server"
+)
+
+var queryShapes = []struct {
+	Name string
+	Src  string
+}{
+	{"matmul", "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, let v = a*b, group by (i,j) ]"},
+	{"rowsum", "tiledvec(n)[ (i, +/a) | ((i,j),a) <- A, group by i ]"},
+	{"total", "+/[ a | ((i,j),a) <- A ]"},
+	{"transpose", "tiled(n,n)[ ((j,i), a) | ((i,j),a) <- A ]"},
+	{"add", "tiled(n,n)[ ((i,j), a+b) | ((i,j),a) <- A, ((ii,jj),b) <- B, ii == i, jj == j ]"},
+}
+
+// reformat produces a whitespace variant of src (choice 0 returns it
+// verbatim) so the workload hits the alias AND canonical cache levels.
+func reformat(src string, choice int) string {
+	switch choice % 3 {
+	case 1:
+		return strings.ReplaceAll(src, " ", "  ")
+	case 2:
+		return "\n " + strings.ReplaceAll(src, ", ", " ,  ") + " \n"
+	default:
+		return src
+	}
+}
+
+type sample struct {
+	shape  int
+	ms     float64
+	code   int
+	cached bool
+}
+
+type benchLatency struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+type benchReport struct {
+	Benchmark   string                  `json:"benchmark"`
+	Target      string                  `json:"target"`
+	Queries     int                     `json:"queries"`
+	Concurrency int                     `json:"concurrency"`
+	ElapsedMs   float64                 `json:"elapsed_ms"`
+	QPS         float64                 `json:"qps"`
+	OK          int                     `json:"ok"`
+	Rejected    int                     `json:"rejected_429"`
+	Errors      int                     `json:"errors"`
+	Latency     benchLatency            `json:"latency"`
+	PerShape    map[string]benchLatency `json:"per_shape"`
+	PlanCache   struct {
+		Hits      int64   `json:"hits"`
+		AliasHits int64   `json:"alias_hits"`
+		Misses    int64   `json:"misses"`
+		HitRate   float64 `json:"hit_rate"`
+	} `json:"plan_cache"`
+	Admission struct {
+		Admitted int64 `json:"admitted"`
+		Queued   int64 `json:"queued"`
+		Rejected int64 `json:"rejected"`
+	} `json:"admission"`
+}
+
+func percentiles(ms []float64) benchLatency {
+	if len(ms) == 0 {
+		return benchLatency{}
+	}
+	sort.Float64s(ms)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(ms)-1))
+		return ms[i]
+	}
+	return benchLatency{P50: at(0.50), P95: at(0.95), P99: at(0.99), Max: ms[len(ms)-1]}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sacload: %v\n", err)
+	os.Exit(1)
+}
+
+func getStatus(url string) (server.StatusDoc, error) {
+	var doc server.StatusDoc
+	resp, err := http.Get(url + "/status")
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	return doc, json.NewDecoder(resp.Body).Decode(&doc)
+}
+
+func main() {
+	url := flag.String("url", "", "base URL of a running sacserver (e.g. http://localhost:8080)")
+	local := flag.Bool("local", false, "spin an in-process server instead of targeting -url")
+	queries := flag.Int("queries", 1000, "total queries to replay")
+	concurrency := flag.Int("concurrency", 32, "concurrent client connections")
+	out := flag.String("out", "BENCH_serve.json", "write the JSON report here")
+	n := flag.Int64("n", 64, "with -local: matrix side length")
+	tile := flag.Int("tile", 16, "with -local: tile size")
+	sessionsN := flag.Int("sessions", 4, "with -local: server session pool size")
+	admission := flag.String("admission", "", "with -local: admission budget (e.g. 256MiB)")
+	wait := flag.Duration("wait", 30*time.Second, "with -url: how long to wait for /healthz")
+	requireHitRate := flag.Float64("require-hit-rate", 0, "exit non-zero when the plan-cache hit rate over this run is below the floor (0 disables)")
+	flag.Parse()
+
+	target := *url
+	if *local {
+		var budget int64
+		if *admission != "" {
+			b, err := memory.ParseBytes(*admission)
+			if err != nil {
+				fail(err)
+			}
+			budget = b
+		}
+		s, err := server.New(server.Config{Sessions: *sessionsN, TileSize: *tile, AdmissionBudget: budget})
+		if err != nil {
+			fail(err)
+		}
+		defer s.Close()
+		if err := s.RegisterRandMatrix("A", *n, *n, 0, 10, 1); err != nil {
+			fail(err)
+		}
+		if err := s.RegisterRandMatrix("B", *n, *n, 0, 10, 2); err != nil {
+			fail(err)
+		}
+		if err := s.RegisterScalar("n", *n); err != nil {
+			fail(err)
+		}
+		ln, err := s.Listen("127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		go s.Serve(ln)
+		target = "http://" + ln.Addr().String()
+	}
+	if target == "" {
+		fail(fmt.Errorf("need -url or -local"))
+	}
+
+	// Wait for the server to answer.
+	deadline := time.Now().Add(*wait)
+	for {
+		resp, err := http.Get(target + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			fail(fmt.Errorf("server at %s not healthy within %v", target, *wait))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	before, err := getStatus(target)
+	if err != nil {
+		fail(err)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	jobs := make(chan int, *queries)
+	for i := 0; i < *queries; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	samples := make([]sample, *queries)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := range jobs {
+				shape := i % len(queryShapes)
+				src := reformat(queryShapes[shape].Src, rng.Intn(3))
+				body, _ := json.Marshal(map[string]string{"query": src})
+				t0 := time.Now()
+				resp, err := client.Post(target+"/query", "application/json", bytes.NewReader(body))
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				s := sample{shape: shape, ms: ms, code: 0}
+				if err == nil {
+					s.code = resp.StatusCode
+					if resp.StatusCode == 200 {
+						var qr struct {
+							Cached bool `json:"cached"`
+						}
+						json.NewDecoder(resp.Body).Decode(&qr)
+						s.cached = qr.Cached
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				samples[i] = s
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := getStatus(target)
+	if err != nil {
+		fail(err)
+	}
+
+	rep := benchReport{
+		Benchmark:   "serve",
+		Target:      target,
+		Queries:     *queries,
+		Concurrency: *concurrency,
+		ElapsedMs:   float64(elapsed) / float64(time.Millisecond),
+		PerShape:    map[string]benchLatency{},
+	}
+	var okMs []float64
+	perShape := make(map[int][]float64)
+	for _, s := range samples {
+		switch {
+		case s.code == 200:
+			rep.OK++
+			okMs = append(okMs, s.ms)
+			perShape[s.shape] = append(perShape[s.shape], s.ms)
+		case s.code == http.StatusTooManyRequests:
+			rep.Rejected++
+		default:
+			rep.Errors++
+		}
+	}
+	rep.QPS = float64(rep.OK) / elapsed.Seconds()
+	rep.Latency = percentiles(okMs)
+	for shape, ms := range perShape {
+		rep.PerShape[queryShapes[shape].Name] = percentiles(ms)
+	}
+	hits := after.PlanCache.Hits - before.PlanCache.Hits
+	aliasHits := after.PlanCache.AliasHits - before.PlanCache.AliasHits
+	misses := after.PlanCache.Misses - before.PlanCache.Misses
+	rep.PlanCache.Hits = hits
+	rep.PlanCache.AliasHits = aliasHits
+	rep.PlanCache.Misses = misses
+	if hits+misses > 0 {
+		rep.PlanCache.HitRate = float64(hits) / float64(hits+misses)
+	}
+	rep.Admission.Admitted = after.Admission.Admitted - before.Admission.Admitted
+	rep.Admission.Rejected = after.Admission.Rejected - before.Admission.Rejected
+
+	if err := writeJSON(*out, rep); err != nil {
+		fail(err)
+	}
+	fmt.Printf("sacload: %d queries (%d ok, %d rejected, %d errors) in %.1fs — %.1f qps\n",
+		rep.Queries, rep.OK, rep.Rejected, rep.Errors, elapsed.Seconds(), rep.QPS)
+	fmt.Printf("  latency ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+		rep.Latency.P50, rep.Latency.P95, rep.Latency.P99, rep.Latency.Max)
+	fmt.Printf("  plan cache: %d hits (%d alias) / %d misses — hit rate %.1f%%\n",
+		hits, aliasHits, misses, 100*rep.PlanCache.HitRate)
+	fmt.Printf("  report: %s\n", *out)
+
+	if rep.Errors > 0 {
+		fail(fmt.Errorf("%d queries failed", rep.Errors))
+	}
+	if *requireHitRate > 0 && rep.PlanCache.HitRate < *requireHitRate {
+		fail(fmt.Errorf("plan-cache hit rate %.3f below required %.3f — compilation is not being amortized",
+			rep.PlanCache.HitRate, *requireHitRate))
+	}
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -36,6 +38,7 @@ func main() {
 	mem := flag.String("mem", "", "per-worker memory budget (e.g. 256MiB); work past it spills to disk. Default: $SAC_MEMORY_BUDGET, else unlimited")
 	connectWait := flag.Duration("connect-wait", 30*time.Second, "how long to keep retrying the initial driver connection")
 	debugAddr := flag.String("debug", "", "serve /debug endpoints (pprof and the Prometheus metrics registry) on this address while running")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT: how long to let in-flight jobs finish before disconnecting")
 	flag.Parse()
 
 	if *id == "" {
@@ -96,7 +99,38 @@ func main() {
 	}
 	fmt.Printf("sacworker %s: registered with %s, serving shuffle data on %s\n",
 		*id, *driver, w.DataAddr())
-	if err := w.Wait(); err != nil {
+
+	// SIGTERM/SIGINT drain gracefully: refuse new jobs, finish the ones
+	// in flight (still heartbeating and serving shuffle data), then
+	// disconnect and exit 0 — a rolling restart never fails a job that
+	// had already been assigned here.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	sigSeen := make(chan struct{})
+	drained := make(chan int, 1)
+	go func() {
+		<-sig
+		close(sigSeen)
+		fmt.Printf("sacworker %s: draining (timeout %v)\n", *id, *drainTimeout)
+		if err := w.Drain(*drainTimeout); err != nil {
+			fmt.Fprintf(os.Stderr, "sacworker %s: %v\n", *id, err)
+			drained <- 1
+			return
+		}
+		fmt.Printf("sacworker %s: drained\n", *id)
+		drained <- 0
+	}()
+
+	err = w.Wait()
+	select {
+	case <-sigSeen:
+		// Signal-initiated exit: the drain outcome is the exit status
+		// (Wait's "connection lost" after our own disconnect is not an
+		// error).
+		os.Exit(<-drained)
+	default:
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "sacworker %s: %v\n", *id, err)
 		os.Exit(1)
 	}

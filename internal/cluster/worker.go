@@ -33,6 +33,12 @@ type Worker struct {
 	servedFetches atomic.Int64
 	servedBytes   atomic.Int64
 
+	// amu guards the drain state: the count of jobs this rank is
+	// executing and whether new jobs are being refused.
+	amu      sync.Mutex
+	active   int
+	draining bool
+
 	closed atomic.Bool
 	done   chan struct{} // closed when the control loop exits
 	err    atomic.Pointer[string]
@@ -111,6 +117,63 @@ func (w *Worker) Wait() error {
 // Close disconnects from the driver and stops serving data.
 func (w *Worker) Close() { w.shutdown() }
 
+// jobStarted admits one job into the drain-tracked set; false means
+// the worker is draining and the job must be refused.
+func (w *Worker) jobStarted() bool {
+	w.amu.Lock()
+	defer w.amu.Unlock()
+	if w.draining {
+		return false
+	}
+	w.active++
+	return true
+}
+
+func (w *Worker) jobFinished() {
+	w.amu.Lock()
+	w.active--
+	w.amu.Unlock()
+}
+
+// Drain stops accepting jobs, lets in-flight work complete, then
+// disconnects. "Complete" is cluster-wide, not rank-local: the worker
+// waits both for its own running jobs AND for the driver's job-end
+// broadcasts that retire its exchange stores — until then peers may
+// still fetch this rank's shuffle buckets, and cutting them off would
+// force lineage resubmissions on the survivors. The rank keeps
+// heartbeating and serving data the whole time. The returned error is
+// non-nil when the deadline passed with work still pending; the worker
+// is shut down either way. Draining an idle worker disconnects it
+// immediately; a second Drain is a no-op.
+func (w *Worker) Drain(timeout time.Duration) error {
+	w.amu.Lock()
+	if w.draining {
+		w.amu.Unlock()
+		return nil
+	}
+	w.draining = true
+	w.amu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for {
+		w.amu.Lock()
+		active := w.active
+		w.amu.Unlock()
+		w.smu.Lock()
+		stores := len(w.stores)
+		w.smu.Unlock()
+		if (active == 0 && stores == 0) || w.closed.Load() {
+			w.shutdown()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			w.shutdown()
+			return fmt.Errorf("cluster: drain deadline (%v) passed with %d job(s) running and %d job store(s) still serving peers",
+				timeout, active, stores)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func (w *Worker) shutdown() {
 	if !w.closed.CompareAndSwap(false, true) {
 		return
@@ -167,7 +230,17 @@ func (w *Worker) controlLoop(br *bufio.Reader) {
 				w.err.Store(&msg)
 				return
 			}
-			go w.runJob(job)
+			if !w.jobStarted() {
+				// Draining: refuse explicitly so the driver fails the
+				// job instead of waiting for a rank that will never run.
+				refused := jobDoneMsg{JobID: job.JobID, OK: false, Err: "cluster: worker draining"}
+				_ = w.send(msgJobDone, refused.encode())
+				continue
+			}
+			go func() {
+				defer w.jobFinished()
+				w.runJob(job)
+			}()
 		case msgJobEnd:
 			end, err := decodeJobEnd(payload)
 			if err == nil {

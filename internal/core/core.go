@@ -76,6 +76,13 @@ type Config struct {
 	// WorkerTag names this process in distributed diagnostics (span
 	// attributes, per-worker metric rows).
 	WorkerTag string
+	// StatsCache, when non-nil, is shared with other sessions instead of
+	// this session owning a private one: every session's measured query
+	// profiles land in (and are planned from) the same store. The server
+	// pool uses this so a query observed on one pooled session improves
+	// the plan costing on all of them. stats.Cache is safe for
+	// concurrent use.
+	StatsCache *stats.Cache
 }
 
 // Session is the top-level handle; safe for sequential use.
@@ -107,7 +114,10 @@ func NewSession(conf Config) *Session {
 		Transport:            conf.Transport,
 		WorkerTag:            conf.WorkerTag,
 	})
-	sc := stats.NewCache()
+	sc := conf.StatsCache
+	if sc == nil {
+		sc = stats.NewCache()
+	}
 	return &Session{conf: conf, ctx: ctx,
 		cat: plan.NewCatalog(ctx).SetStatsCache(sc), stats: sc}
 }

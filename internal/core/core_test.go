@@ -2,11 +2,13 @@ package core
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/comp"
 	"repro/internal/linalg"
 	"repro/internal/opt"
+	"repro/internal/stats"
 	"repro/internal/tiled"
 )
 
@@ -292,5 +294,43 @@ func TestSessionExplainCoordinateDetail(t *testing.T) {
 	}
 	if !strings.Contains(ex, "generator") || !strings.Contains(ex, "reduceByKey") {
 		t.Fatalf("coordinate detail missing: %s", ex)
+	}
+}
+
+// Sessions given one Config.StatsCache share profile feedback: a query
+// measured on any of them informs planning on all, even when they run
+// concurrently (the server's pooled-session arrangement).
+func TestSessionsShareStatsCache(t *testing.T) {
+	shared := stats.NewCache()
+	sessions := make([]*Session, 3)
+	for i := range sessions {
+		s := NewSession(Config{TileSize: 4, StatsCache: shared})
+		defer s.Close()
+		s.RegisterRandMatrix("M", 8, 8, 0, 1, int64(i+1))
+		if s.StatsCache() != shared {
+			t.Fatal("session did not adopt the shared cache")
+		}
+		sessions[i] = s
+	}
+	// One goroutine per session (sessions are sequential-use); the
+	// sessions themselves run concurrently against the shared cache.
+	var wg sync.WaitGroup
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			for r := 0; r < 4; r++ {
+				if _, err := s.QueryScalar("+/[ m | ((i,j),m) <- M ]"); err != nil {
+					t.Error(err)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if shared.Len() != 1 {
+		t.Fatalf("shared cache entries = %d, want 1 (same query text)", shared.Len())
+	}
+	if shared.TotalRuns() != 12 {
+		t.Fatalf("shared cache runs = %d, want 12", shared.TotalRuns())
 	}
 }

@@ -1,0 +1,101 @@
+package jobs
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestE2EWorkerSIGTERMDrains sends SIGTERM to one subprocess worker
+// while a query is in flight. Unlike SIGKILL (covered by
+// TestE2EWorkerSIGKILL), a TERM'd worker must finish its assigned rank
+// of the job before disconnecting: the query completes with NO lost
+// workers and no lineage resubmission, the result stays byte-identical
+// to local, and the worker process exits 0.
+func TestE2EWorkerSIGTERMDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e skipped in -short mode")
+	}
+	bin := buildWorkerBinary(t)
+	p := baseParams()
+	p.Src = fig4Queries[0].src
+	want, err := RunQueryLocal(p)
+	if err != nil {
+		t.Fatalf("local: %v", err)
+	}
+	// Ladder of simulated shuffle costs: retry slower until the signal
+	// lands while the query is still running.
+	for _, costNs := range []float64{5e3, 5e4, 2e5} {
+		d, err := cluster.NewDriver(cluster.DriverConfig{HeartbeatTimeout: 2 * time.Second})
+		if err != nil {
+			t.Fatalf("driver: %v", err)
+		}
+		procs := spawnWorkers(t, bin, d.Addr(), 3)
+		if err := d.WaitForWorkers(3, 30*time.Second); err != nil {
+			t.Fatalf("workers never registered: %v", err)
+		}
+		pk := p
+		pk.ShuffleCostNsPerByte = costNs
+		victim := procs[2]
+		signaled := make(chan struct{})
+		go func() {
+			time.Sleep(30 * time.Millisecond)
+			_ = victim.Process.Signal(syscall.SIGTERM)
+			close(signaled)
+		}()
+		cs := NewClusterSession(d, pk, 2*time.Minute)
+		got, run, err := cs.Query(pk.Src)
+		<-signaled
+		d.Close()
+		if err != nil {
+			if strings.Contains(err.Error(), "draining") {
+				// The signal landed before the job reached the victim,
+				// so it refused the assignment; retry slower.
+				t.Logf("cost=%vns/B: worker drained before assignment; retrying slower", costNs)
+				continue
+			}
+			t.Fatalf("cluster with SIGTERM (cost=%v): %v", costNs, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("post-SIGTERM result differs from local (cost=%v): %s vs %s",
+				costNs, FormatResult(got), FormatResult(want))
+		}
+		// The drained worker must have completed its rank: graceful
+		// shutdown never costs a resubmission.
+		if run.LostWorkers > 0 || run.Resubmissions > 0 {
+			t.Fatalf("SIGTERM drain lost work: lost=%d resub=%d (cost=%v)",
+				run.LostWorkers, run.Resubmissions, costNs)
+		}
+		// And the process must exit 0 once its drain completes.
+		exit := make(chan error, 1)
+		go func() { exit <- victim.Wait() }()
+		select {
+		case err := <-exit:
+			if ee, ok := err.(*exec.ExitError); ok {
+				t.Fatalf("drained worker exited non-zero: %v (cost=%v)", ee, costNs)
+			} else if err != nil {
+				t.Fatalf("wait: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("drained worker never exited (cost=%v)", costNs)
+		}
+		victimTasks := int64(0)
+		for _, wr := range run.Workers {
+			if wr.ID == "e2e-w2" {
+				victimTasks = wr.Report.Tasks
+			}
+		}
+		if victimTasks > 0 || costNs == 2e5 {
+			// The victim rank did real work (or we're at the slowest
+			// rung): the mid-query drain contract is proven.
+			t.Logf("cost=%vns/B: victim ran %d task(s), drained, exited 0 — contract proven", costNs, victimTasks)
+			return
+		}
+		t.Logf("cost=%vns/B: query may have beaten the signal; retrying slower", costNs)
+	}
+}

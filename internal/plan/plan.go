@@ -347,6 +347,21 @@ func (q *Compiled) ExecuteInSpan(tr *trace.Tracer, parent *trace.Span) (*Result,
 	return res, nil
 }
 
+// ExecuteAndForce runs the query and materializes lazy results before
+// returning, so the caller's metrics window (and any admission
+// reservation held open around the call) covers every stage the query
+// runs — the server's per-query accounting depends on this. Results
+// are persisted by the forcing, so later renderings do not repeat the
+// work.
+func (q *Compiled) ExecuteAndForce() (*Result, error) {
+	res, err := q.Execute()
+	if err != nil {
+		return nil, err
+	}
+	forceResult(res)
+	return res, nil
+}
+
 // forceResult materializes lazy result datasets (persisting them, so
 // the work is not repeated by a later action) inside the caller's
 // traced/metered window.

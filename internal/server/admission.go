@@ -1,0 +1,167 @@
+// Admission control: every query must reserve its estimated memory
+// footprint before it may touch a session. The spill subsystem makes
+// over-budget execution *possible*; admission makes it *fair* — one
+// huge query queues (bounded, with a timeout) or is rejected with its
+// estimate instead of dragging every concurrent tenant into disk
+// thrash. The controller is a FIFO byte semaphore: grants happen in
+// arrival order, so a large query cannot be starved by a stream of
+// small ones slipping past it.
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/memory"
+)
+
+// Admission-rejection reasons (the "reason" field of 429 bodies).
+const (
+	ReasonOverBudget   = "over-budget"   // the query alone exceeds the budget
+	ReasonQueueFull    = "queue-full"    // the bounded wait queue is at capacity
+	ReasonQueueTimeout = "queue-timeout" // queued, but capacity never freed in time
+)
+
+// AdmitError reports why admission control turned a query away,
+// carrying the numbers the client needs to react (shrink the query,
+// retry later, or raise the server's budget).
+type AdmitError struct {
+	Reason        string
+	EstimateBytes int64
+	BudgetBytes   int64
+}
+
+func (e *AdmitError) Error() string {
+	return fmt.Sprintf("admission: %s (estimated footprint %s, budget %s)",
+		e.Reason, memory.FormatBytes(e.EstimateBytes), memory.FormatBytes(e.BudgetBytes))
+}
+
+// admission is the byte-semaphore. A zero budget disables it (every
+// query is granted immediately), so a server without -admission runs
+// open-loop just like the CLIs.
+type admission struct {
+	budget   int64
+	maxQueue int
+	timeout  time.Duration
+
+	mu       sync.Mutex
+	inflight int64
+	queue    *list.List // of *waiter, FIFO
+}
+
+type waiter struct {
+	cost    int64
+	granted chan struct{}
+	elem    *list.Element
+}
+
+func newAdmission(budget int64, maxQueue int, timeout time.Duration) *admission {
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &admission{budget: budget, maxQueue: maxQueue, timeout: timeout, queue: list.New()}
+}
+
+// Acquire reserves cost bytes, waiting in the bounded FIFO queue if
+// the budget is currently exhausted. It returns a release function
+// (call exactly once, after the query finishes) or an *AdmitError.
+func (a *admission) Acquire(cost int64) (func(), *AdmitError) {
+	if cost < 1 {
+		cost = 1
+	}
+	if a.budget <= 0 {
+		obsAdmitted.Inc()
+		return func() {}, nil
+	}
+	a.mu.Lock()
+	if cost > a.budget {
+		a.mu.Unlock()
+		obsRejected.Inc()
+		return nil, &AdmitError{Reason: ReasonOverBudget, EstimateBytes: cost, BudgetBytes: a.budget}
+	}
+	// Grant immediately only when nobody is queued ahead — FIFO order
+	// is the fairness contract.
+	if a.queue.Len() == 0 && a.inflight+cost <= a.budget {
+		a.inflight += cost
+		a.mu.Unlock()
+		obsAdmitted.Inc()
+		obsAdmissionBytes.Add(cost)
+		return a.releaseFunc(cost), nil
+	}
+	if a.queue.Len() >= a.maxQueue {
+		a.mu.Unlock()
+		obsRejected.Inc()
+		return nil, &AdmitError{Reason: ReasonQueueFull, EstimateBytes: cost, BudgetBytes: a.budget}
+	}
+	w := &waiter{cost: cost, granted: make(chan struct{})}
+	w.elem = a.queue.PushBack(w)
+	a.mu.Unlock()
+	obsAdmissionQueued.Inc()
+	obsQueueDepth.Add(1)
+	defer obsQueueDepth.Add(-1)
+
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	select {
+	case <-w.granted:
+		obsAdmitted.Inc()
+		obsAdmissionBytes.Add(cost)
+		return a.releaseFunc(cost), nil
+	case <-timer.C:
+	}
+	// Timed out — but the grant may have raced the timer. Settle under
+	// the lock: if we are still queued, withdraw; if already granted,
+	// keep the grant.
+	a.mu.Lock()
+	if w.elem != nil {
+		a.queue.Remove(w.elem)
+		w.elem = nil
+		a.mu.Unlock()
+		obsQueueTimeouts.Inc()
+		obsRejected.Inc()
+		return nil, &AdmitError{Reason: ReasonQueueTimeout, EstimateBytes: cost, BudgetBytes: a.budget}
+	}
+	a.mu.Unlock()
+	obsAdmitted.Inc()
+	obsAdmissionBytes.Add(cost)
+	return a.releaseFunc(cost), nil
+}
+
+func (a *admission) releaseFunc(cost int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inflight -= cost
+			a.pumpLocked()
+			a.mu.Unlock()
+			obsAdmissionBytes.Add(-cost)
+		})
+	}
+}
+
+// pumpLocked grants queued waiters in FIFO order while they fit.
+func (a *admission) pumpLocked() {
+	for e := a.queue.Front(); e != nil; e = a.queue.Front() {
+		w := e.Value.(*waiter)
+		if a.inflight+w.cost > a.budget {
+			return
+		}
+		a.inflight += w.cost
+		a.queue.Remove(e)
+		w.elem = nil
+		close(w.granted)
+	}
+}
+
+// Snapshot reports the controller's live state for /status.
+func (a *admission) Snapshot() (inflightBytes int64, queueDepth int, budget int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight, a.queue.Len(), a.budget
+}

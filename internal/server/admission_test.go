@@ -1,0 +1,155 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdmissionDisabledGrantsEverything(t *testing.T) {
+	a := newAdmission(0, 4, time.Second)
+	for i := 0; i < 10; i++ {
+		rel, err := a.Acquire(1 << 40)
+		if err != nil {
+			t.Fatalf("unlimited admission rejected: %v", err)
+		}
+		rel()
+	}
+}
+
+func TestAdmissionOverBudgetRejectsImmediately(t *testing.T) {
+	a := newAdmission(100, 4, time.Second)
+	rel, err := a.Acquire(101)
+	if rel != nil || err == nil {
+		t.Fatal("expected over-budget rejection")
+	}
+	if err.Reason != ReasonOverBudget || err.EstimateBytes != 101 || err.BudgetBytes != 100 {
+		t.Fatalf("wrong error: %+v", err)
+	}
+}
+
+func TestAdmissionReleaseRestoresBudget(t *testing.T) {
+	a := newAdmission(100, 4, time.Second)
+	rel, err := a.Acquire(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Acquire(80); err == nil {
+		t.Fatal("second 80 should not be granted immediately with 80 in flight")
+	} else if err.Reason != ReasonQueueTimeout {
+		// newAdmission timeout is 1s; to keep the test fast use a fresh
+		// controller below instead. This path used the queue and timed out.
+		t.Fatalf("expected queue-timeout, got %s", err.Reason)
+	}
+	rel()
+	rel() // double release must be a no-op (sync.Once)
+	rel2, err := a.Acquire(100)
+	if err != nil {
+		t.Fatalf("budget not restored after release: %v", err)
+	}
+	rel2()
+	if got, depth, _ := a.Snapshot(); got != 0 || depth != 0 {
+		t.Fatalf("controller not drained: inflight=%d depth=%d", got, depth)
+	}
+}
+
+func TestAdmissionFIFOOrder(t *testing.T) {
+	a := newAdmission(100, 8, 5*time.Second)
+	relBig, err := a.Acquire(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 2)
+	release1 := make(chan struct{})
+	// First waiter needs 60: does not fit behind the 90, queues.
+	go func() {
+		rel, err := a.Acquire(60)
+		if err != nil {
+			t.Errorf("waiter 1: %v", err)
+			return
+		}
+		order <- 1
+		<-release1
+		rel()
+	}()
+	// Waiter 2 asks for 50. 60+50 > 100, so the two waiters can never
+	// be in flight together: whichever the pump grants first is
+	// observable, and FIFO demands it be waiter 1.
+	waitForDepth(t, a, 1)
+	go func() {
+		rel, err := a.Acquire(50)
+		if err != nil {
+			t.Errorf("waiter 2: %v", err)
+			return
+		}
+		order <- 2
+		rel()
+	}()
+	waitForDepth(t, a, 2)
+	relBig()
+	if first := <-order; first != 1 {
+		t.Fatalf("grant order violated FIFO: %d granted first", first)
+	}
+	close(release1)
+	if second := <-order; second != 2 {
+		t.Fatal("waiter 2 never granted")
+	}
+}
+
+func waitForDepth(t *testing.T, a *admission, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, depth, _ := a.Snapshot(); depth >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d", want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmission(10, 1, 5*time.Second)
+	rel, err := a.Acquire(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r, err := a.Acquire(5) // occupies the single queue place
+		if err == nil {
+			r()
+		}
+	}()
+	waitForDepth(t, a, 1)
+	if _, err := a.Acquire(5); err == nil || err.Reason != ReasonQueueFull {
+		t.Fatalf("expected queue-full, got %v", err)
+	}
+	rel()
+	<-done
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := newAdmission(10, 4, 30*time.Millisecond)
+	rel, err := a.Acquire(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	if _, err := a.Acquire(5); err == nil || err.Reason != ReasonQueueTimeout {
+		t.Fatalf("expected queue-timeout, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took far longer than configured")
+	}
+	// The timed-out waiter must have been removed: releasing now must
+	// leave a clean controller.
+	rel()
+	if inflight, depth, _ := a.Snapshot(); inflight != 0 || depth != 0 {
+		t.Fatalf("stale state after timeout: inflight=%d depth=%d", inflight, depth)
+	}
+}

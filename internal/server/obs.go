@@ -1,0 +1,43 @@
+package server
+
+import "repro/internal/obs"
+
+// The server's instruments live in the process-wide registry so they
+// are scraped from the same /debug/metrics endpoint as the engine
+// gauges, on both the server mux and a -debug sidecar listener.
+var (
+	obsQueries = obs.Default.Counter("sac_server_queries_total",
+		"Queries accepted by the server (admitted and executed, any outcome).")
+	obsQueryErrors = obs.Default.Counter("sac_server_query_errors_total",
+		"Queries that failed to compile or execute after admission.")
+	obsInflight = obs.Default.Gauge("sac_server_inflight_queries",
+		"Queries currently executing on a pooled session.")
+	obsQuerySeconds = obs.Default.Histogram("sac_server_query_seconds",
+		"End-to-end query latency (admission wait included).", obs.DefSecondsBuckets)
+
+	obsPlanHits = obs.Default.Counter("sac_server_plancache_hits_total",
+		"Queries served from a cached compiled plan (parser/normalizer/optimizer skipped).")
+	obsPlanAliasHits = obs.Default.Counter("sac_server_plancache_alias_hits_total",
+		"Plan-cache hits resolved from the whitespace-normalized source alone, with no parse at all.")
+	obsPlanMisses = obs.Default.Counter("sac_server_plancache_misses_total",
+		"Queries that compiled from scratch.")
+	obsPlanEvictions = obs.Default.Counter("sac_server_plancache_evictions_total",
+		"Compiled plans evicted by the per-session LRU cap.")
+	obsPlanEntries = obs.Default.Gauge("sac_server_plancache_entries",
+		"Compiled plans currently cached across the session pool.")
+
+	obsAdmitted = obs.Default.Counter("sac_server_admitted_total",
+		"Queries granted an admission reservation (immediately or after queueing).")
+	obsAdmissionQueued = obs.Default.Counter("sac_server_admission_queued_total",
+		"Queries that had to wait in the admission queue before their grant.")
+	obsRejected = obs.Default.Counter("sac_server_rejected_total",
+		"Queries rejected by admission control (over budget, queue full, or queue timeout).")
+	obsQueueTimeouts = obs.Default.Counter("sac_server_admission_queue_timeouts_total",
+		"Admission-queue waits that expired before capacity freed up.")
+	obsQueueDepth = obs.Default.Gauge("sac_server_admission_queue_depth",
+		"Queries currently waiting in the admission queue.")
+	obsAdmissionBytes = obs.Default.Gauge("sac_server_admission_inflight_bytes",
+		"Estimated footprint of the queries currently holding admission grants.")
+	obsDrains = obs.Default.Counter("sac_server_drains_total",
+		"Graceful shutdowns begun (drain of in-flight queries).")
+)

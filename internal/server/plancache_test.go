@@ -1,0 +1,148 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// perturbWhitespace rewrites src into a formatting variant: every
+// existing separator becomes a random whitespace run and extra runs are
+// inserted after punctuation the lexer treats as self-delimiting.
+// Tokens themselves are never split, so the variant parses identically.
+func perturbWhitespace(src string, rng *rand.Rand) string {
+	runs := []string{" ", "  ", "\t", "\n", " \n\t ", "   "}
+	run := func() string { return runs[rng.Intn(len(runs))] }
+	var b strings.Builder
+	b.WriteString(run())
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == ' ' || c == '\t' || c == '\n' {
+			b.WriteString(run())
+			continue
+		}
+		b.WriteByte(c)
+		switch c {
+		case ',', '(', ')', '[', ']', '|':
+			if rng.Intn(2) == 0 {
+				b.WriteString(run())
+			}
+		}
+	}
+	b.WriteString(run())
+	return b.String()
+}
+
+// genComprehensions builds a family of structurally DISTINCT queries by
+// varying dimensions, the combining operator, the projection arithmetic,
+// and the predicate set — every pair must get a different canonical key.
+func genComprehensions() []string {
+	var out []string
+	for _, dims := range []string{"tiled(6,6)", "tiled(8,6)", "tiledvec(6)"} {
+		for _, op := range []string{"+", "*"} {
+			for _, expr := range []string{"a*b", "a+b", "a*b+a"} {
+				if strings.HasPrefix(dims, "tiledvec") {
+					out = append(out, fmt.Sprintf(
+						"%s[ (i, %s/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, let v = %s, group by i ]",
+						dims, op, expr))
+				} else {
+					out = append(out, fmt.Sprintf(
+						"%s[ ((i,j), %s/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, let v = %s, group by (i,j) ]",
+						dims, op, expr))
+				}
+			}
+		}
+	}
+	// A few shapes outside the template family.
+	out = append(out,
+		"+/[ m | ((i,j),m) <- A ]",
+		"*/[ m | ((i,j),m) <- A ]",
+		"+/[ m | ((i,j),m) <- B ]",
+		"tiled(6,6)[ ((j,i), v) | ((i,j),v) <- A ]",
+		"tiled(6,6)[ ((i,j), a+b) | ((i,j),a) <- A, ((ii,jj),b) <- B, ii == i, jj == j ]",
+	)
+	return out
+}
+
+func TestCanonicalKeyWhitespaceInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, src := range genComprehensions() {
+		want, err := CanonicalKey(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		for trial := 0; trial < 25; trial++ {
+			variant := perturbWhitespace(src, rng)
+			got, err := CanonicalKey(variant)
+			if err != nil {
+				t.Fatalf("perturbed variant no longer parses:\n%q\n%v", variant, err)
+			}
+			if got != want {
+				t.Fatalf("whitespace variant changed the key\nsrc:     %q\nvariant: %q\nkeys: %q vs %q", src, variant, want, got)
+			}
+		}
+	}
+}
+
+func TestCanonicalKeyStructuralSeparation(t *testing.T) {
+	srcs := genComprehensions()
+	keys := make(map[string]string, len(srcs)) // key -> first source claiming it
+	for _, src := range srcs {
+		k, err := CanonicalKey(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("structurally different queries collided on one key:\n%q\n%q\nkey: %q", prev, src, k)
+		}
+		keys[k] = src
+	}
+}
+
+func TestPlanCacheLRUEvictionDropsAliases(t *testing.T) {
+	pc := newPlanCache(2)
+	srcs := []string{
+		"+/[ m | ((i,j),m) <- A ]",
+		"*/[ m | ((i,j),m) <- A ]",
+		"+/[ m | ((i,j),m) <- B ]",
+	}
+	canons := make([]string, len(srcs))
+	for i, s := range srcs {
+		c, err := CanonicalKey(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canons[i] = c
+	}
+	pc.insert(canons[0], nil, srcs[0])
+	pc.insert(canons[1], nil, srcs[1])
+	if pc.len() != 2 {
+		t.Fatalf("len = %d, want 2", pc.len())
+	}
+	// Touch entry 0 so entry 1 is the LRU victim.
+	if _, ok := pc.lookupCanon(canons[0], srcs[0]); !ok {
+		t.Fatal("entry 0 missing")
+	}
+	pc.insert(canons[2], nil, srcs[2])
+	if pc.len() != 2 {
+		t.Fatalf("len after eviction = %d, want 2", pc.len())
+	}
+	if _, ok := pc.lookupCanon(canons[1], srcs[1]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	// Its alias must be gone too, not pointing at a freed entry.
+	if _, ok := pc.lookupAlias(srcs[1]); ok {
+		t.Fatal("evicted entry's alias still resolves")
+	}
+	if _, ok := pc.lookupAlias(srcs[0]); !ok {
+		t.Fatal("surviving entry lost its alias")
+	}
+	pc.clear()
+	if pc.len() != 0 {
+		t.Fatal("clear left entries behind")
+	}
+	if _, ok := pc.lookupAlias(srcs[0]); ok {
+		t.Fatal("clear left aliases behind")
+	}
+}

@@ -1,0 +1,736 @@
+// Package server turns the one-shot SAC engine into a long-running
+// multi-tenant query service: an HTTP/JSON front end over a pool of
+// core.Sessions (or a cluster backend), a compiled-plan cache that
+// amortizes parsing/normalization/planning across parameterized
+// re-runs, and admission control that queues or rejects queries whose
+// estimated memory footprint would breach the budget instead of
+// letting one tenant stall everyone.
+//
+// Endpoints:
+//
+//	POST /query        run one query, reply with result + metrics JSON
+//	POST /query/stream run one query, reply as NDJSON events (plan,
+//	                   per-stage progress, result) as they happen
+//	POST /data         (re)register a dataset or scalar on every
+//	                   pooled session
+//	GET  /status       pool, plan-cache, admission, and stats-cache state
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /debug/metrics process-wide instrument registry (Prometheus)
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comp"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// Config shapes the service. The zero value serves: 2 sessions per
+// core pair, unlimited admission, 64-entry plan caches.
+type Config struct {
+	// Sessions is the pool size — the maximum concurrently executing
+	// queries (default: half the cores, at least 2).
+	Sessions int
+	// TileSize, Parallelism, Partitions, MemoryBudget, AdaptiveShuffle,
+	// and ShuffleCostNsPerByte configure each pooled core.Session.
+	TileSize             int
+	Parallelism          int
+	Partitions           int
+	MemoryBudget         int64
+	AdaptiveShuffle      bool
+	ShuffleCostNsPerByte float64
+	// AdmissionBudget bounds the summed footprint estimates of
+	// concurrently admitted queries; 0 disables admission control.
+	AdmissionBudget int64
+	// MaxQueue bounds how many queries may wait for admission; beyond
+	// it submissions are rejected immediately (default 32).
+	MaxQueue int
+	// QueueTimeout bounds how long one query waits in the admission
+	// queue (default 10s); it also bounds the wait for a free session.
+	QueueTimeout time.Duration
+	// PlanCacheSize caps compiled plans per pooled session (default 64).
+	PlanCacheSize int
+	// StreamInterval is the stage-telemetry poll period of the NDJSON
+	// endpoint (default 100ms).
+	StreamInterval time.Duration
+	// Cluster, when non-nil, executes queries on a worker cluster
+	// instead of the pooled sessions; the pool still plans (plan cache,
+	// footprint estimates, EXPLAIN preview) against its local catalogs,
+	// which the caller must keep consistent with the cluster's
+	// QueryParams.
+	Cluster *jobs.ClusterSession
+}
+
+// Server is the running service. Create with New, attach to a listener
+// with Serve/ListenAndServe (or mount Handler on your own), and stop
+// with Shutdown (graceful) or Close (immediate).
+type Server struct {
+	cfg     Config
+	pool    *pool
+	adm     *admission
+	stats   *stats.Cache
+	cluster *jobs.ClusterSession
+	start   time.Time
+
+	mu       sync.Mutex
+	datasets map[string][2]int64 // name -> rows, cols of registered arrays
+	httpSrv  *http.Server
+	ln       net.Listener
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	queriesDone atomic.Int64 // served by THIS server (obs counters are process-wide)
+}
+
+// New builds the session pool. Every session shares one stats.Cache,
+// so a profile measured on any pooled session informs planning on all
+// of them.
+func New(cfg Config) (*Server, error) {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = runtime.GOMAXPROCS(0) / 2
+		if cfg.Sessions < 2 {
+			cfg.Sessions = 2
+		}
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = 10 * time.Second
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 32
+	}
+	if cfg.StreamInterval <= 0 {
+		cfg.StreamInterval = 100 * time.Millisecond
+	}
+	shared := stats.NewCache()
+	sessions := make([]*core.Session, cfg.Sessions)
+	for i := range sessions {
+		sessions[i] = core.NewSession(core.Config{
+			TileSize:             cfg.TileSize,
+			Parallelism:          cfg.Parallelism,
+			Partitions:           cfg.Partitions,
+			MemoryBudget:         cfg.MemoryBudget,
+			AdaptiveShuffle:      cfg.AdaptiveShuffle,
+			ShuffleCostNsPerByte: cfg.ShuffleCostNsPerByte,
+			StatsCache:           shared,
+		})
+	}
+	return &Server{
+		cfg:      cfg,
+		pool:     newPool(sessions, cfg.PlanCacheSize),
+		adm:      newAdmission(cfg.AdmissionBudget, cfg.MaxQueue, cfg.QueueTimeout),
+		stats:    shared,
+		cluster:  cfg.Cluster,
+		start:    time.Now(),
+		datasets: map[string][2]int64{},
+	}, nil
+}
+
+// StatsCache exposes the pool-shared measured-statistics cache.
+func (s *Server) StatsCache() *stats.Cache { return s.stats }
+
+// RegisterRandMatrix registers (or replaces) a deterministically
+// generated rows x cols matrix on every pooled session. Re-registering
+// an existing name with the same shape keeps the compiled-plan caches
+// — plans resolve arrays by name at execution, which is exactly the
+// parameterized re-run the cache amortizes; a new name or a changed
+// shape clears them (shapes are baked into plans).
+func (s *Server) RegisterRandMatrix(name string, rows, cols int64, lo, hi float64, seed int64) error {
+	s.mu.Lock()
+	prev, existed := s.datasets[name]
+	s.datasets[name] = [2]int64{rows, cols}
+	s.mu.Unlock()
+	keepPlans := existed && prev == [2]int64{rows, cols}
+	return s.pool.withAll(s.registerWait(), func(sl *slot) error {
+		sl.sess.RegisterRandMatrix(name, rows, cols, lo, hi, seed)
+		if !keepPlans {
+			sl.plans.clear()
+		}
+		return nil
+	})
+}
+
+// RegisterScalar registers a scalar constant on every pooled session.
+// Scalars are folded into compiled plans, so this always clears the
+// plan caches.
+func (s *Server) RegisterScalar(name string, v comp.Value) error {
+	return s.pool.withAll(s.registerWait(), func(sl *slot) error {
+		sl.sess.RegisterScalar(name, v)
+		sl.plans.clear()
+		return nil
+	})
+}
+
+// registerWait bounds how long registration waits for each busy
+// session: the queue timeout plus slack for the query it is running.
+func (s *Server) registerWait() time.Duration { return s.cfg.QueueTimeout + 2*time.Minute }
+
+// errorJSON is the body of every non-200 reply.
+type errorJSON struct {
+	Error         string `json:"error"`
+	Reason        string `json:"reason,omitempty"`
+	EstimateBytes int64  `json:"estimate_bytes,omitempty"`
+	BudgetBytes   int64  `json:"budget_bytes,omitempty"`
+}
+
+type httpErr struct {
+	status int
+	body   errorJSON
+}
+
+// resultJSON renders a query result: dense payloads are summarized
+// (shape + sum), small ones are inlined.
+type resultJSON struct {
+	Kind   string      `json:"kind"`
+	Rows   int64       `json:"rows,omitempty"`
+	Cols   int64       `json:"cols,omitempty"`
+	Size   int64       `json:"size,omitempty"`
+	Sum    float64     `json:"sum,omitempty"`
+	Values [][]float64 `json:"values,omitempty"`
+	Text   string      `json:"text,omitempty"`
+}
+
+type metricsJSON struct {
+	Stages          int64 `json:"stages"`
+	Tasks           int64 `json:"tasks"`
+	ShuffledRecords int64 `json:"shuffled_records"`
+	ShuffledBytes   int64 `json:"shuffled_bytes"`
+	SpilledBytes    int64 `json:"spilled_bytes,omitempty"`
+}
+
+type queryResponse struct {
+	Plan          string      `json:"plan"`
+	Cached        bool        `json:"cached"`
+	Session       int         `json:"session"`
+	EstimateBytes int64       `json:"estimate_bytes,omitempty"`
+	QueuedMs      float64     `json:"queued_ms"`
+	WallMs        float64     `json:"wall_ms"`
+	Result        resultJSON  `json:"result"`
+	Metrics       metricsJSON `json:"metrics"`
+}
+
+func renderResult(res *plan.Result) resultJSON {
+	switch res.Kind() {
+	case "matrix":
+		d := res.Matrix.ToDense()
+		out := resultJSON{Kind: "matrix", Rows: res.Matrix.Rows, Cols: res.Matrix.Cols, Sum: d.Sum()}
+		if d.Rows <= 8 && d.Cols <= 8 {
+			out.Values = make([][]float64, d.Rows)
+			for i := 0; i < d.Rows; i++ {
+				out.Values[i] = append([]float64(nil), d.Data[i*d.Cols:(i+1)*d.Cols]...)
+			}
+		}
+		return out
+	case "vector":
+		v := res.Vector.ToDense()
+		out := resultJSON{Kind: "vector", Size: res.Vector.Size, Sum: v.Sum()}
+		if v.Len() <= 16 {
+			out.Values = [][]float64{append([]float64(nil), v.Data...)}
+		}
+		return out
+	case "list":
+		var b strings.Builder
+		for i, row := range res.List {
+			if i == 10 {
+				b.WriteString("...\n")
+				break
+			}
+			b.WriteString(comp.Render(row))
+			b.WriteByte('\n')
+		}
+		return resultJSON{Kind: "list", Size: int64(len(res.List)), Text: b.String()}
+	default:
+		return resultJSON{Kind: "scalar", Text: comp.Render(res.Scalar)}
+	}
+}
+
+func metricsOf(m dataflow.MetricsSnapshot) metricsJSON {
+	return metricsJSON{
+		Stages:          m.Stages,
+		Tasks:           m.Tasks,
+		ShuffledRecords: m.ShuffledRecords,
+		ShuffledBytes:   m.ShuffledBytes,
+		SpilledBytes:    m.SpilledBytes,
+	}
+}
+
+// eventSink serializes NDJSON events onto one streaming response.
+type eventSink struct {
+	mu sync.Mutex
+	w  io.Writer
+	f  http.Flusher
+}
+
+func (s *eventSink) emit(v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	s.w.Write(append(b, '\n'))
+	if s.f != nil {
+		s.f.Flush()
+	}
+}
+
+type stageEvent struct {
+	Event         string  `json:"event"`
+	ID            int64   `json:"id"`
+	Name          string  `json:"name"`
+	WallMs        float64 `json:"wall_ms"`
+	Tasks         int64   `json:"tasks"`
+	RecordsIn     int64   `json:"records_in"`
+	RecordsOut    int64   `json:"records_out"`
+	ShuffledBytes int64   `json:"shuffled_bytes"`
+}
+
+func stageEventOf(st dataflow.StageMetric) stageEvent {
+	return stageEvent{
+		Event: "stage", ID: st.ID, Name: st.Name,
+		WallMs: float64(st.Wall) / float64(time.Millisecond),
+		Tasks:  st.Tasks, RecordsIn: st.RecordsIn, RecordsOut: st.RecordsOut,
+		ShuffledBytes: st.ShuffledBytes,
+	}
+}
+
+// runQuery is the shared submit path of /query and /query/stream.
+// sink is nil for the non-streaming endpoint.
+func (s *Server) runQuery(src string, sink *eventSink, admitted func()) (*queryResponse, *httpErr) {
+	if s.draining.Load() {
+		return nil, &httpErr{http.StatusServiceUnavailable, errorJSON{Error: "server draining", Reason: "draining"}}
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		return nil, &httpErr{http.StatusServiceUnavailable, errorJSON{Error: "server draining", Reason: "draining"}}
+	}
+
+	sl, err := s.pool.acquire(s.cfg.QueueTimeout)
+	if err != nil {
+		return nil, &httpErr{http.StatusServiceUnavailable, errorJSON{Error: err.Error(), Reason: "pool-busy"}}
+	}
+	defer s.pool.release(sl)
+
+	q, cached, err := sl.compile(src)
+	if err != nil {
+		return nil, &httpErr{http.StatusBadRequest, errorJSON{Error: err.Error(), Reason: "compile"}}
+	}
+	est := q.EstimateFootprintBytes()
+
+	qStart := time.Now()
+	release, aerr := s.adm.Acquire(est)
+	if aerr != nil {
+		return nil, &httpErr{http.StatusTooManyRequests, errorJSON{
+			Error: aerr.Error(), Reason: aerr.Reason,
+			EstimateBytes: aerr.EstimateBytes, BudgetBytes: aerr.BudgetBytes,
+		}}
+	}
+	defer release()
+	queued := time.Since(qStart)
+	if admitted != nil {
+		admitted()
+	}
+
+	obsQueries.Inc()
+	obsInflight.Add(1)
+	defer obsInflight.Add(-1)
+	defer s.queriesDone.Add(1)
+	start := time.Now()
+	defer func() { obsQuerySeconds.Observe(time.Since(qStart).Seconds()) }()
+
+	resp := &queryResponse{
+		Plan: q.Explain(), Cached: cached, Session: sl.id,
+		EstimateBytes: est, QueuedMs: float64(queued) / float64(time.Millisecond),
+	}
+	sink.emit(map[string]any{
+		"event": "plan", "plan": resp.Plan, "cached": cached,
+		"session": sl.id, "estimate_bytes": est,
+		"queued_ms": resp.QueuedMs,
+	})
+
+	if s.cluster != nil {
+		blob, _, err := s.cluster.Query(src)
+		if err != nil {
+			obsQueryErrors.Inc()
+			return nil, &httpErr{http.StatusInternalServerError, errorJSON{Error: err.Error(), Reason: "execute"}}
+		}
+		resp.WallMs = float64(time.Since(start)) / float64(time.Millisecond)
+		resp.Result = resultJSON{Kind: "cluster", Text: jobs.FormatResult(blob)}
+		resp.Metrics = metricsOf(s.cluster.Metrics())
+		return resp, nil
+	}
+
+	sl.sess.ResetMetrics()
+	stop := s.streamStages(sl.sess, sink)
+	res, err := q.ExecuteAndForce()
+	seen := stop()
+	if err != nil {
+		obsQueryErrors.Inc()
+		return nil, &httpErr{http.StatusInternalServerError, errorJSON{Error: err.Error(), Reason: "execute"}}
+	}
+	wall := time.Since(start)
+	snap := sl.sess.Metrics()
+	// Feed the shared stats cache so repeats (on any pooled session)
+	// plan and are admitted from observation.
+	q.NoteObserved(stats.FromSnapshot(snap, wall.Nanoseconds()))
+	// Flush stage rows the poller had not seen when execution finished.
+	if sink != nil {
+		for _, st := range snap.PerStage[seen:] {
+			sink.emit(stageEventOf(st))
+		}
+	}
+	resp.WallMs = float64(wall) / float64(time.Millisecond)
+	resp.Result = renderResult(res)
+	resp.Metrics = metricsOf(snap)
+	return resp, nil
+}
+
+// streamStages polls the executing session's metrics and emits a
+// stage event for each newly completed stage. The returned stop
+// function ends the poller and reports how many rows were emitted.
+func (s *Server) streamStages(sess *core.Session, sink *eventSink) (stop func() int) {
+	if sink == nil {
+		return func() int { return 0 }
+	}
+	done := make(chan struct{})
+	result := make(chan int, 1)
+	go func() {
+		seen := 0
+		t := time.NewTicker(s.cfg.StreamInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				rows := sess.Metrics().PerStage
+				for ; seen < len(rows); seen++ {
+					sink.emit(stageEventOf(rows[seen]))
+				}
+			case <-done:
+				result <- seen
+				return
+			}
+		}
+	}()
+	return func() int {
+		close(done)
+		return <-result
+	}
+}
+
+// Handler returns the service mux; mount it on any listener.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		src, herr := readQuery(r)
+		if herr != nil {
+			writeErr(w, herr)
+			return
+		}
+		resp, herr := s.runQuery(src, nil, nil)
+		if herr != nil {
+			writeErr(w, herr)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/query/stream", func(w http.ResponseWriter, r *http.Request) {
+		src, herr := readQuery(r)
+		if herr != nil {
+			writeErr(w, herr)
+			return
+		}
+		// The header is committed on admission: rejections stay plain
+		// HTTP errors, grants switch to NDJSON.
+		var sink *eventSink
+		commit := func() {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			sink.w = w
+			sink.f, _ = w.(http.Flusher)
+		}
+		sink = &eventSink{}
+		resp, herr := s.runQuery(src, sink, commit)
+		if herr != nil {
+			writeErr(w, herr)
+			return
+		}
+		final := map[string]any{
+			"event": "result", "result": resp.Result, "wall_ms": resp.WallMs,
+			"metrics": resp.Metrics,
+		}
+		sink.emit(final)
+	})
+	mux.HandleFunc("/data", s.handleData)
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.Default.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// readQuery accepts {"query": "..."} JSON or a raw query body (curl
+// without -H is the raw path).
+func readQuery(r *http.Request) (string, *httpErr) {
+	if r.Method != http.MethodPost {
+		return "", &httpErr{http.StatusMethodNotAllowed, errorJSON{Error: "POST a query"}}
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return "", &httpErr{http.StatusBadRequest, errorJSON{Error: err.Error()}}
+	}
+	text := strings.TrimSpace(string(body))
+	if strings.HasPrefix(text, "{") {
+		var req struct {
+			Query string `json:"query"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", &httpErr{http.StatusBadRequest, errorJSON{Error: "bad JSON: " + err.Error()}}
+		}
+		text = strings.TrimSpace(req.Query)
+	}
+	if text == "" {
+		return "", &httpErr{http.StatusBadRequest, errorJSON{Error: "empty query"}}
+	}
+	return text, nil
+}
+
+func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, &httpErr{http.StatusMethodNotAllowed, errorJSON{Error: "POST a dataset"}})
+		return
+	}
+	var req struct {
+		Name   string       `json:"name"`
+		Rows   int64        `json:"rows"`
+		Cols   int64        `json:"cols"`
+		Lo     float64      `json:"lo"`
+		Hi     float64      `json:"hi"`
+		Seed   int64        `json:"seed"`
+		Scalar *json.Number `json:"scalar"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, &httpErr{http.StatusBadRequest, errorJSON{Error: "bad JSON: " + err.Error()}})
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, &httpErr{http.StatusBadRequest, errorJSON{Error: "dataset needs a name"}})
+		return
+	}
+	var err error
+	switch {
+	case req.Scalar != nil:
+		var v comp.Value
+		if i, ierr := req.Scalar.Int64(); ierr == nil {
+			v = i
+		} else if f, ferr := req.Scalar.Float64(); ferr == nil {
+			v = f
+		} else {
+			writeErr(w, &httpErr{http.StatusBadRequest, errorJSON{Error: "bad scalar: " + req.Scalar.String()}})
+			return
+		}
+		err = s.RegisterScalar(req.Name, v)
+	case req.Rows > 0 && req.Cols > 0:
+		if req.Hi == 0 && req.Lo == 0 {
+			req.Hi = 10
+		}
+		err = s.RegisterRandMatrix(req.Name, req.Rows, req.Cols, req.Lo, req.Hi, req.Seed)
+	default:
+		writeErr(w, &httpErr{http.StatusBadRequest, errorJSON{Error: "need rows+cols (matrix) or scalar"}})
+		return
+	}
+	if err != nil {
+		writeErr(w, &httpErr{http.StatusServiceUnavailable, errorJSON{Error: err.Error()}})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"registered": req.Name, "sessions": len(s.pool.all)})
+}
+
+// StatusDoc is the /status document.
+type StatusDoc struct {
+	Backend  string `json:"backend"`
+	UptimeMs int64  `json:"uptime_ms"`
+	Draining bool   `json:"draining"`
+	Sessions struct {
+		Total int `json:"total"`
+		Busy  int `json:"busy"`
+	} `json:"sessions"`
+	Queries struct {
+		Done     int64 `json:"done"`
+		Inflight int64 `json:"inflight"`
+	} `json:"queries"`
+	PlanCache struct {
+		Entries   int64 `json:"entries"`
+		Hits      int64 `json:"hits"`
+		AliasHits int64 `json:"alias_hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+	} `json:"plan_cache"`
+	Admission struct {
+		BudgetBytes   int64 `json:"budget_bytes"`
+		InflightBytes int64 `json:"inflight_bytes"`
+		QueueDepth    int   `json:"queue_depth"`
+		Admitted      int64 `json:"admitted"`
+		Rejected      int64 `json:"rejected"`
+		QueueTimeouts int64 `json:"queue_timeouts"`
+	} `json:"admission"`
+	StatsCache struct {
+		Queries int   `json:"queries"`
+		Runs    int64 `json:"runs"`
+	} `json:"stats_cache"`
+}
+
+// Status assembles the live service state. The counter fields read the
+// process-wide instrument registry, so with several servers in one
+// process they aggregate across them; Queries.Done is this server's
+// own.
+func (s *Server) Status() StatusDoc {
+	var doc StatusDoc
+	doc.Backend = "local"
+	if s.cluster != nil {
+		doc.Backend = "cluster"
+	}
+	doc.UptimeMs = time.Since(s.start).Milliseconds()
+	doc.Draining = s.draining.Load()
+	doc.Sessions.Total = len(s.pool.all)
+	doc.Sessions.Busy = len(s.pool.all) - len(s.pool.slots)
+	doc.Queries.Done = s.queriesDone.Load()
+	doc.Queries.Inflight = obsInflight.Value()
+	doc.PlanCache.Entries = obsPlanEntries.Value()
+	doc.PlanCache.Hits = obsPlanHits.Value()
+	doc.PlanCache.AliasHits = obsPlanAliasHits.Value()
+	doc.PlanCache.Misses = obsPlanMisses.Value()
+	doc.PlanCache.Evictions = obsPlanEvictions.Value()
+	inflight, depth, budget := s.adm.Snapshot()
+	doc.Admission.BudgetBytes = budget
+	doc.Admission.InflightBytes = inflight
+	doc.Admission.QueueDepth = depth
+	doc.Admission.Admitted = obsAdmitted.Value()
+	doc.Admission.Rejected = obsRejected.Value()
+	doc.Admission.QueueTimeouts = obsQueueTimeouts.Value()
+	doc.StatsCache.Queries = s.stats.Len()
+	doc.StatsCache.Runs = s.stats.TotalRuns()
+	return doc
+}
+
+// Serve starts the HTTP service on ln and blocks until the listener
+// closes (Shutdown/Close).
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.ln = ln
+	s.mu.Unlock()
+	err := srv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Listen binds addr (":0" picks a free port — read it back with Addr).
+func (s *Server) Listen(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return ln, nil
+}
+
+// Addr reports the bound listener address, if serving.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains gracefully: new submissions get 503 immediately,
+// in-flight queries run to completion (bounded by timeout), then the
+// listener and every pooled session close. Safe to call without a
+// listener (Handler-only use). Returns an error when the deadline
+// passed with queries still running — the sessions are closed anyway.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	obsDrains.Inc()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		drainErr = fmt.Errorf("server: drain deadline (%v) passed with queries in flight", timeout)
+	}
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv != nil {
+		// In-flight handlers are done (or abandoned past the deadline);
+		// Close tears the listener and connections down.
+		srv.Close()
+	}
+	if err := s.pool.close(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}
+
+// Close shuts down immediately (no drain).
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+	return s.pool.close()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, e *httpErr) {
+	writeJSON(w, e.status, e.body)
+}

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCacheConcurrentFeedback hammers one Cache from many goroutines
+// mixing Record (the Query/Analyze feedback path), Lookup (the planner
+// read path), and the aggregate readers — the shape of a session pool
+// sharing a single profile cache. Run counts must survive the storm
+// exactly; the -race build is the real assertion.
+func TestCacheConcurrentFeedback(t *testing.T) {
+	c := NewCache()
+	const (
+		writers = 8
+		readers = 8
+		queries = 4
+		rounds  = 200
+	)
+	src := func(q int) string { return fmt.Sprintf("tiled(8,8)[ q%d ]", q) }
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				q := (w + r) % queries
+				c.Record(src(q), Measured{WallNs: int64(r + 1), ShuffledBytes: int64(q * 100), MaxSkew: float64(r % 7)})
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				q := (g + r) % queries
+				// Whitespace-variant source must hit the same entry.
+				if m, ok := c.Lookup("  " + src(q) + "\n"); ok && m.Runs < 1 {
+					t.Errorf("entry with zero runs: %+v", m)
+					return
+				}
+				_ = c.Len()
+				_ = c.TotalRuns()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.TotalRuns(); got != writers*rounds {
+		t.Fatalf("lost updates under concurrency: %d runs recorded, want %d", got, writers*rounds)
+	}
+	if c.Len() != queries {
+		t.Fatalf("cache has %d entries, want %d", c.Len(), queries)
+	}
+	// MaxSkew is merged with max(): the final value must be the largest
+	// ever recorded for the key, whatever the interleaving.
+	for q := 0; q < queries; q++ {
+		m, ok := c.Lookup(src(q))
+		if !ok {
+			t.Fatalf("query %d missing", q)
+		}
+		if m.MaxSkew != 6 {
+			t.Fatalf("query %d MaxSkew = %v, want 6 (max over rounds)", q, m.MaxSkew)
+		}
+	}
+}

@@ -216,10 +216,15 @@ func (m Measured) String() string {
 	return s
 }
 
-// Cache is a session-level store of measured query stats, keyed by the
-// normalized query source. Safe for concurrent use.
+// Cache is a store of measured query stats, keyed by the normalized
+// query source. Safe for concurrent use from any number of sessions:
+// the server's session pool shares one cache so every pooled session
+// plans against the whole fleet's observations, which makes Lookup a
+// concurrent hot path — reads take only the read lock, and Record's
+// read-merge-write runs entirely under the write lock so two sessions
+// finishing the same query never lose a run count.
 type Cache struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	m  map[string]Measured
 }
 
@@ -235,8 +240,8 @@ func (c *Cache) Lookup(src string) (Measured, bool) {
 	if c == nil {
 		return Measured{}, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	m, ok := c.m[Key(src)]
 	return m, ok
 }
@@ -278,7 +283,22 @@ func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.m)
+}
+
+// TotalRuns sums the recorded run counts over every cached query — a
+// cheap fleet-wide activity figure for status endpoints.
+func (c *Cache) TotalRuns() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var n int64
+	for _, m := range c.m {
+		n += m.Runs
+	}
+	return n
 }
