@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet fmt race test bench bench-adaptive bench-smoke bench-kernels bench-spill spill-test cluster-test obs-test serve-test bench-serve fuzz stages trace check
+.PHONY: all tier1 vet fmt race test bench bench-adaptive bench-shuffle bench-smoke bench-kernels bench-spill spill-test cluster-test obs-test serve-test bench-serve fuzz stages trace check
 
 all: tier1
 
@@ -43,6 +43,14 @@ bench-kernels:
 # BENCH_adaptive.json.
 bench-adaptive:
 	$(GO) run ./cmd/sacbench -fig adaptive -json BENCH_adaptive.json
+
+# Streaming shuffle data-plane suite (what the CI shuffle job runs): a
+# real in-process 8-worker cluster runs the repartition and GBJ cases
+# under streaming / no-compress / legacy-blob wire modes, writing wall
+# clock, bytes-on-wire raw vs compressed, and chunk/pool counters to
+# BENCH_shuffle.json.
+bench-shuffle:
+	$(GO) run ./cmd/sacbench -fig shuffle -workers 8 -json BENCH_shuffle.json
 
 # Out-of-core test gate: the end-to-end spill tests under a tight
 # process-wide budget (what the CI spill job runs).
@@ -92,6 +100,8 @@ fuzz:
 	$(GO) test ./internal/spill -run '^$$' -fuzz '^FuzzFloat64SliceCodec$$' -fuzztime 10s
 	$(GO) test ./internal/spill -run '^$$' -fuzz '^FuzzReaderNeverPanics$$' -fuzztime 10s
 	$(GO) test ./internal/dataflow -run '^$$' -fuzz '^FuzzDenseCodecDecode$$' -fuzztime 10s
+	$(GO) test ./internal/spill -run '^$$' -fuzz '^FuzzBlockCompress$$' -fuzztime 10s
+	$(GO) test ./internal/cluster -run '^$$' -fuzz '^FuzzChunkFrame$$' -fuzztime 10s
 
 # Figure 4.B under a memory budget: the tables grow spilled-bytes and
 # merge-pass columns showing the out-of-core subsystem at work.

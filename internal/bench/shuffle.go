@@ -1,0 +1,226 @@
+// Shuffle data-plane benchmark: a real in-process cluster (driver + N
+// workers over TCP loopback) runs shuffle-heavy queries — a
+// terasort-style repartition/aggregation and a large group-by-join
+// matmul — under three wire modes: the default chunk-streaming path
+// with compression, streaming with compression off, and the PR 5
+// whole-blob consumption path. Each run reports wall clock, bytes on
+// the wire (post-compression) vs the raw decompressed equivalent,
+// chunk and connection-pool counters, and a byte-identity check
+// against the local reference (sacbench -fig shuffle -json writes the
+// suite as BENCH_shuffle.json).
+
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/jobs"
+)
+
+// ShuffleConfig sizes the shuffle benchmark.
+type ShuffleConfig struct {
+	// Workers is the in-process worker count (default 3; CI runs 8).
+	Workers int
+	// N is the matrix side length; Tile the block dimension.
+	N, Tile int64
+	// Partitions overrides the shuffle partition count (default:
+	// derived from the worker count like any cluster query).
+	Partitions int64
+}
+
+// DefaultShuffleConfig returns CI-scale settings: big enough that the
+// GBJ multiply spans many chunks per bucket, small enough to finish in
+// seconds.
+func DefaultShuffleConfig() ShuffleConfig {
+	return ShuffleConfig{Workers: 3, N: 160, Tile: 16}
+}
+
+// ShuffleRun is one query under one wire mode.
+type ShuffleRun struct {
+	Mode    string  `json:"mode"`
+	Seconds float64 `json:"seconds"`
+	// WireBytes is what actually crossed TCP (post-compression, plus
+	// chunk framing); WireRawBytes is the decompressed equivalent.
+	WireBytes    int64 `json:"wire_bytes"`
+	WireRawBytes int64 `json:"wire_raw_bytes"`
+	// Chunks / pool counters expose the streaming data plane at work.
+	Chunks         int64 `json:"chunks"`
+	ConnPoolHits   int64 `json:"conn_pool_hits"`
+	ConnPoolMisses int64 `json:"conn_pool_misses"`
+	FetchRetries   int64 `json:"fetch_retries"`
+	ShuffledBytes  int64 `json:"shuffled_bytes"`
+	// ResultMatchesLocal asserts the mode is an escape hatch, not a
+	// different answer.
+	ResultMatchesLocal bool `json:"result_matches_local"`
+}
+
+// ShuffleCase is one query across all wire modes.
+type ShuffleCase struct {
+	Name  string       `json:"name"`
+	Query string       `json:"query"`
+	Modes []ShuffleRun `json:"modes"`
+	// SpeedupVsLegacy is legacy-blob seconds / streaming seconds.
+	SpeedupVsLegacy float64 `json:"speedup_vs_legacy"`
+	// CompressionRatio is streaming raw bytes / wire bytes (1.0 = no
+	// savings).
+	CompressionRatio float64 `json:"compression_ratio"`
+}
+
+// ShuffleSuite is the BENCH_shuffle.json document.
+type ShuffleSuite struct {
+	Workers    int           `json:"workers"`
+	N          int64         `json:"n"`
+	Tile       int64         `json:"tile"`
+	Partitions int64         `json:"partitions"`
+	Cases      []ShuffleCase `json:"cases"`
+}
+
+// shuffleModes are the A/B wire modes, keyed to QueryParams flags.
+var shuffleModes = []struct {
+	name               string
+	legacy, noCompress bool
+}{
+	{"streaming", false, false},
+	{"no-compress", false, true},
+	{"legacy-blob", true, false},
+}
+
+// shuffleQueries are the two shuffle-heavy workloads: a terasort-style
+// repartition + aggregation (every element re-keyed by row, then
+// reduced), and the large SUMMA group-by-join multiply.
+var shuffleQueries = []struct{ name, src string }{
+	{"repartition-rowsums", "tiledvec(n)[ (i, +/m) | ((i,j),m) <- A, group by i ]"},
+	{"gbj-matmul", "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, let v = a*b, group by (i,j) ]"},
+}
+
+// Shuffle starts a fresh cluster and runs every case under every wire
+// mode, one ClusterSession per run so the counters isolate.
+func Shuffle(cfg ShuffleConfig) (ShuffleSuite, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.N <= 0 || cfg.Tile <= 0 {
+		d := DefaultShuffleConfig()
+		cfg.N, cfg.Tile = d.N, d.Tile
+	}
+	if cfg.Partitions <= 0 {
+		// Pin the partition count explicitly (what the cluster would
+		// derive from its world size) so the local reference builds the
+		// same stage graph and the byte-identity check is meaningful.
+		cfg.Partitions = int64(4 * cfg.Workers)
+		if cfg.Partitions < 8 {
+			cfg.Partitions = 8
+		}
+	}
+	suite := ShuffleSuite{Workers: cfg.Workers, N: cfg.N, Tile: cfg.Tile, Partitions: cfg.Partitions}
+
+	d, err := cluster.NewDriver(cluster.DriverConfig{})
+	if err != nil {
+		return suite, fmt.Errorf("bench: driver: %w", err)
+	}
+	defer d.Close()
+	workers := make([]*cluster.Worker, 0, cfg.Workers)
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := cluster.StartWorker(cluster.WorkerConfig{
+			ID:          fmt.Sprintf("bench-w%d", i),
+			DriverAddr:  d.Addr(),
+			Parallelism: 2,
+		})
+		if err != nil {
+			return suite, fmt.Errorf("bench: worker %d: %w", i, err)
+		}
+		workers = append(workers, w)
+	}
+	if err := d.WaitForWorkers(cfg.Workers, 30*time.Second); err != nil {
+		return suite, fmt.Errorf("bench: workers never registered: %w", err)
+	}
+
+	base := jobs.QueryParams{N: cfg.N, Tile: cfg.Tile, SeedA: 1, SeedB: 2, Partitions: cfg.Partitions}
+	for _, q := range shuffleQueries {
+		ref := base
+		ref.Src = q.src
+		want, err := jobs.RunQueryLocal(ref)
+		if err != nil {
+			return suite, fmt.Errorf("bench: local reference %s: %w", q.name, err)
+		}
+		c := ShuffleCase{Name: q.name, Query: q.src}
+		var streamSec, legacySec float64
+		for _, m := range shuffleModes {
+			p := base
+			p.LegacyBlob = m.legacy
+			p.NoCompress = m.noCompress
+			cs := jobs.NewClusterSession(d, p, 5*time.Minute)
+			start := time.Now()
+			got, _, err := cs.Query(q.src)
+			if err != nil {
+				return suite, fmt.Errorf("bench: %s/%s: %w", q.name, m.name, err)
+			}
+			sec := time.Since(start).Seconds()
+			snap := cs.Metrics()
+			c.Modes = append(c.Modes, ShuffleRun{
+				Mode:               m.name,
+				Seconds:            sec,
+				WireBytes:          snap.WireFetchedBytes,
+				WireRawBytes:       snap.WireRawBytes,
+				Chunks:             snap.WireChunks,
+				ConnPoolHits:       snap.ConnPoolHits,
+				ConnPoolMisses:     snap.ConnPoolMisses,
+				FetchRetries:       snap.FetchRetries,
+				ShuffledBytes:      snap.ShuffledBytes,
+				ResultMatchesLocal: bytes.Equal(got, want),
+			})
+			switch m.name {
+			case "streaming":
+				streamSec = sec
+				if snap.WireFetchedBytes > 0 {
+					c.CompressionRatio = float64(snap.WireRawBytes) / float64(snap.WireFetchedBytes)
+				}
+			case "legacy-blob":
+				legacySec = sec
+			}
+		}
+		if streamSec > 0 {
+			c.SpeedupVsLegacy = legacySec / streamSec
+		}
+		suite.Cases = append(suite.Cases, c)
+	}
+	return suite, nil
+}
+
+// Format renders the suite as an aligned table for terminal runs.
+func (s ShuffleSuite) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Shuffle data plane — %d workers, n=%d, tile=%d\n", s.Workers, s.N, s.Tile)
+	fmt.Fprintf(&b, "%-22s %-12s %10s %12s %12s %8s %7s %7s %7s %6s\n",
+		"case", "mode", "seconds", "wire", "raw", "chunks", "hits", "misses", "retry", "exact")
+	for _, c := range s.Cases {
+		for _, m := range c.Modes {
+			fmt.Fprintf(&b, "%-22s %-12s %10.3f %12s %12s %8d %7d %7d %7d %6v\n",
+				c.Name, m.Mode, m.Seconds, sizeOf(m.WireBytes), sizeOf(m.WireRawBytes),
+				m.Chunks, m.ConnPoolHits, m.ConnPoolMisses, m.FetchRetries, m.ResultMatchesLocal)
+		}
+		fmt.Fprintf(&b, "%-22s -> %.2fx compression, %.2fx vs whole-blob\n",
+			c.Name, c.CompressionRatio, c.SpeedupVsLegacy)
+	}
+	return b.String()
+}
+
+func sizeOf(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -2,13 +2,18 @@ package cluster
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"repro/internal/memory"
 	"repro/internal/obs"
+	"repro/internal/spill"
 )
 
 // Process-wide wire gauges: shuffle traffic in and out of this worker,
@@ -16,14 +21,128 @@ import (
 // the Report so the driver can attribute traffic to ranks.
 var (
 	obsWireFetchedBytes = obs.Default.Counter("sac_cluster_wire_fetched_bytes_total",
-		"shuffle bytes pulled over TCP from peer data servers")
+		"shuffle bytes pulled over TCP from peer data servers (post-compression)")
+	obsWireRawBytes = obs.Default.Counter("sac_cluster_wire_raw_bytes_total",
+		"decompressed shuffle bytes represented by fetched chunks")
 	obsWireServedBytes = obs.Default.Counter("sac_cluster_wire_served_bytes_total",
 		"shuffle bytes served over TCP to peer workers")
+	obsChunksFetched = obs.Default.Counter("sac_cluster_chunks_fetched_total",
+		"shuffle chunks pulled from peer data servers")
+	obsConnPoolHits = obs.Default.Counter("sac_cluster_conn_pool_hits_total",
+		"data-plane fetches that reused a pooled peer connection")
+	obsConnPoolMisses = obs.Default.Counter("sac_cluster_conn_pool_misses_total",
+		"data-plane fetches that had to dial a fresh peer connection")
 	obsFetchRetries = obs.Default.Counter("sac_cluster_fetch_retries_total",
-		"peer dial attempts that had to be retried")
+		"fetch attempts retried after a transient dial or stream error")
 	obsFetchGone = obs.Default.Counter("sac_cluster_fetch_gone_total",
 		"FetchGone replies received (peer lost the bucket, forcing recompute)")
 )
+
+const (
+	// shuffleChunkSize is the raw-byte chunking granularity of published
+	// buckets. It bounds both sides of a streaming fetch: the server
+	// frames at most one chunk at a time and the client holds at most
+	// one decoded chunk, so a 1 GiB bucket costs ~256 KiB of per-fetch
+	// memory, not 1 GiB.
+	shuffleChunkSize = 256 << 10
+
+	// compressSavingsDenom gates the per-bucket compression heuristic:
+	// the first chunk is compressed as a probe, and the whole bucket is
+	// stored compressed only when the probe saves at least
+	// 1/compressSavingsDenom of its raw size. Incompressible payloads
+	// (already-random doubles) ship raw and skip the decompress cost.
+	compressSavingsDenom = 8
+
+	// maxIdleConns bounds the per-peer data-connection pool.
+	maxIdleConns = 3
+)
+
+// errFetchGone marks a fetch the peer answered with FetchGone: the
+// bucket is unrecoverable there (its job failed), so retrying the same
+// rank is pointless — callers go straight to lineage recompute.
+var errFetchGone = errors.New("bucket gone")
+
+// retryableFetch reports whether a fetch error is worth retrying
+// against the same rank: timeouts, connection resets, and mid-stream
+// EOFs are transient under load (or a stale pooled connection) and a
+// fresh connection usually succeeds. FetchGone and exhausted dial
+// budgets are final.
+func retryableFetch(err error) bool {
+	if err == nil || errors.Is(err, errFetchGone) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
+}
+
+// chunk is one stored piece of a published bucket. data is either
+// rawLen raw bytes or a compressed block that inflates to rawLen.
+type chunk struct {
+	flags  byte
+	rawLen int
+	data   []byte
+}
+
+// bucket is a published shuffle payload, chunked (and possibly
+// compressed) once at publish time so every fetch — streaming or
+// legacy — serves the same bytes without re-encoding.
+type bucket struct {
+	chunks   []chunk
+	rawBytes int64
+}
+
+// makeBucket chunks blob and applies the per-bucket compression
+// heuristic: probe the first chunk, compress the rest only if the
+// probe pays.
+func makeBucket(blob []byte, compress bool) bucket {
+	b := bucket{rawBytes: int64(len(blob))}
+	if len(blob) == 0 {
+		return b
+	}
+	n := (len(blob) + shuffleChunkSize - 1) / shuffleChunkSize
+	b.chunks = make([]chunk, 0, n)
+	for off := 0; off < len(blob); off += shuffleChunkSize {
+		end := off + shuffleChunkSize
+		if end > len(blob) {
+			end = len(blob)
+		}
+		raw := blob[off:end]
+		c := chunk{rawLen: len(raw), data: raw}
+		if compress {
+			if packed := spill.CompressBlock(raw); len(packed) <= len(raw)-len(raw)/compressSavingsDenom {
+				c.flags, c.data = chunkFlagCompressed, packed
+			} else if off == 0 {
+				// The probe chunk didn't pay; assume the rest of the
+				// bucket is equally incompressible and stop trying.
+				compress = false
+			}
+		}
+		b.chunks = append(b.chunks, c)
+	}
+	return b
+}
+
+// assemble reconstructs the raw blob — the legacy whole-blob wire path
+// and local self-fetches still see exactly what was published.
+func (b bucket) assemble() ([]byte, error) {
+	out := make([]byte, 0, b.rawBytes)
+	for i, c := range b.chunks {
+		if c.flags&chunkFlagCompressed == 0 {
+			out = append(out, c.data...)
+			continue
+		}
+		raw, err := spill.DecompressBlock(c.data, c.rawLen)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stored chunk %d corrupt: %w", i, err)
+		}
+		out = append(out, raw...)
+	}
+	return out, nil
+}
 
 // jobStore holds one job's locally-produced shuffle buckets. Fetches
 // block until the bucket is published (a peer that runs ahead of us
@@ -31,35 +150,35 @@ var (
 // pending and future fetch gets an error so peers fall back to
 // lineage recompute instead of hanging.
 type jobStore struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	blobs  map[string][]byte
-	failed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buckets map[string]bucket
+	failed  bool
 }
 
 func newJobStore() *jobStore {
-	s := &jobStore{blobs: make(map[string][]byte)}
+	s := &jobStore{buckets: make(map[string]bucket)}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
 
-func (s *jobStore) put(key string, blob []byte) {
+func (s *jobStore) put(key string, b bucket) {
 	s.mu.Lock()
-	s.blobs[key] = blob
+	s.buckets[key] = b
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
 
 // waitGet blocks until key is present or the store failed.
-func (s *jobStore) waitGet(key string) ([]byte, error) {
+func (s *jobStore) waitGet(key string) (bucket, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if blob, ok := s.blobs[key]; ok {
-			return blob, nil
+		if b, ok := s.buckets[key]; ok {
+			return b, nil
 		}
 		if s.failed {
-			return nil, fmt.Errorf("cluster: job failed on this worker")
+			return bucket{}, fmt.Errorf("cluster: job failed on this worker")
 		}
 		s.cond.Wait()
 	}
@@ -67,11 +186,11 @@ func (s *jobStore) waitGet(key string) ([]byte, error) {
 
 // get is the non-blocking lookup used for self-fetches, which are
 // always published before they are read.
-func (s *jobStore) get(key string) ([]byte, bool) {
+func (s *jobStore) get(key string) (bucket, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	blob, ok := s.blobs[key]
-	return blob, ok
+	b, ok := s.buckets[key]
+	return b, ok
 }
 
 // fail marks the store dead and wakes all waiters with an error.
@@ -82,10 +201,57 @@ func (s *jobStore) fail() {
 	s.mu.Unlock()
 }
 
+// connPool keeps a few idle data connections per peer so consecutive
+// fetches skip the TCP handshake. It is deliberately dumb: any error
+// on a pooled connection drains the whole pool (fail-fast — a peer
+// that broke one connection likely broke them all).
+type connPool struct {
+	mu   sync.Mutex
+	idle []net.Conn
+}
+
+// get pops an idle connection, or returns nil when the caller must
+// dial.
+func (p *connPool) get() net.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		return c
+	}
+	return nil
+}
+
+// put parks a healthy connection for reuse; overflow is closed.
+func (p *connPool) put(c net.Conn) {
+	p.mu.Lock()
+	if len(p.idle) < maxIdleConns {
+		p.idle = append(p.idle, c)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+// drain closes every idle connection.
+func (p *connPool) drain() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
 // Exchange is one rank's view of a job's shuffle fabric. It satisfies
 // dataflow's Transport interface structurally: Publish writes to the
 // local store (this worker's data server hands the bucket to whoever
-// asks), Fetch pulls a bucket from the owning rank's data server.
+// asks), Fetch pulls a bucket from the owning rank's data server, and
+// FetchReader streams it chunk-by-chunk so consumers can pipeline
+// decode against the network (dataflow's StreamTransport).
 type Exchange struct {
 	jobID int64
 	rank  int
@@ -93,17 +259,30 @@ type Exchange struct {
 	store *jobStore
 
 	// fetchTimeout bounds one remote read; dialRetry/dialBackoff bound
-	// connection attempts to a peer that is restarting or not yet up.
-	fetchTimeout time.Duration
-	dialRetries  int
-	dialBackoff  time.Duration
+	// connection attempts to a peer that is restarting or not yet up;
+	// streamRetries bounds transparent resumes of one streaming fetch
+	// after transient errors.
+	fetchTimeout  time.Duration
+	dialRetries   int
+	dialBackoff   time.Duration
+	streamRetries int
 
-	dead []atomic.Bool // ranks this exchange has given up on
+	compress atomic.Bool                    // compress published buckets (default on)
+	mem      atomic.Pointer[memory.Manager] // bounds per-fetch chunk buffers
 
-	// Wire counters for this job's traffic through this rank: bytes
-	// actually pulled over TCP, dial retries spent reaching peers, and
-	// FetchGone replies received. Folded into the rank's Report.
+	dead   []atomic.Bool // ranks this exchange has given up on
+	legacy []atomic.Bool // ranks that closed a msgFetchStream: whole-blob only
+	pools  []connPool    // idle data connections, indexed by rank
+
+	// Wire counters for this job's traffic through this rank, folded
+	// into the rank's Report. wireFetchedBytes counts bytes actually
+	// pulled over TCP (post-compression); wireRawBytes what they
+	// decompress to.
 	wireFetchedBytes atomic.Int64
+	wireRawBytes     atomic.Int64
+	chunksFetched    atomic.Int64
+	connPoolHits     atomic.Int64
+	connPoolMisses   atomic.Int64
 	fetchRetries     atomic.Int64
 	fetchGone        atomic.Int64
 }
@@ -111,97 +290,434 @@ type Exchange struct {
 // fillReport copies the exchange's wire counters into a Report.
 func (e *Exchange) fillReport(r *Report) {
 	r.WireFetchedBytes = e.wireFetchedBytes.Load()
+	r.WireRawBytes = e.wireRawBytes.Load()
+	r.ChunksFetched = e.chunksFetched.Load()
+	r.ConnPoolHits = e.connPoolHits.Load()
+	r.ConnPoolMisses = e.connPoolMisses.Load()
 	r.FetchRetries = e.fetchRetries.Load()
 	r.FetchGoneEvents = e.fetchGone.Load()
 }
 
 func newExchange(jobID int64, rank int, peers []string, store *jobStore) *Exchange {
-	return &Exchange{
-		jobID:        jobID,
-		rank:         rank,
-		peers:        peers,
-		store:        store,
-		fetchTimeout: 120 * time.Second,
-		dialRetries:  5,
-		dialBackoff:  50 * time.Millisecond,
-		dead:         make([]atomic.Bool, len(peers)),
+	e := &Exchange{
+		jobID:         jobID,
+		rank:          rank,
+		peers:         peers,
+		store:         store,
+		fetchTimeout:  120 * time.Second,
+		dialRetries:   5,
+		dialBackoff:   50 * time.Millisecond,
+		streamRetries: 2,
+		dead:          make([]atomic.Bool, len(peers)),
+		legacy:        make([]atomic.Bool, len(peers)),
+		pools:         make([]connPool, len(peers)),
 	}
+	e.compress.Store(true)
+	return e
 }
 
 func (e *Exchange) Rank() int  { return e.rank }
 func (e *Exchange) World() int { return len(e.peers) }
 
-// Publish stores a locally-produced bucket for peers to fetch.
+// SetCompression toggles chunk compression for buckets published
+// through this exchange (on by default). Fetching always handles both.
+func (e *Exchange) SetCompression(on bool) { e.compress.Store(on) }
+
+// SetMemory installs the budget manager that bounds per-fetch chunk
+// buffers; dataflow calls this structurally when the transport is
+// wired into a Context.
+func (e *Exchange) SetMemory(m *memory.Manager) { e.mem.Store(m) }
+
+// Publish stores a locally-produced bucket for peers to fetch. The
+// bucket is chunked — and, when it pays, compressed — exactly once
+// here; every subsequent fetch serves the stored chunks.
 func (e *Exchange) Publish(key string, blob []byte) error {
-	e.store.put(key, blob)
+	e.store.put(key, makeBucket(blob, e.compress.Load()))
 	return nil
 }
 
-// Fetch returns the bucket key owned by rank. Self-fetches hit the
-// local store directly; remote fetches dial the peer's data server.
-// Any error means the caller should recompute the bucket from lineage
-// — once a rank has failed us we mark it dead and fail fast on every
-// later fetch instead of re-dialing a corpse.
+// markDead gives up on a rank: later fetches fail fast instead of
+// re-dialing a corpse, and its idle connections are closed.
+func (e *Exchange) markDead(rank int) {
+	e.dead[rank].Store(true)
+	e.pools[rank].drain()
+}
+
+// Fetch returns the bucket key owned by rank as one blob. Self-fetches
+// hit the local store directly; remote fetches stream from the peer's
+// data server. Any returned error means the caller should recompute
+// the bucket from lineage — but only FATAL errors (FetchGone, dial or
+// retry exhaustion) mark the rank dead; a fetch that failed after
+// transient errors was already retried within budget.
 func (e *Exchange) Fetch(rank int, key string) ([]byte, error) {
-	if rank < 0 || rank >= len(e.peers) {
-		return nil, fmt.Errorf("cluster: fetch from rank %d of %d", rank, len(e.peers))
-	}
-	if rank == e.rank {
-		if blob, ok := e.store.get(key); ok {
-			return blob, nil
-		}
-		return nil, fmt.Errorf("cluster: local bucket %s missing", key)
-	}
-	if e.dead[rank].Load() {
-		return nil, fmt.Errorf("cluster: rank %d marked dead", rank)
-	}
-	blob, err := e.fetchRemote(rank, key)
+	rc, err := e.FetchReader(rank, key)
 	if err != nil {
-		e.dead[rank].Store(true)
+		return nil, err
+	}
+	blob, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
 		return nil, err
 	}
 	return blob, nil
 }
 
-// fetchRemote dials the peer per fetch — connections are short-lived
-// and the OS connection setup cost is dwarfed by bucket transfer time;
-// it keeps the data server a trivial request/reply loop with no
-// session state to invalidate on worker death.
-func (e *Exchange) fetchRemote(rank int, key string) ([]byte, error) {
-	var conn net.Conn
-	var err error
-	for attempt := 0; ; attempt++ {
-		conn, err = net.DialTimeout("tcp", e.peers[rank], e.fetchTimeout)
-		if err == nil {
-			break
-		}
-		if attempt >= e.dialRetries {
-			return nil, fmt.Errorf("cluster: dial rank %d (%s): %w", rank, e.peers[rank], err)
-		}
-		e.fetchRetries.Add(1)
-		obsFetchRetries.Inc()
-		time.Sleep(e.dialBackoff << uint(attempt))
+// FetchReader streams the bucket key owned by rank. The reader yields
+// the raw (decompressed) bucket bytes incrementally as chunks arrive,
+// holding at most one chunk — reserved against the memory budget — at
+// a time. Transient stream errors are retried transparently, resuming
+// from the last delivered chunk. If the reader fails with a
+// transport-level error (peer died, bucket gone), its TransportErr
+// method returns it, distinguishing "recompute from lineage" from
+// "payload corrupt".
+func (e *Exchange) FetchReader(rank int, key string) (io.ReadCloser, error) {
+	if rank < 0 || rank >= len(e.peers) {
+		return nil, fmt.Errorf("cluster: fetch from rank %d of %d", rank, len(e.peers))
 	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(e.fetchTimeout))
-	req := fetchMsg{JobID: e.jobID, Key: key}
-	if err := writeFrame(conn, msgFetch, req.encode()); err != nil {
-		return nil, fmt.Errorf("cluster: send fetch to rank %d: %w", rank, err)
+	if rank == e.rank {
+		b, ok := e.store.get(key)
+		if !ok {
+			return nil, fmt.Errorf("cluster: local bucket %s missing", key)
+		}
+		return &bucketReader{b: b}, nil
 	}
-	typ, payload, err := readFrame(bufio.NewReader(conn))
+	if e.dead[rank].Load() {
+		return nil, fmt.Errorf("cluster: rank %d marked dead", rank)
+	}
+	return &streamReader{e: e, rank: rank, key: key}, nil
+}
+
+// bucketReader serves a locally-stored bucket, decompressing one chunk
+// at a time so self-fetches of compressed buckets stay chunk-bounded
+// too.
+type bucketReader struct {
+	b   bucket
+	idx int
+	cur []byte
+}
+
+func (r *bucketReader) Read(p []byte) (int, error) {
+	for len(r.cur) == 0 {
+		if r.idx >= len(r.b.chunks) {
+			return 0, io.EOF
+		}
+		c := r.b.chunks[r.idx]
+		r.idx++
+		if c.flags&chunkFlagCompressed == 0 {
+			r.cur = c.data
+			continue
+		}
+		raw, err := spill.DecompressBlock(c.data, c.rawLen)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: stored chunk %d corrupt: %w", r.idx-1, err)
+		}
+		r.cur = raw
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}
+
+func (r *bucketReader) Close() error { return nil }
+
+// TransportErr is always nil for local reads: a failure here is data
+// corruption, never a reason to recompute.
+func (r *bucketReader) TransportErr() error { return nil }
+
+// streamReader is the client side of one streaming fetch. It connects
+// lazily (the first Read may block until the peer publishes the
+// bucket — that wait IS the pipeline: other fetches progress
+// meanwhile), decodes one chunk at a time under a memory reservation,
+// and transparently resumes after transient failures via FirstChunk.
+type streamReader struct {
+	e    *Exchange
+	rank int
+	key  string
+
+	conn     net.Conn
+	br       *bufio.Reader
+	fresh    bool // conn was dialed (not pooled) for this request
+	got      int  // chunks received on the CURRENT connection
+	next     int  // next chunk index expected = resume point
+	attempts int  // transient retries consumed
+
+	cur      []byte // decoded bytes of the current chunk, unconsumed
+	reserved int64  // memory reservation held for cur
+	rawTotal int64  // raw bytes delivered so far (verified at end)
+	done     bool
+	terr     error // transport-level failure, set once
+}
+
+func (s *streamReader) Read(p []byte) (int, error) {
+	for len(s.cur) == 0 && !s.done {
+		if s.terr != nil {
+			return 0, s.terr
+		}
+		if err := s.fill(); err != nil {
+			return 0, err
+		}
+	}
+	if len(s.cur) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.cur)
+	s.cur = s.cur[n:]
+	if len(s.cur) == 0 {
+		s.release()
+	}
+	return n, nil
+}
+
+// TransportErr reports the transport-level failure that ended the
+// stream, if any. A Read error with a nil TransportErr means the
+// payload itself was corrupt — recomputing would not help.
+func (s *streamReader) TransportErr() error { return s.terr }
+
+func (s *streamReader) Close() error {
+	s.release()
+	if s.conn != nil {
+		if s.done {
+			// Clean end: the connection is positioned at a frame
+			// boundary and safe to reuse.
+			_ = s.conn.SetDeadline(time.Time{})
+			s.e.pools[s.rank].put(s.conn)
+		} else {
+			// Abandoned mid-stream: unread frames poison reuse.
+			s.conn.Close()
+		}
+		s.conn, s.br = nil, nil
+	}
+	s.done = true
+	return nil
+}
+
+func (s *streamReader) release() {
+	if s.reserved > 0 {
+		s.e.mem.Load().Release(s.reserved)
+		s.reserved = 0
+	}
+	s.cur = nil
+}
+
+// fail records a fatal transport error and gives up on the rank.
+func (s *streamReader) fail(err error) error {
+	s.terr = err
+	s.e.markDead(s.rank)
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn, s.br = nil, nil
+	}
+	return err
+}
+
+// retry tears down the current connection and decides whether the
+// error is worth another attempt.
+func (s *streamReader) retry(err error) error {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn, s.br = nil, nil
+	}
+	// Fail-fast pool semantics: an error talking to this peer poisons
+	// its idle connections too.
+	s.e.pools[s.rank].drain()
+	if !retryableFetch(err) || s.attempts >= s.e.streamRetries {
+		return s.fail(err)
+	}
+	s.attempts++
+	s.e.fetchRetries.Add(1)
+	obsFetchRetries.Inc()
+	return nil
+}
+
+// fill advances the stream by one protocol frame, (re)connecting as
+// needed. On return either s.cur holds chunk bytes, s.done is set, or
+// an error is final.
+func (s *streamReader) fill() error {
+	if s.e.legacy[s.rank].Load() {
+		return s.legacyFill()
+	}
+	if s.conn == nil {
+		if err := s.connect(); err != nil {
+			return s.fail(err) // dial exhaustion is fatal
+		}
+		req := fetchStreamMsg{
+			JobID:      s.e.jobID,
+			Key:        s.key,
+			Flags:      fetchFlagAcceptCompressed,
+			FirstChunk: int64(s.next),
+		}
+		_ = s.conn.SetDeadline(time.Now().Add(s.e.fetchTimeout))
+		if err := writeFrame(s.conn, msgFetchStream, req.encode()); err != nil {
+			return s.retry(fmt.Errorf("cluster: send fetch-stream to rank %d: %w", s.rank, err))
+		}
+	}
+	_ = s.conn.SetDeadline(time.Now().Add(s.e.fetchTimeout))
+	typ, payload, err := readFrame(s.br)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: read fetch reply from rank %d: %w", rank, err)
+		if s.fresh && s.got == 0 && (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+			// A fresh connection closed before the first reply frame:
+			// the peer predates msgFetchStream and hung up on the
+			// unknown type. Downgrade this rank to the whole-blob
+			// protocol (harmless if wrong — new servers speak it too).
+			s.e.legacy[s.rank].Store(true)
+			s.conn.Close()
+			s.conn, s.br = nil, nil
+			return s.legacyFill()
+		}
+		return s.retry(fmt.Errorf("cluster: read stream from rank %d: %w", s.rank, err))
+	}
+	switch typ {
+	case msgStreamChunk:
+		flags, rawLen, body, err := decodeChunkFrame(payload)
+		if err != nil {
+			return s.fail(fmt.Errorf("cluster: rank %d sent bad chunk frame: %w", s.rank, err))
+		}
+		s.e.mem.Load().Reserve(int64(rawLen))
+		s.reserved = int64(rawLen)
+		if flags&chunkFlagCompressed != 0 {
+			raw, err := spill.DecompressBlock(body, rawLen)
+			if err != nil {
+				// Corrupt payload is NOT a transport error: terr stays
+				// nil so the consumer knows recompute won't help.
+				s.release()
+				s.done = true
+				if s.conn != nil {
+					s.conn.Close()
+					s.conn, s.br = nil, nil
+				}
+				return fmt.Errorf("cluster: chunk %d from rank %d corrupt: %w", s.next, s.rank, err)
+			}
+			s.cur = raw
+		} else {
+			if len(body) != rawLen {
+				s.release()
+				return s.fail(fmt.Errorf("cluster: rank %d chunk %d: %d raw bytes, header says %d",
+					s.rank, s.next, len(body), rawLen))
+			}
+			s.cur = body
+		}
+		s.next++
+		s.got++
+		s.rawTotal += int64(rawLen)
+		s.e.wireFetchedBytes.Add(int64(len(payload)))
+		obsWireFetchedBytes.Add(int64(len(payload)))
+		s.e.wireRawBytes.Add(int64(rawLen))
+		obsWireRawBytes.Add(int64(rawLen))
+		s.e.chunksFetched.Add(1)
+		obsChunksFetched.Inc()
+		return nil
+	case msgStreamEnd:
+		end, err := decodeStreamEnd(payload)
+		if err != nil {
+			return s.fail(fmt.Errorf("cluster: rank %d sent bad stream end: %w", s.rank, err))
+		}
+		if wantRaw := end.RawBytes; s.got > 0 && wantRaw >= 0 {
+			// The totals cover this response only; with resumes the
+			// client-side sum is authoritative, so only sanity-check
+			// the single-connection case.
+			if s.attempts == 0 && (int64(s.got) != end.Chunks || s.rawTotal != wantRaw) {
+				return s.fail(fmt.Errorf("cluster: rank %d stream mismatch: got %d chunks/%d raw, peer sent %d/%d",
+					s.rank, s.got, s.rawTotal, end.Chunks, wantRaw))
+			}
+		}
+		s.done = true
+		return nil
+	case msgFetchGone:
+		s.e.fetchGone.Add(1)
+		obsFetchGone.Inc()
+		return s.fail(fmt.Errorf("cluster: rank %d lost bucket %s: %s: %w", s.rank, s.key, payload, errFetchGone))
+	default:
+		return s.fail(fmt.Errorf("cluster: unexpected frame type %d from rank %d", typ, s.rank))
+	}
+}
+
+// legacyFill satisfies the whole stream with one msgFetch round trip —
+// the PR 5 wire path, kept for peers that predate chunk streaming.
+func (s *streamReader) legacyFill() error {
+	for {
+		if err := s.connect(); err != nil {
+			return s.fail(err)
+		}
+		blob, err := s.legacyOnce()
+		if err == nil {
+			// Skip what earlier (streamed) attempts already delivered:
+			// chunk boundaries are fixed at publish time.
+			skip := s.next * shuffleChunkSize
+			if skip > len(blob) {
+				skip = len(blob)
+			}
+			s.e.mem.Load().Reserve(int64(len(blob) - skip))
+			s.reserved = int64(len(blob) - skip)
+			s.cur = blob[skip:]
+			s.rawTotal += int64(len(blob) - skip)
+			s.done = true
+			return nil
+		}
+		if rerr := s.retry(err); rerr != nil {
+			return rerr
+		}
+	}
+}
+
+// legacyOnce performs one whole-blob request on the current connection.
+func (s *streamReader) legacyOnce() ([]byte, error) {
+	_ = s.conn.SetDeadline(time.Now().Add(s.e.fetchTimeout))
+	req := fetchMsg{JobID: s.e.jobID, Key: s.key}
+	if err := writeFrame(s.conn, msgFetch, req.encode()); err != nil {
+		return nil, fmt.Errorf("cluster: send fetch to rank %d: %w", s.rank, err)
+	}
+	typ, payload, err := readFrame(s.br)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: read fetch reply from rank %d: %w", s.rank, err)
 	}
 	switch typ {
 	case msgFetchOK:
-		e.wireFetchedBytes.Add(int64(len(payload)))
+		s.e.wireFetchedBytes.Add(int64(len(payload)))
 		obsWireFetchedBytes.Add(int64(len(payload)))
+		s.e.wireRawBytes.Add(int64(len(payload)))
+		obsWireRawBytes.Add(int64(len(payload)))
+		// Reusable: the reply ended on a frame boundary.
+		_ = s.conn.SetDeadline(time.Time{})
+		s.e.pools[s.rank].put(s.conn)
+		s.conn, s.br = nil, nil
 		return payload, nil
 	case msgFetchGone:
-		e.fetchGone.Add(1)
+		s.e.fetchGone.Add(1)
 		obsFetchGone.Inc()
-		return nil, fmt.Errorf("cluster: rank %d lost bucket %s: %s", rank, key, payload)
+		return nil, fmt.Errorf("cluster: rank %d lost bucket %s: %s: %w", s.rank, s.key, payload, errFetchGone)
 	default:
-		return nil, fmt.Errorf("cluster: unexpected reply type %d from rank %d", typ, rank)
+		return nil, fmt.Errorf("cluster: unexpected reply type %d from rank %d", typ, s.rank)
+	}
+}
+
+// connect acquires a connection to the peer: pooled if available,
+// freshly dialed (with backoff) otherwise.
+func (s *streamReader) connect() error {
+	if s.conn != nil {
+		return nil
+	}
+	s.got = 0
+	if c := s.e.pools[s.rank].get(); c != nil {
+		s.conn, s.br, s.fresh = c, bufio.NewReader(c), false
+		s.e.connPoolHits.Add(1)
+		obsConnPoolHits.Inc()
+		return nil
+	}
+	s.e.connPoolMisses.Add(1)
+	obsConnPoolMisses.Inc()
+	var err error
+	for attempt := 0; ; attempt++ {
+		var c net.Conn
+		c, err = net.DialTimeout("tcp", s.e.peers[s.rank], s.e.fetchTimeout)
+		if err == nil {
+			s.conn, s.br, s.fresh = c, bufio.NewReader(c), true
+			return nil
+		}
+		if attempt >= s.e.dialRetries {
+			return fmt.Errorf("cluster: dial rank %d (%s): %w", s.rank, s.e.peers[s.rank], err)
+		}
+		s.e.fetchRetries.Add(1)
+		obsFetchRetries.Inc()
+		time.Sleep(s.e.dialBackoff << uint(attempt))
 	}
 }

@@ -33,6 +33,30 @@ const (
 	msgFetchOK   = byte(8)  // worker -> worker: bucket payload
 	msgFetchGone = byte(9)  // worker -> worker: bucket unavailable (job failed here)
 	msgTelemetry = byte(10) // worker -> driver: span batch + stage rows + counter deltas
+
+	// Streaming data plane (PR 10). A streaming fetch is one
+	// msgFetchStream request answered by zero or more msgStreamChunk
+	// frames and a terminating msgStreamEnd (or msgFetchGone). Old
+	// workers that don't know msgFetchStream close the connection,
+	// which the client detects and downgrades to msgFetch — so mixed
+	// fleets stay wire-compatible in both directions.
+	msgFetchStream = byte(11) // worker -> worker: chunked bucket request
+	msgStreamChunk = byte(12) // worker -> worker: one bucket chunk
+	msgStreamEnd   = byte(13) // worker -> worker: stream totals / terminator
+)
+
+// fetchStreamMsg flag bits, set by the requester.
+const (
+	// fetchFlagAcceptCompressed: the requester can decode compressed
+	// chunks; without it the server decompresses before sending.
+	fetchFlagAcceptCompressed = uint64(1) << 0
+)
+
+// streamChunk flag bits, one byte per chunk.
+const (
+	// chunkFlagCompressed: the chunk body is a spill.CompressBlock
+	// block that inflates to RawLen bytes.
+	chunkFlagCompressed = byte(1) << 0
 )
 
 // maxFrame bounds a frame payload so a corrupt length prefix cannot
@@ -299,6 +323,105 @@ func decodeFetch(p []byte) (fetchMsg, error) {
 	return m, c.err
 }
 
+// fetchStreamMsg asks a peer to stream one bucket as chunks, starting
+// at chunk index FirstChunk (non-zero when resuming after a transient
+// connection failure — chunk boundaries are fixed at publish time, so
+// a resumed stream is byte-identical to an uninterrupted one).
+type fetchStreamMsg struct {
+	JobID      int64
+	Key        string
+	Flags      uint64
+	FirstChunk int64
+}
+
+func (m *fetchStreamMsg) encode() []byte {
+	var w wireBuf
+	w.i64(m.JobID)
+	w.str(m.Key)
+	w.u64(m.Flags)
+	w.i64(m.FirstChunk)
+	return w.b
+}
+
+func decodeFetchStream(p []byte) (fetchStreamMsg, error) {
+	c := wireCur{b: p}
+	m := fetchStreamMsg{JobID: c.i64(), Key: c.str(), Flags: c.u64(), FirstChunk: c.i64()}
+	if m.FirstChunk < 0 {
+		c.fail("fetch-stream first chunk")
+	}
+	return m, c.err
+}
+
+// encodeChunkFrame frames one chunk payload: a flags byte, the
+// decompressed length, then the body (compressed or raw per the flag).
+func encodeChunkFrame(flags byte, rawLen int, body []byte) []byte {
+	w := wireBuf{b: make([]byte, 0, 1+binary.MaxVarintLen64+len(body))}
+	w.b = append(w.b, flags)
+	w.u64(uint64(rawLen))
+	w.b = append(w.b, body...)
+	return w.b
+}
+
+// decodeChunkFrame reverses encodeChunkFrame. RawLen is bounded by
+// maxFrame so a corrupt header cannot drive a giant decompression
+// allocation; the body is NOT copied (it aliases p, which readFrame
+// already allocated fresh).
+func decodeChunkFrame(p []byte) (flags byte, rawLen int, body []byte, err error) {
+	if len(p) < 1 {
+		return 0, 0, nil, fmt.Errorf("cluster: empty chunk frame")
+	}
+	flags = p[0]
+	c := wireCur{b: p[1:]}
+	n := c.u64()
+	if c.err != nil {
+		return 0, 0, nil, c.err
+	}
+	if n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("cluster: chunk raw length %d exceeds limit", n)
+	}
+	return flags, int(n), c.b, nil
+}
+
+// streamEndMsg closes a chunk stream with totals the client verifies.
+// Encoded field-count-prefixed like Report so future fields append
+// compatibly.
+type streamEndMsg struct {
+	Chunks    int64 // chunks sent in THIS response (from FirstChunk on)
+	RawBytes  int64 // decompressed bytes represented by those chunks
+	WireBytes int64 // bytes as actually framed on the wire
+}
+
+func (m *streamEndMsg) fields() []*int64 {
+	return []*int64{&m.Chunks, &m.RawBytes, &m.WireBytes}
+}
+
+func (m *streamEndMsg) encode() []byte {
+	var w wireBuf
+	fs := m.fields()
+	w.u64(uint64(len(fs)))
+	for _, f := range fs {
+		w.i64(*f)
+	}
+	return w.b
+}
+
+func decodeStreamEnd(p []byte) (streamEndMsg, error) {
+	var m streamEndMsg
+	c := wireCur{b: p}
+	n := c.u64()
+	fs := m.fields()
+	for i := uint64(0); i < n; i++ {
+		v := c.i64()
+		if c.err != nil {
+			return m, c.err
+		}
+		if i < uint64(len(fs)) {
+			*fs[i] = v
+		}
+	}
+	return m, c.err
+}
+
 // Report carries one rank's execution counters back to the driver; the
 // driver surfaces them as per-worker rows in the metrics snapshot. It
 // is encoded as a field count followed by that many varints, so old
@@ -316,6 +439,11 @@ type Report struct {
 	// servers, dial attempts that had to be retried, and FetchGone
 	// replies received (a peer lost the bucket, forcing recompute).
 	WireFetchedBytes, FetchRetries, FetchGoneEvents int64
+	// Streaming data-plane counters (appended in PR 10): decompressed
+	// bytes represented by fetched chunks (WireFetchedBytes is the
+	// post-compression on-the-wire count, so raw-wire = bytes saved),
+	// chunks fetched, and data-connection pool hits vs fresh dials.
+	WireRawBytes, ChunksFetched, ConnPoolHits, ConnPoolMisses int64
 }
 
 func (r *Report) fields() []*int64 {
@@ -327,6 +455,7 @@ func (r *Report) fields() []*int64 {
 		&r.ServedFetches, &r.ServedBytes,
 		&r.SpilledBytes, &r.MemoryPeak, &r.WallNanos,
 		&r.WireFetchedBytes, &r.FetchRetries, &r.FetchGoneEvents,
+		&r.WireRawBytes, &r.ChunksFetched, &r.ConnPoolHits, &r.ConnPoolMisses,
 	}
 }
 

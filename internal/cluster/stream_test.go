@@ -1,0 +1,429 @@
+package cluster
+
+// Streaming data-plane tests: chunked/compressed fetch parity with the
+// whole-blob path, transparent resume after transient stream errors
+// (the rank must NOT be marked dead), fatal FetchGone classification,
+// connection-pool reuse, legacy-protocol interop in both directions,
+// and memory-bounded fetches.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/memory"
+)
+
+// startDataServer runs just the worker's data plane: a listener and the
+// serveData loop over a bare store set, no driver or control plane.
+func startDataServer(t *testing.T) (*Worker, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	w := &Worker{
+		cfg:    WorkerConfig{ID: "data-only"},
+		dataLn: ln,
+		stores: make(map[int64]*jobStore),
+		done:   make(chan struct{}),
+	}
+	go w.dataLoop()
+	t.Cleanup(func() { ln.Close() })
+	return w, ln.Addr().String()
+}
+
+// clientExchange builds a 2-rank exchange where rank 1 is the given
+// data server and the client is rank 0.
+func clientExchange(jobID int64, serverAddr string) *Exchange {
+	e := newExchange(jobID, 0, []string{"unused-self", serverAddr}, newJobStore())
+	e.fetchTimeout = 5 * time.Second
+	e.dialBackoff = 5 * time.Millisecond
+	return e
+}
+
+func testBlobs() map[string][]byte {
+	rng := rand.New(rand.NewSource(42))
+	random := make([]byte, 3*shuffleChunkSize+777) // 4 chunks, incompressible
+	rng.Read(random)
+	return map[string][]byte{
+		"empty":      {},
+		"tiny":       []byte("hello"),
+		"one-chunk":  bytes.Repeat([]byte("abc"), 1000),
+		"repetitive": bytes.Repeat([]byte("0123456789abcdef"), 5*shuffleChunkSize/16), // 5 chunks, compressible
+		"random":     random,
+	}
+}
+
+func TestStreamFetchParity(t *testing.T) {
+	for _, compress := range []bool{true, false} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			w, addr := startDataServer(t)
+			server := newExchange(1, 1, nil, w.storeFor(1))
+			server.SetCompression(compress)
+			e := clientExchange(1, addr)
+			for name, blob := range testBlobs() {
+				if err := server.Publish(name, blob); err != nil {
+					t.Fatalf("publish %s: %v", name, err)
+				}
+				got, err := e.Fetch(1, name)
+				if err != nil {
+					t.Fatalf("fetch %s: %v", name, err)
+				}
+				if !bytes.Equal(got, blob) {
+					t.Fatalf("%s: fetched %d bytes, want %d (content mismatch)", name, len(got), len(blob))
+				}
+			}
+			if e.chunksFetched.Load() == 0 {
+				t.Fatal("no chunks counted: fetches did not use the streaming path")
+			}
+			if e.wireRawBytes.Load() == 0 {
+				t.Fatal("wireRawBytes not counted")
+			}
+			if compress && e.wireFetchedBytes.Load() >= e.wireRawBytes.Load() {
+				t.Fatalf("compression saved nothing: wire=%d raw=%d",
+					e.wireFetchedBytes.Load(), e.wireRawBytes.Load())
+			}
+			if e.dead[1].Load() {
+				t.Fatal("healthy rank marked dead")
+			}
+		})
+	}
+}
+
+func TestConnPoolReuse(t *testing.T) {
+	w, addr := startDataServer(t)
+	server := newExchange(2, 1, nil, w.storeFor(2))
+	e := clientExchange(2, addr)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		_ = server.Publish(key, bytes.Repeat([]byte{byte(i)}, 10_000))
+		if _, err := e.Fetch(1, key); err != nil {
+			t.Fatalf("fetch %s: %v", key, err)
+		}
+	}
+	if hits, misses := e.connPoolHits.Load(), e.connPoolMisses.Load(); hits < 3 || misses > 2 {
+		t.Fatalf("pool not reused: %d hits, %d misses over 5 fetches", hits, misses)
+	}
+}
+
+// TestTransientStreamErrorResumes is the regression test for the PR 5
+// bug where ANY fetch error permanently killed the rank: a server that
+// drops the connection mid-stream must cost a transparent retry — the
+// client resumes from the next chunk, the result is byte-identical,
+// and the rank is NOT marked dead.
+func TestTransientStreamErrorResumes(t *testing.T) {
+	blob := bytes.Repeat([]byte("stream-me-"), 4*shuffleChunkSize/10)
+	bkt := makeBucket(blob, true)
+	if len(bkt.chunks) < 2 {
+		t.Fatal("test bucket must span several chunks")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var fcMu sync.Mutex
+	var firstChunks []int64
+	var conns atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n := conns.Add(1)
+			go func(conn net.Conn, kill bool) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				typ, payload, err := readFrame(br)
+				if err != nil || typ != msgFetchStream {
+					return
+				}
+				req, err := decodeFetchStream(payload)
+				if err != nil {
+					return
+				}
+				fcMu.Lock()
+				firstChunks = append(firstChunks, req.FirstChunk)
+				fcMu.Unlock()
+				var end streamEndMsg
+				for i := int(req.FirstChunk); i < len(bkt.chunks); i++ {
+					ch := bkt.chunks[i]
+					if writeFrame(conn, msgStreamChunk, encodeChunkFrame(ch.flags, ch.rawLen, ch.data)) != nil {
+						return
+					}
+					end.Chunks++
+					end.RawBytes += int64(ch.rawLen)
+					if kill {
+						return // hang up mid-stream after one chunk
+					}
+				}
+				_ = writeFrame(conn, msgStreamEnd, end.encode())
+			}(conn, n == 1)
+		}
+	}()
+	e := clientExchange(3, ln.Addr().String())
+	got, err := e.Fetch(1, "x")
+	if err != nil {
+		t.Fatalf("fetch across mid-stream hangup: %v", err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("resumed fetch not byte-identical: %d bytes, want %d", len(got), len(blob))
+	}
+	if e.dead[1].Load() {
+		t.Fatal("transient stream error marked the rank dead")
+	}
+	if e.fetchRetries.Load() == 0 {
+		t.Fatal("no retry counted for the hangup")
+	}
+	fcMu.Lock()
+	resumed := len(firstChunks) >= 2 && firstChunks[0] == 0 && firstChunks[1] > 0
+	seen := append([]int64(nil), firstChunks...)
+	fcMu.Unlock()
+	if !resumed {
+		t.Fatalf("expected a resume with FirstChunk > 0, saw requests %v", seen)
+	}
+	// A later fetch from the same (healthy) rank must still work.
+	if _, err := e.Fetch(1, "x"); err != nil {
+		t.Fatalf("rank unusable after recovered transient error: %v", err)
+	}
+}
+
+// TestFetchGoneIsFatal: a peer that answers FetchGone lost the bucket
+// for good — the error must not be retried, and the rank goes dead so
+// later fetches fail fast into lineage recompute.
+func TestFetchGoneIsFatal(t *testing.T) {
+	w, addr := startDataServer(t)
+	store := w.storeFor(4)
+	store.fail()
+	e := clientExchange(4, addr)
+	if _, err := e.Fetch(1, "anything"); err == nil {
+		t.Fatal("fetch from failed store succeeded")
+	}
+	if e.fetchGone.Load() == 0 {
+		t.Fatal("FetchGone not counted")
+	}
+	if !e.dead[1].Load() {
+		t.Fatal("FetchGone did not mark the rank dead")
+	}
+	if e.fetchRetries.Load() != 0 {
+		t.Fatalf("fatal FetchGone was retried %d times", e.fetchRetries.Load())
+	}
+	if _, err := e.Fetch(1, "other"); err == nil || !bytes.Contains([]byte(err.Error()), []byte("dead")) {
+		t.Fatalf("dead rank not failing fast: %v", err)
+	}
+}
+
+// TestLegacyServerFallback: fetching from a peer that predates the
+// streaming protocol (closes the connection on unknown frame types,
+// answers only msgFetch) must transparently downgrade to whole-blob.
+func TestLegacyServerFallback(t *testing.T) {
+	blob := bytes.Repeat([]byte("old-wire-"), 50_000) // > 1 chunk
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					typ, payload, err := readFrame(br)
+					if err != nil {
+						return
+					}
+					if typ != msgFetch {
+						return // PR 5 behavior: hang up on anything unknown
+					}
+					if _, err := decodeFetch(payload); err != nil {
+						return
+					}
+					if writeFrame(conn, msgFetchOK, blob) != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	e := clientExchange(5, ln.Addr().String())
+	got, err := e.Fetch(1, "k")
+	if err != nil {
+		t.Fatalf("fetch from legacy server: %v", err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("legacy fallback returned wrong bytes")
+	}
+	if !e.legacy[1].Load() {
+		t.Fatal("peer not remembered as legacy")
+	}
+	if e.dead[1].Load() {
+		t.Fatal("legacy downgrade marked the rank dead")
+	}
+	// Second fetch goes straight to the legacy path.
+	if _, err := e.Fetch(1, "k2"); err != nil {
+		t.Fatalf("second legacy fetch: %v", err)
+	}
+}
+
+// TestLegacyClientAgainstNewServer: an old peer that only speaks
+// msgFetch must still get the exact published bytes from a new server,
+// even when the stored bucket is chunked and compressed.
+func TestLegacyClientAgainstNewServer(t *testing.T) {
+	w, addr := startDataServer(t)
+	server := newExchange(6, 1, nil, w.storeFor(6))
+	blob := bytes.Repeat([]byte("compress-me-"), 3*shuffleChunkSize/12)
+	if err := server.Publish("k", blob); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := fetchMsg{JobID: 6, Key: "k"}
+	if err := writeFrame(conn, msgFetch, req.encode()); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(bufio.NewReader(conn))
+	if err != nil || typ != msgFetchOK {
+		t.Fatalf("whole-blob reply: type=%d err=%v", typ, err)
+	}
+	if !bytes.Equal(payload, blob) {
+		t.Fatal("whole-blob reply not byte-identical to published bucket")
+	}
+}
+
+// TestMemoryBoundedFetch: streaming a bucket many times the chunk size
+// must reserve at most ~a chunk of budget at a time, never the whole
+// bucket.
+func TestMemoryBoundedFetch(t *testing.T) {
+	w, addr := startDataServer(t)
+	server := newExchange(7, 1, nil, w.storeFor(7))
+	rng := rand.New(rand.NewSource(9))
+	blob := make([]byte, 16*shuffleChunkSize) // 4 MiB bucket
+	rng.Read(blob)
+	if err := server.Publish("big", blob); err != nil {
+		t.Fatal(err)
+	}
+	mem := memory.New(1 << 30)
+	e := clientExchange(7, addr)
+	e.SetMemory(mem)
+	rc, err := e.FetchReader(1, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("streamed bucket mismatch")
+	}
+	peak := mem.Peak()
+	if peak == 0 {
+		t.Fatal("fetch reserved no memory: budget integration is not wired")
+	}
+	if peak > 2*shuffleChunkSize {
+		t.Fatalf("fetch peak reservation %d exceeds two chunks (%d); bucket is %d",
+			peak, 2*shuffleChunkSize, len(blob))
+	}
+	if mem.Used() != 0 {
+		t.Fatalf("fetch leaked %d reserved bytes", mem.Used())
+	}
+}
+
+// TestBucketHeuristic: the publish-side probe compresses compressible
+// buckets and stores incompressible ones raw.
+func TestBucketHeuristic(t *testing.T) {
+	rep := bytes.Repeat([]byte("abcd"), shuffleChunkSize)
+	b := makeBucket(rep, true)
+	stored := 0
+	for _, c := range b.chunks {
+		if c.flags&chunkFlagCompressed == 0 {
+			t.Fatal("compressible chunk stored raw")
+		}
+		stored += len(c.data)
+	}
+	if stored >= len(rep) {
+		t.Fatalf("compressed bucket not smaller: %d vs %d", stored, len(rep))
+	}
+	back, err := b.assemble()
+	if err != nil || !bytes.Equal(back, rep) {
+		t.Fatalf("assemble mismatch (err=%v)", err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	rnd := make([]byte, 2*shuffleChunkSize)
+	rng.Read(rnd)
+	b = makeBucket(rnd, true)
+	for i, c := range b.chunks {
+		if c.flags&chunkFlagCompressed != 0 {
+			t.Fatalf("incompressible chunk %d stored compressed", i)
+		}
+	}
+	back, err = b.assemble()
+	if err != nil || !bytes.Equal(back, rnd) {
+		t.Fatalf("raw assemble mismatch (err=%v)", err)
+	}
+
+	b = makeBucket(rep, false)
+	for _, c := range b.chunks {
+		if c.flags != 0 {
+			t.Fatal("compression-off bucket has compressed chunks")
+		}
+	}
+}
+
+// FuzzChunkFrame hardens the streaming decoders against corrupt and
+// truncated frames: they must error, never panic, and the frame
+// encoder must round-trip.
+func FuzzChunkFrame(f *testing.F) {
+	f.Add(encodeChunkFrame(0, 5, []byte("hello")))
+	f.Add(encodeChunkFrame(chunkFlagCompressed, 100, []byte{1, 2, 3}))
+	f.Add((&fetchStreamMsg{JobID: 1, Key: "x1.2.3", Flags: 1, FirstChunk: 7}).encode())
+	f.Add((&streamEndMsg{Chunks: 3, RawBytes: 1 << 20, WireBytes: 1 << 18}).encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	ch := encodeChunkFrame(chunkFlagCompressed, 1<<20, bytes.Repeat([]byte{7}, 64))
+	f.Add(ch[:len(ch)/2]) // truncated chunk
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flags, rawLen, body, err := decodeChunkFrame(data)
+		if err == nil {
+			if rawLen > maxFrame || rawLen < 0 {
+				t.Fatalf("decoder admitted bad rawLen %d", rawLen)
+			}
+			// Re-encoding the decoded values must decode back to the
+			// same values (the encoding is canonical; the input may
+			// have used non-minimal varints).
+			f2, r2, b2, err2 := decodeChunkFrame(encodeChunkFrame(flags, rawLen, body))
+			if err2 != nil || f2 != flags || r2 != rawLen || !bytes.Equal(b2, body) {
+				t.Fatalf("chunk frame not canonical: %v", err2)
+			}
+		}
+		if m, err := decodeFetchStream(data); err == nil {
+			if m.FirstChunk < 0 {
+				t.Fatal("decoder admitted negative FirstChunk")
+			}
+			m2, err2 := decodeFetchStream(m.encode())
+			if err2 != nil || m2 != m {
+				t.Fatalf("fetch-stream not canonical: %+v vs %+v (%v)", m, m2, err2)
+			}
+		}
+		_, _ = decodeStreamEnd(data)
+	})
+}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/spill"
 )
 
 // WorkerConfig configures one worker process (or in-process worker in
@@ -331,31 +333,92 @@ func (w *Worker) dataLoop() {
 	}
 }
 
+// serveData answers bucket requests on one peer connection. The loop
+// handles any number of requests per connection (the client side pools
+// connections), speaking both the chunked streaming protocol and the
+// PR 5 whole-blob protocol — a new worker serves old peers and vice
+// versa. Anything unrecognized closes the connection, which is exactly
+// the signal a NEWER peer uses to downgrade to the messages we do know.
 func (w *Worker) serveData(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
 	for {
 		typ, payload, err := readFrame(br)
 		if err != nil {
 			return
 		}
-		if typ != msgFetch {
-			return
-		}
-		req, err := decodeFetch(payload)
-		if err != nil {
-			return
-		}
-		blob, err := w.storeFor(req.JobID).waitGet(req.Key)
-		if err != nil {
-			_ = writeFrame(conn, msgFetchGone, []byte(err.Error()))
-			continue
-		}
-		w.servedFetches.Add(1)
-		w.servedBytes.Add(int64(len(blob)))
-		obsWireServedBytes.Add(int64(len(blob)))
-		if err := writeFrame(conn, msgFetchOK, blob); err != nil {
+		switch typ {
+		case msgFetch:
+			req, err := decodeFetch(payload)
+			if err != nil {
+				return
+			}
+			bkt, err := w.storeFor(req.JobID).waitGet(req.Key)
+			if err != nil {
+				if writeFrame(bw, msgFetchGone, []byte(err.Error())) != nil || bw.Flush() != nil {
+					return
+				}
+				continue
+			}
+			blob, err := bkt.assemble()
+			if err != nil {
+				if writeFrame(bw, msgFetchGone, []byte(err.Error())) != nil || bw.Flush() != nil {
+					return
+				}
+				continue
+			}
+			w.servedFetches.Add(1)
+			w.servedBytes.Add(int64(len(blob)))
+			obsWireServedBytes.Add(int64(len(blob)))
+			if writeFrame(bw, msgFetchOK, blob) != nil || bw.Flush() != nil {
+				return
+			}
+		case msgFetchStream:
+			req, err := decodeFetchStream(payload)
+			if err != nil {
+				return
+			}
+			if !w.serveStream(bw, req) {
+				return
+			}
+		default:
 			return
 		}
 	}
+}
+
+// serveStream answers one chunked bucket request: every stored chunk
+// from FirstChunk on, then the totals. Chunks are sent as stored —
+// compressed buckets cost zero re-encoding — unless the requester
+// can't decode compressed chunks, in which case each is inflated
+// before framing. Returns false when the connection is unusable.
+func (w *Worker) serveStream(bw *bufio.Writer, req fetchStreamMsg) bool {
+	bkt, err := w.storeFor(req.JobID).waitGet(req.Key)
+	if err != nil {
+		return writeFrame(bw, msgFetchGone, []byte(err.Error())) == nil && bw.Flush() == nil
+	}
+	accept := req.Flags&fetchFlagAcceptCompressed != 0
+	var end streamEndMsg
+	for i := int(req.FirstChunk); i < len(bkt.chunks); i++ {
+		ch := bkt.chunks[i]
+		flags, body := ch.flags, ch.data
+		if flags&chunkFlagCompressed != 0 && !accept {
+			raw, err := spill.DecompressBlock(ch.data, ch.rawLen)
+			if err != nil {
+				return writeFrame(bw, msgFetchGone, []byte(err.Error())) == nil && bw.Flush() == nil
+			}
+			flags, body = flags&^chunkFlagCompressed, raw
+		}
+		if writeFrame(bw, msgStreamChunk, encodeChunkFrame(flags, ch.rawLen, body)) != nil {
+			return false
+		}
+		end.Chunks++
+		end.RawBytes += int64(ch.rawLen)
+		end.WireBytes += int64(len(body))
+	}
+	w.servedFetches.Add(1)
+	w.servedBytes.Add(end.WireBytes)
+	obsWireServedBytes.Add(end.WireBytes)
+	return writeFrame(bw, msgStreamEnd, end.encode()) == nil && bw.Flush() == nil
 }

@@ -25,6 +25,7 @@ package dataflow
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -47,6 +48,33 @@ type Transport interface {
 	// until the owner publishes, and fails when the owner is dead or
 	// unreachable — the caller falls back to lineage recompute.
 	Fetch(rank int, key string) ([]byte, error)
+}
+
+// StreamTransport is the optional streaming extension of Transport:
+// FetchReader yields the published blob incrementally, so the consumer
+// decodes while bytes are still arriving and the bucket never has to
+// exist whole on this side. cluster.Exchange implements it with
+// chunked, compressed, connection-pooled transfers.
+//
+// If a returned reader can fail mid-stream for transport reasons (the
+// peer died), it should also implement `TransportErr() error` so the
+// consumer can tell "recompute from lineage" apart from "payload
+// corrupt" — a decode failure with a nil TransportErr is treated as
+// corruption and panics.
+type StreamTransport interface {
+	Transport
+	// FetchReader streams the blob published under key by rank. Like
+	// Fetch, the first read blocks until the owner publishes.
+	FetchReader(rank int, key string) (io.ReadCloser, error)
+}
+
+// transportErr extracts a reader's transport-level failure, if it
+// exposes one.
+func transportErr(rc io.ReadCloser) error {
+	if te, ok := rc.(interface{ TransportErr() error }); ok {
+		return te.TransportErr()
+	}
+	return nil
 }
 
 // exchKey names one (exchange, map task, reduce bucket) blob. Stage
@@ -161,9 +189,7 @@ func (s *lazyBuckets[T]) getSPMD(p int) []T {
 		// always rank-local.
 		rows = s.fetchBucket(p, p)
 	} else {
-		for m := 0; m < sd.srcParts; m++ {
-			rows = append(rows, s.fetchBucket(m, p)...)
-		}
+		rows = s.assemblePartition(p)
 	}
 	if s.post != nil {
 		rows = s.post(rows)
@@ -173,14 +199,82 @@ func (s *lazyBuckets[T]) getSPMD(p int) []T {
 	return rows
 }
 
+// streamFetchWindow bounds the concurrent bucket fetches one reduce
+// task keeps in flight while assembling its partition. The window is
+// what pipelines the shuffle: a fetch from a map task that hasn't
+// published yet just blocks its slot while chunks from early-finishing
+// maps decode in the others.
+const streamFetchWindow = 4
+
+// assemblePartition concatenates every map task's bucket for partition
+// p in map-task order — the exact order the local merge produces, so
+// cluster results stay byte-identical — while fetching up to
+// streamFetchWindow buckets concurrently.
+func (s *lazyBuckets[T]) assemblePartition(p int) []T {
+	sd := s.spmd
+	n := sd.srcParts
+	if n == 1 {
+		return s.fetchBucket(0, p)
+	}
+	window := streamFetchWindow
+	if window > n {
+		window = n
+	}
+	parts := make([][]T, n)
+	sem := make(chan struct{}, window)
+	var wg sync.WaitGroup
+	var panicked atomic.Pointer[capturedPanic]
+	for m := 0; m < n; m++ {
+		if panicked.Load() != nil {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &capturedPanic{val: r})
+				}
+			}()
+			parts[m] = s.fetchBucket(m, p)
+		}(m)
+	}
+	wg.Wait()
+	if pc := panicked.Load(); pc != nil {
+		panic(pc.val)
+	}
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	rows := make([]T, 0, total)
+	for _, part := range parts {
+		rows = append(rows, part...)
+	}
+	return rows
+}
+
 // fetchBucket returns map task m's rows for bucket b: from the local
 // store when this rank owns m, over the network otherwise, and by
-// lineage recompute when the owner is dead.
+// lineage recompute when the owner is dead. Streaming transports
+// decode rows as chunks arrive; plain transports materialize the blob
+// first.
 func (s *lazyBuckets[T]) fetchBucket(m, b int) []T {
 	sd := s.spmd
 	c := s.ctx
 	owner := m % sd.t.World()
-	blob, err := sd.t.Fetch(owner, exchKey(sd.exchID, m, b))
+	key := exchKey(sd.exchID, m, b)
+	if st, ok := sd.t.(StreamTransport); ok && !c.conf.DisableStreamFetch {
+		rows, ok := s.streamBucket(st, owner, m, b, key)
+		if ok {
+			return rows
+		}
+		c.metrics.fetchFailures.Add(1)
+		return s.recomputeBucket(m, b)
+	}
+	blob, err := sd.t.Fetch(owner, key)
 	if err != nil {
 		if owner == sd.t.Rank() {
 			// Our own store never loses a published bucket while we run.
@@ -198,6 +292,59 @@ func (s *lazyBuckets[T]) fetchBucket(m, b int) []T {
 		panic(fmt.Errorf("dataflow: %s: decode bucket (%d,%d): %w", s.name, m, b, derr))
 	}
 	return rows
+}
+
+// streamBucket pulls one bucket through the transport's streaming
+// path. The second return is false when the bucket must be recomputed
+// from lineage (owner dead or stream torn down mid-transfer); payload
+// corruption — a decode failure with no transport error behind it —
+// panics, because recomputing deterministic lineage would produce the
+// same bytes.
+func (s *lazyBuckets[T]) streamBucket(st StreamTransport, owner, m, b int, key string) ([]T, bool) {
+	sd := s.spmd
+	c := s.ctx
+	rc, err := st.FetchReader(owner, key)
+	if err != nil {
+		if owner == sd.t.Rank() {
+			panic(fmt.Errorf("dataflow: %s: local bucket (%d,%d) lost: %w", s.name, m, b, err))
+		}
+		return nil, false
+	}
+	cr := &countingReader{r: rc}
+	rows, derr := spill.DecodeRowsFrom(cr, sd.codec)
+	if derr == nil {
+		// Drain the trailing stream terminator so a cleanly-finished
+		// connection goes back to the transport's pool on Close.
+		_, derr = io.Copy(io.Discard, cr)
+	}
+	rc.Close()
+	if derr != nil {
+		if te := transportErr(rc); te != nil {
+			if owner == sd.t.Rank() {
+				panic(fmt.Errorf("dataflow: %s: local bucket (%d,%d) lost: %w", s.name, m, b, te))
+			}
+			return nil, false
+		}
+		panic(fmt.Errorf("dataflow: %s: decode bucket (%d,%d): %w", s.name, m, b, derr))
+	}
+	if owner != sd.t.Rank() {
+		c.metrics.remoteFetches.Add(1)
+		c.metrics.remoteFetchedBytes.Add(cr.n)
+	}
+	return rows, true
+}
+
+// countingReader counts the (decompressed) bytes a streaming fetch
+// delivered, for the RemoteFetchedBytes metric.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // recomputeBucket re-executes dead rank's map task m from lineage —

@@ -3,6 +3,7 @@ package dataflow
 import (
 	"errors"
 	"fmt"
+	"io"
 	"reflect"
 	"sync"
 	"testing"
@@ -21,6 +22,7 @@ type memHub struct {
 	blobs  []map[string][]byte
 	dead   []bool
 	killAt []int // kill rank r after this many publishes; -1 = never
+	tearAt []int // tear remote streams FROM rank r after this many bytes; -1 = never
 	pubs   []int
 }
 
@@ -30,12 +32,14 @@ func newMemHub(world int) *memHub {
 		blobs:  make([]map[string][]byte, world),
 		dead:   make([]bool, world),
 		killAt: make([]int, world),
+		tearAt: make([]int, world),
 		pubs:   make([]int, world),
 	}
 	h.cond = sync.NewCond(&h.mu)
 	for r := range h.blobs {
 		h.blobs[r] = make(map[string][]byte)
 		h.killAt[r] = -1
+		h.tearAt[r] = -1
 	}
 	return h
 }
@@ -47,6 +51,15 @@ func (h *memHub) transport(rank int) *memTransport { return &memTransport{h: h, 
 func (h *memHub) killAfter(r, n int) {
 	h.mu.Lock()
 	h.killAt[r] = n
+	h.mu.Unlock()
+}
+
+// tearStreams makes every REMOTE stream read from rank r fail with a
+// transport error once n bytes have been delivered, modeling a
+// connection torn down mid-transfer (the peer itself stays alive).
+func (h *memHub) tearStreams(r, n int) {
+	h.mu.Lock()
+	h.tearAt[r] = n
 	h.mu.Unlock()
 }
 
@@ -91,6 +104,73 @@ func (t *memTransport) Fetch(rank int, key string) ([]byte, error) {
 		h.cond.Wait()
 	}
 }
+
+// FetchReader makes memTransport a StreamTransport, so the SPMD suite
+// exercises the chunk-streaming consumption path: the blob is handed
+// back in small reads (forcing incremental decode), a peer death
+// mid-stream surfaces as a transport error, and tearStreams injects
+// torn connections.
+func (t *memTransport) FetchReader(rank int, key string) (io.ReadCloser, error) {
+	blob, err := t.Fetch(rank, key)
+	if err != nil {
+		return nil, err
+	}
+	tear := -1
+	if rank != t.rank {
+		t.h.mu.Lock()
+		tear = t.h.tearAt[rank]
+		t.h.mu.Unlock()
+	}
+	return &memStreamReader{t: t, from: rank, blob: blob, tear: tear}, nil
+}
+
+type memStreamReader struct {
+	t    *memTransport
+	from int
+	blob []byte
+	off  int
+	tear int // error after this many delivered bytes; -1 = never
+	terr error
+}
+
+func (r *memStreamReader) Read(p []byte) (int, error) {
+	if r.terr != nil {
+		return 0, r.terr
+	}
+	if r.from != r.t.rank {
+		h := r.t.h
+		h.mu.Lock()
+		dead := h.dead[r.from]
+		h.mu.Unlock()
+		if dead {
+			r.terr = fmt.Errorf("memtransport: rank %d died mid-stream", r.from)
+			return 0, r.terr
+		}
+		if r.tear >= 0 && r.off >= r.tear {
+			r.terr = errors.New("memtransport: stream torn mid-transfer")
+			return 0, r.terr
+		}
+	}
+	if r.off >= len(r.blob) {
+		return 0, io.EOF
+	}
+	n := 64 // small reads force chunk-at-a-time decoding
+	if n > len(p) {
+		n = len(p)
+	}
+	if rem := len(r.blob) - r.off; n > rem {
+		n = rem
+	}
+	if r.from != r.t.rank && r.tear >= 0 && r.off+n > r.tear {
+		n = r.tear - r.off
+	}
+	copy(p, r.blob[r.off:r.off+n])
+	r.off += n
+	return n, nil
+}
+
+func (r *memStreamReader) Close() error        { return nil }
+func (r *memStreamReader) TransportErr() error { return r.terr }
 
 // spmdResult is everything the exercise program computes: every wide
 // and narrow operator plus every action, so one comparison covers the
@@ -145,6 +225,11 @@ func runSPMDProgram(ctx *Context) spmdResult {
 // returning each rank's result, metrics, and panic value (nil when the
 // rank completed).
 func runRanks(hub *memHub, world int) ([]spmdResult, []MetricsSnapshot, []any) {
+	return runRanksConf(hub, world, nil)
+}
+
+// runRanksConf is runRanks with a per-rank Config hook.
+func runRanksConf(hub *memHub, world int, tweak func(*Config)) ([]spmdResult, []MetricsSnapshot, []any) {
 	results := make([]spmdResult, world)
 	metrics := make([]MetricsSnapshot, world)
 	panics := make([]any, world)
@@ -154,11 +239,15 @@ func runRanks(hub *memHub, world int) ([]spmdResult, []MetricsSnapshot, []any) {
 		go func(r int) {
 			defer wg.Done()
 			defer func() { panics[r] = recover() }()
-			ctx := NewContext(Config{
+			conf := Config{
 				Parallelism: 2,
 				Transport:   hub.transport(r),
 				WorkerTag:   fmt.Sprintf("worker-%d", r),
-			})
+			}
+			if tweak != nil {
+				tweak(&conf)
+			}
+			ctx := NewContext(conf)
 			defer ctx.Close()
 			results[r] = runSPMDProgram(ctx)
 			metrics[r] = ctx.Metrics()
@@ -352,5 +441,64 @@ func TestMetricsIsolationAcrossContexts(t *testing.T) {
 	}
 	if im.MemoryBudget != 1<<30 {
 		t.Errorf("idle context budget gauge = %d, want its own 1GiB", im.MemoryBudget)
+	}
+}
+
+// TestSPMDStreamTearRecomputes tears every remote stream from rank 1
+// mid-transfer (the rank stays alive — only connections break). The
+// readers surface a transport error, so consumers must fall back to
+// lineage recompute, never panic, and still match the local reference
+// byte for byte.
+func TestSPMDStreamTearRecomputes(t *testing.T) {
+	local := NewContext(Config{Parallelism: 2})
+	defer local.Close()
+	want := runSPMDProgram(local)
+
+	const world = 3
+	hub := newMemHub(world)
+	hub.tearStreams(1, 10) // every remote stream from rank 1 tears after 10 bytes
+	results, metrics, panics := runRanks(hub, world)
+	var fails int64
+	for r := 0; r < world; r++ {
+		if panics[r] != nil {
+			t.Fatalf("rank %d panicked on torn stream (should recompute): %v", r, panics[r])
+		}
+		if !reflect.DeepEqual(results[r], want) {
+			t.Errorf("rank %d result differs from local after torn streams", r)
+		}
+		fails += metrics[r].FetchFailures
+	}
+	if fails == 0 {
+		t.Fatal("no fetch failures counted — the tear never happened")
+	}
+}
+
+// TestSPMDLegacyBlobParity runs the same program over the whole-blob
+// (PR 5) fetch path via DisableStreamFetch and checks it remains
+// byte-identical to both the local reference and the streaming path.
+func TestSPMDLegacyBlobParity(t *testing.T) {
+	local := NewContext(Config{Parallelism: 2})
+	defer local.Close()
+	want := runSPMDProgram(local)
+
+	const world = 3
+	legacy, _, panics := runRanksConf(newMemHub(world), world,
+		func(c *Config) { c.DisableStreamFetch = true })
+	for r := 0; r < world; r++ {
+		if panics[r] != nil {
+			t.Fatalf("rank %d panicked on legacy path: %v", r, panics[r])
+		}
+		if !reflect.DeepEqual(legacy[r], want) {
+			t.Errorf("rank %d legacy-blob result differs from local", r)
+		}
+	}
+	streaming, _, panics := runRanks(newMemHub(world), world)
+	for r := 0; r < world; r++ {
+		if panics[r] != nil {
+			t.Fatalf("rank %d panicked on streaming path: %v", r, panics[r])
+		}
+		if !reflect.DeepEqual(streaming[r], legacy[r]) {
+			t.Errorf("rank %d: streaming and legacy-blob paths disagree", r)
+		}
 	}
 }

@@ -99,6 +99,11 @@ type Config struct {
 	// owning peer died) the rest. nil — the default — is unchanged
 	// single-process execution. See cluster.go.
 	Transport Transport
+	// DisableStreamFetch forces whole-blob bucket fetches even when the
+	// transport supports chunk streaming (StreamTransport) — the PR 5
+	// data path, kept selectable for A/B benchmarks and as an escape
+	// hatch. Results are byte-identical either way.
+	DisableStreamFetch bool
 	// WorkerTag names this process in distributed diagnostics: stage
 	// spans gain a "worker" attribute and formatted tables a worker
 	// column. Empty for local contexts.
@@ -203,6 +208,12 @@ func NewContext(conf Config) *Context {
 	}
 	if conf.FailureRate > 0 {
 		ctx.failRng = rand.New(rand.NewSource(conf.FailureSeed))
+	}
+	// A transport that can bound its per-fetch buffers takes the
+	// context's budget manager (structural, so cluster.Exchange plugs
+	// in without dataflow importing cluster).
+	if mt, ok := conf.Transport.(interface{ SetMemory(*memory.Manager) }); ok {
+		mt.SetMemory(ctx.mem)
 	}
 	return ctx
 }

@@ -304,6 +304,15 @@ type MetricsSnapshot struct {
 	WireFetchedBytes int64
 	FetchRetries     int64
 	FetchGoneEvents  int64
+	// Streaming data-plane counters: WireRawBytes is what the fetched
+	// chunks decompress to (so WireRawBytes - WireFetchedBytes = bytes
+	// compression kept off the network), WireChunks counts chunks
+	// fetched, and ConnPoolHits / ConnPoolMisses count data-connection
+	// reuse vs fresh dials. Zero on local contexts.
+	WireRawBytes   int64
+	WireChunks     int64
+	ConnPoolHits   int64
+	ConnPoolMisses int64
 	// AdaptiveRebalances / AdaptiveMovedRecords / AdaptiveMovedGroups
 	// count adaptive stage-boundary rebalances: shuffles whose reduce
 	// buckets were reshaped after the map side completed, and the rows /
@@ -360,9 +369,15 @@ type WorkerStat struct {
 	WireFetchedBytes int64
 	FetchRetries     int64
 	FetchGoneEvents  int64
-	SpilledBytes     int64
-	MemoryPeak       int64
-	Wall             time.Duration
+	// Streaming data-plane counters for this rank: decompressed bytes
+	// behind the wire bytes, chunks fetched, and connection-pool reuse.
+	WireRawBytes   int64
+	WireChunks     int64
+	ConnPoolHits   int64
+	ConnPoolMisses int64
+	SpilledBytes   int64
+	MemoryPeak     int64
+	Wall           time.Duration
 }
 
 // noteStageStart tracks the in-flight stage gauge and its high-water
@@ -549,6 +564,16 @@ func (s MetricsSnapshot) FormatStages() string {
 		if s.WireFetchedBytes > 0 {
 			line += fmt.Sprintf(", %s on the wire", memory.FormatBytes(s.WireFetchedBytes))
 		}
+		if s.WireRawBytes > s.WireFetchedBytes {
+			line += fmt.Sprintf(" (%s raw, %.1fx compression)", memory.FormatBytes(s.WireRawBytes),
+				float64(s.WireRawBytes)/float64(s.WireFetchedBytes))
+		}
+		if s.WireChunks > 0 {
+			line += fmt.Sprintf(", %d chunks", s.WireChunks)
+		}
+		if gets := s.ConnPoolHits + s.ConnPoolMisses; gets > 0 {
+			line += fmt.Sprintf(", %d/%d conns reused", s.ConnPoolHits, gets)
+		}
 		if s.FetchRetries > 0 {
 			line += fmt.Sprintf(", %d fetch retries", s.FetchRetries)
 		}
@@ -719,6 +744,10 @@ func (s MetricsSnapshot) Sub(t MetricsSnapshot) MetricsSnapshot {
 		WireFetchedBytes:     s.WireFetchedBytes - t.WireFetchedBytes,
 		FetchRetries:         s.FetchRetries - t.FetchRetries,
 		FetchGoneEvents:      s.FetchGoneEvents - t.FetchGoneEvents,
+		WireRawBytes:         s.WireRawBytes - t.WireRawBytes,
+		WireChunks:           s.WireChunks - t.WireChunks,
+		ConnPoolHits:         s.ConnPoolHits - t.ConnPoolHits,
+		ConnPoolMisses:       s.ConnPoolMisses - t.ConnPoolMisses,
 		MaxConcurrentStages:  maxOverlap(per),
 		AdaptiveRebalances:   s.AdaptiveRebalances - t.AdaptiveRebalances,
 		AdaptiveMovedRecords: s.AdaptiveMovedRecords - t.AdaptiveMovedRecords,

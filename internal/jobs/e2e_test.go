@@ -6,11 +6,26 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
 )
+
+// e2eWorld is the subprocess-worker count for the e2e suites: 3 by
+// default, overridable with SAC_E2E_WORLD (CI runs a world=8 leg).
+func e2eWorld(t *testing.T) int {
+	t.Helper()
+	if v := os.Getenv("SAC_E2E_WORLD"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 2 {
+			t.Fatalf("bad SAC_E2E_WORLD=%q", v)
+		}
+		return n
+	}
+	return 3
+}
 
 // buildWorkerBinary compiles cmd/sacworker once per test binary run.
 func buildWorkerBinary(t *testing.T) string {
@@ -63,8 +78,9 @@ func TestE2EDistributedParity(t *testing.T) {
 		t.Fatalf("driver: %v", err)
 	}
 	defer d.Close()
-	spawnWorkers(t, bin, d.Addr(), 3)
-	if err := d.WaitForWorkers(3, 30*time.Second); err != nil {
+	world := e2eWorld(t)
+	spawnWorkers(t, bin, d.Addr(), world)
+	if err := d.WaitForWorkers(world, 30*time.Second); err != nil {
 		t.Fatalf("workers never registered: %v", err)
 	}
 	for _, q := range fig4Queries {
@@ -85,7 +101,7 @@ func TestE2EDistributedParity(t *testing.T) {
 				t.Fatalf("distributed result differs from local: %s vs %s",
 					FormatResult(got), FormatResult(want))
 			}
-			if len(run.Workers) != 3 || run.LostWorkers != 0 {
+			if len(run.Workers) != world || run.LostWorkers != 0 {
 				t.Fatalf("unexpected run shape: %+v", run)
 			}
 		})
@@ -101,6 +117,7 @@ func TestE2EWorkerSIGKILL(t *testing.T) {
 		t.Skip("subprocess e2e skipped in -short mode")
 	}
 	bin := buildWorkerBinary(t)
+	world := e2eWorld(t)
 	p := baseParams()
 	p.Src = fig4Queries[0].src
 	want, err := RunQueryLocal(p)
@@ -114,8 +131,8 @@ func TestE2EWorkerSIGKILL(t *testing.T) {
 		if err != nil {
 			t.Fatalf("driver: %v", err)
 		}
-		procs := spawnWorkers(t, bin, d.Addr(), 3)
-		if err := d.WaitForWorkers(3, 30*time.Second); err != nil {
+		procs := spawnWorkers(t, bin, d.Addr(), world)
+		if err := d.WaitForWorkers(world, 30*time.Second); err != nil {
 			t.Fatalf("workers never registered: %v", err)
 		}
 		pk := p
@@ -123,7 +140,7 @@ func TestE2EWorkerSIGKILL(t *testing.T) {
 		go func(victim *exec.Cmd) {
 			time.Sleep(30 * time.Millisecond)
 			_ = victim.Process.Kill() // SIGKILL: no goodbye, heartbeats just stop
-		}(procs[2])
+		}(procs[world-1])
 		cs := NewClusterSession(d, pk, 2*time.Minute)
 		got, run, err := cs.Query(pk.Src)
 		d.Close()

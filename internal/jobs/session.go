@@ -153,6 +153,10 @@ func snapshotFrom(run *cluster.RunResult, infos []cluster.WorkerInfo) dataflow.M
 		snap.WireFetchedBytes += rep.WireFetchedBytes
 		snap.FetchRetries += rep.FetchRetries
 		snap.FetchGoneEvents += rep.FetchGoneEvents
+		snap.WireRawBytes += rep.WireRawBytes
+		snap.WireChunks += rep.ChunksFetched
+		snap.ConnPoolHits += rep.ConnPoolHits
+		snap.ConnPoolMisses += rep.ConnPoolMisses
 		snap.SpilledBytes += rep.SpilledBytes
 		if rep.MemoryPeak > snap.MemoryPeak {
 			snap.MemoryPeak = rep.MemoryPeak
@@ -177,6 +181,10 @@ func snapshotFrom(run *cluster.RunResult, infos []cluster.WorkerInfo) dataflow.M
 			WireFetchedBytes:   rep.WireFetchedBytes,
 			FetchRetries:       rep.FetchRetries,
 			FetchGoneEvents:    rep.FetchGoneEvents,
+			WireRawBytes:       rep.WireRawBytes,
+			WireChunks:         rep.ChunksFetched,
+			ConnPoolHits:       rep.ConnPoolHits,
+			ConnPoolMisses:     rep.ConnPoolMisses,
 			SpilledBytes:       rep.SpilledBytes,
 			MemoryPeak:         rep.MemoryPeak,
 			Wall:               time.Duration(rep.WallNanos),

@@ -1,0 +1,164 @@
+package spill
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func blockRoundTrip(t *testing.T, name string, src []byte) {
+	t.Helper()
+	block := CompressBlock(src)
+	got, err := DecompressBlock(block, len(src))
+	if err != nil {
+		t.Fatalf("%s: decompress: %v", name, err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("%s: round trip mismatch: %d bytes in, %d out", name, len(src), len(got))
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	random := make([]byte, 100_000)
+	rng.Read(random)
+
+	repetitive := bytes.Repeat([]byte("the quick brown fox "), 5000)
+	zeros := make([]byte, 1<<18)
+	short := []byte{1, 2, 3}
+
+	// Mixed: compressible runs punctuated by noise, like real row blobs.
+	mixed := make([]byte, 0, 200_000)
+	for i := 0; i < 100; i++ {
+		mixed = append(mixed, bytes.Repeat([]byte{byte(i)}, 1000)...)
+		noise := make([]byte, 37)
+		rng.Read(noise)
+		mixed = append(mixed, noise...)
+	}
+
+	cases := map[string][]byte{
+		"empty":      nil,
+		"short":      short,
+		"random":     random,
+		"repetitive": repetitive,
+		"zeros":      zeros,
+		"mixed":      mixed,
+	}
+	for name, src := range cases {
+		blockRoundTrip(t, name, src)
+	}
+
+	// The compressible cases must actually compress, hard.
+	for _, name := range []string{"repetitive", "zeros"} {
+		src := cases[name]
+		block := CompressBlock(src)
+		if len(block) > len(src)/4 {
+			t.Errorf("%s: compressed %d -> %d, expected at least 4x", name, len(src), len(block))
+		}
+	}
+	// Incompressible input must not blow up: bounded overhead only.
+	if block := CompressBlock(random); len(block) > len(random)+16 {
+		t.Errorf("random: compressed %d -> %d, overhead too large", len(random), len(block))
+	}
+}
+
+func TestCompressRealRowBlobs(t *testing.T) {
+	// Shuffle payloads are EncodeRows output; make sure the codec pays
+	// off on what the wire actually carries (float64 tiles with
+	// structured exponents).
+	rows := make([][]float64, 64)
+	for i := range rows {
+		row := make([]float64, 256)
+		for j := range row {
+			row[j] = float64(i*j%17) * 0.5
+		}
+		rows[i] = row
+	}
+	blob, err := EncodeRows(rows, For[[]float64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockRoundTrip(t, "rowblob", blob)
+	if block := CompressBlock(blob); len(block) >= len(blob) {
+		t.Errorf("row blob did not compress: %d -> %d", len(blob), len(block))
+	}
+}
+
+func TestDecompressCorruptInput(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 1000)
+	block := CompressBlock(src)
+
+	// Truncations at every prefix must error or still decode exactly
+	// src (dropping the optional empty trailer is harmless); never
+	// panic, never return wrong bytes without an error.
+	for i := 0; i < len(block); i++ {
+		got, err := DecompressBlock(block[:i], len(src))
+		if err == nil && !bytes.Equal(got, src) {
+			t.Fatalf("truncation at %d of %d decoded to wrong bytes", i, len(block))
+		}
+	}
+
+	// Wrong rawLen in both directions.
+	if _, err := DecompressBlock(block, len(src)-1); err == nil {
+		t.Error("short rawLen accepted")
+	}
+	if _, err := DecompressBlock(block, len(src)+1); err == nil {
+		t.Error("long rawLen accepted")
+	}
+	if _, err := DecompressBlock(block, -1); err == nil {
+		t.Error("negative rawLen accepted")
+	}
+
+	// Single-byte corruptions: must never panic; errors are fine, and
+	// a silent wrong answer is acceptable only if lengths still line up
+	// (the chunk checksum of the wire layer is not this codec's job).
+	for i := 0; i < len(block); i++ {
+		mut := append([]byte(nil), block...)
+		mut[i] ^= 0xff
+		DecompressBlock(mut, len(src))
+	}
+
+	// Hand-built hostile blocks.
+	hostile := [][]byte{
+		{0x00, 0x00, 0x01},             // match before any output (offset 1, no bytes decoded)
+		{0x01, 0x41, 0xff, 0xff, 0xff}, // unterminated varints
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, // huge literal length
+		{0x00, 0xff, 0xff, 0xff, 0xff, 0x0f, 0x01},                         // huge match length
+		{0x01, 0x41, 0x00, 0x00},                                           // offset 0
+	}
+	for i, h := range hostile {
+		if _, err := DecompressBlock(h, 1<<20); err == nil {
+			t.Errorf("hostile block %d accepted", i)
+		}
+	}
+}
+
+func FuzzBlockCompress(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("a"))
+	f.Add(bytes.Repeat([]byte("abcd"), 64))
+	f.Add([]byte{0x00, 0x00, 0x01})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	blk := CompressBlock(bytes.Repeat([]byte("shuffle"), 100))
+	f.Add(blk)
+	f.Add(blk[:len(blk)/2]) // truncated chunk
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Round trip: compressing arbitrary bytes must always invert.
+		block := CompressBlock(data)
+		got, err := DecompressBlock(block, len(data))
+		if err != nil {
+			t.Fatalf("decompress own output: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+		// Adversarial decode: arbitrary bytes as a block must never
+		// panic or allocate past the declared length, whatever rawLen.
+		for _, rawLen := range []int{0, 1, len(data), 4096} {
+			out, err := DecompressBlock(data, rawLen)
+			if err == nil && len(out) != rawLen {
+				t.Fatalf("accepted block decoded to %d bytes, want %d", len(out), rawLen)
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ package spill
 import (
 	"bytes"
 	"fmt"
+	"io"
 )
 
 // init registers the primitive codecs so bare scalars (action partials,
@@ -35,6 +36,35 @@ func EncodeRows[T any](rows []T, c Codec[T]) ([]byte, error) {
 		return nil, fmt.Errorf("spill: encode rows: %w", err)
 	}
 	return buf.Bytes(), nil
+}
+
+// DecodeRowsFrom reverses EncodeRows against a stream instead of a
+// materialized blob — the streaming shuffle path decodes records as
+// chunks arrive, so a bucket never has to exist contiguously in memory
+// on the consumer side. Same bounded-allocation discipline as
+// DecodeRows.
+func DecodeRowsFrom[T any](src io.Reader, c Codec[T]) ([]T, error) {
+	r := NewReader(src)
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("spill: decode rows: %w", err)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	alloc := n
+	if alloc > lenCheckChunk {
+		alloc = lenCheckChunk
+	}
+	out := make([]T, 0, alloc)
+	for i := uint64(0); i < n; i++ {
+		v := c.Decode(r)
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("spill: decode rows: record %d of %d: %w", i, n, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // DecodeRows reverses EncodeRows. Like the run-file readers it bounds
